@@ -1,0 +1,71 @@
+//! Criterion benches for the CAN substrate (E1 mechanism cost): frame
+//! encoding with exact stuffing, and simulated bus throughput for native vs
+//! virtualized controllers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_can::bitstream::{frame_bits_exact, stuff, stuffable_bits};
+use saav_can::bus::CanBus;
+use saav_can::controller::ControllerConfig;
+use saav_can::frame::{CanFrame, FrameId};
+use saav_can::virt::{VfId, VirtCanConfig};
+use saav_sim::time::Time;
+
+fn bench_bitstream(c: &mut Criterion) {
+    let frame = CanFrame::data(FrameId::Standard(0x2AA), &[0x55; 8]).unwrap();
+    c.bench_function("bitstream/stuff_8byte_frame", |b| {
+        b.iter(|| stuff(&stuffable_bits(std::hint::black_box(&frame))))
+    });
+    c.bench_function("bitstream/exact_bits", |b| {
+        b.iter(|| frame_bits_exact(std::hint::black_box(&frame)))
+    });
+}
+
+fn bench_bus_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus/saturated_100ms");
+    group.sample_size(20);
+    let deep = ControllerConfig {
+        tx_capacity: 1_024,
+        rx_capacity: 2_048,
+        ..ControllerConfig::default()
+    };
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            let mut bus = CanBus::automotive_500k(1);
+            let a = bus.attach_standard(deep.clone());
+            let _z = bus.attach_standard(deep.clone());
+            let f = CanFrame::data(FrameId::Standard(0x123), &[0; 8]).unwrap();
+            for _ in 0..400 {
+                bus.standard_mut(a).send(f, Time::ZERO);
+            }
+            bus.advance(Time::from_millis(100));
+            bus.stats().frames_ok
+        })
+    });
+    for vfs in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("virtualized", vfs),
+            &vfs,
+            |b, &vfs| {
+                b.iter(|| {
+                    let mut bus = CanBus::automotive_500k(1);
+                    let (v, _pf) = bus.attach_virtualized(VirtCanConfig {
+                        base: deep.clone(),
+                        ..VirtCanConfig::calibrated(vfs)
+                    });
+                    let _z = bus.attach_standard(deep.clone());
+                    let f = CanFrame::data(FrameId::Standard(0x123), &[0; 8]).unwrap();
+                    for _ in 0..400 {
+                        let _ = bus.virtualized_mut(v).vf_send(VfId(0), f, Time::ZERO);
+                    }
+                    bus.advance(Time::from_millis(100));
+                    bus.stats().frames_ok
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitstream, bench_bus_throughput);
+criterion_main!(benches);

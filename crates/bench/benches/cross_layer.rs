@@ -1,0 +1,43 @@
+//! Criterion benches for the cross-layer core (E10 mechanism cost): the
+//! coordinator's resolution loop and a short closed-loop assembly run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use saav_bench::exp_propagation::campaign;
+use saav_core::assembly::{ResponseStrategy, Scenario, SelfAwareVehicle};
+use saav_core::coordinator::EscalationPolicy;
+use saav_sim::time::Duration;
+use saav_vehicle::traffic::LeadVehicle;
+
+fn bench_campaign(c: &mut Criterion) {
+    c.bench_function("cross_layer/100_problem_campaign", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            campaign(EscalationPolicy::LocalFirst, 100, seed)
+        })
+    });
+}
+
+fn bench_assembly_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_layer/assembly_10s");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let scenario = Scenario {
+                label: "bench".into(),
+                events: Vec::new(),
+                duration: Duration::from_secs(10),
+                strategy: ResponseStrategy::CrossLayer,
+                seed: 1,
+                ego_speed_mps: 22.0,
+                lead: LeadVehicle::cruising(60.0, 22.0),
+            };
+            SelfAwareVehicle::run(scenario)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_assembly_step);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the model domain (E4 mechanism cost): contract
+//! parsing and the full integration process (admission, mapping, viewpoint
+//! battery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_mcc::contract::parse_contracts;
+use saav_mcc::integration::{Mcc, UpdateRequest};
+use saav_mcc::model::PlatformModel;
+
+fn contracts_source(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!(
+            "component comp{i} {{\n asil B\n provides svc.c{i}\n \
+             task t {{ period {}ms wcet 1ms priority {} }}\n}}\n",
+            20 + (i % 5) * 10,
+            i
+        ));
+    }
+    src
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcc/parse_contracts");
+    for n in [5usize, 50] {
+        let src = contracts_source(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| parse_contracts(std::hint::black_box(src)).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcc/propose_update");
+    for n in [4usize, 16] {
+        let contracts = parse_contracts(&contracts_source(n)).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &contracts,
+            |b, contracts| {
+                b.iter(|| {
+                    let mut mcc = Mcc::new(PlatformModel::reference());
+                    mcc.propose_update(UpdateRequest {
+                        label: "batch".into(),
+                        add: contracts.clone(),
+                        remove: vec![],
+                    })
+                    .expect("integration runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_integration);
+criterion_main!(benches);

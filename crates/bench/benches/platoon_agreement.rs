@@ -1,0 +1,44 @@
+//! Criterion benches for the cooperation substrate (E8/E9 mechanism cost):
+//! agreement rounds and route planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_platoon::agreement::{trimmed_mean_agreement, Behavior};
+use saav_platoon::routing::{alpine_scenario, CostModel};
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platoon/agreement");
+    for n in [4usize, 16, 64] {
+        let initial: Vec<f64> = (0..n).map(|i| 20.0 + (i % 7) as f64).collect();
+        let mut behaviors = vec![Behavior::Honest; n];
+        let f = (n - 1) / 3;
+        for b in behaviors.iter_mut().take(f) {
+            *b = Behavior::Oscillate {
+                low: -50.0,
+                high: 120.0,
+            };
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(initial, behaviors, f),
+            |b, (initial, behaviors, f)| {
+                b.iter(|| trimmed_mean_agreement(initial, behaviors, *f, 0.01, 300))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let (graph, start, goal) = alpine_scenario(0.5);
+    let risk = CostModel::RiskAware {
+        slowdown: 1.0,
+        risk_weight: 1.0,
+    };
+    c.bench_function("platoon/route_plan", |b| {
+        b.iter(|| graph.plan(start, goal, risk).expect("reachable"))
+    });
+}
+
+criterion_group!(benches, bench_agreement, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the ability graph (E5 mechanism cost): the cost of
+//! one monitoring cycle (set measured inputs + propagate) on the paper's
+//! ACC graph and on larger layered graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_skills::ability::{AbilityGraph, AggregateOp, Thresholds};
+use saav_skills::acc::build_acc_graph;
+use saav_skills::graph::SkillGraph;
+
+/// A layered graph: `layers` rows of `width` skills, each depending on two
+/// skills in the next row, bottom row on sources.
+fn layered_graph(layers: usize, width: usize) -> SkillGraph {
+    let mut g = SkillGraph::new();
+    let root = g.add_skill("root").expect("fresh");
+    let mut prev: Vec<_> = (0..width)
+        .map(|i| g.add_skill(format!("l0_{i}")).expect("fresh"))
+        .collect();
+    for n in &prev {
+        g.depend(root, *n).expect("dag");
+    }
+    for l in 1..layers {
+        let row: Vec<_> = (0..width)
+            .map(|i| g.add_skill(format!("l{l}_{i}")).expect("fresh"))
+            .collect();
+        for (i, p) in prev.iter().enumerate() {
+            g.depend(*p, row[i]).expect("dag");
+            g.depend(*p, row[(i + 1) % width]).expect("dag");
+        }
+        prev = row;
+    }
+    let sources: Vec<_> = (0..width)
+        .map(|i| g.add_source(format!("src{i}")).expect("fresh"))
+        .collect();
+    for (i, p) in prev.iter().enumerate() {
+        g.depend(*p, sources[i]).expect("dag");
+    }
+    g
+}
+
+fn bench_acc_graph(c: &mut Criterion) {
+    let (graph, nodes) = build_acc_graph().expect("paper graph");
+    let mut abilities =
+        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
+            .expect("valid");
+    c.bench_function("skills/acc_monitor_cycle", |b| {
+        let mut q = 1.0f64;
+        b.iter(|| {
+            q = if q > 0.5 { q - 0.01 } else { 1.0 };
+            abilities.set_measured(nodes.env_sensors, q);
+            abilities.propagate()
+        })
+    });
+}
+
+fn bench_layered_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skills/layered_propagate");
+    for (layers, width) in [(5usize, 10usize), (10, 30)] {
+        let graph = layered_graph(layers, width);
+        let n = graph.len();
+        let mut abilities =
+            AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
+                .expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_nodes")),
+            &n,
+            |b, _| {
+                let mut q = 1.0f64;
+                b.iter(|| {
+                    q = if q > 0.5 { q - 0.01 } else { 1.0 };
+                    // Touch one source and re-propagate everything.
+                    let src = saav_skills::graph::NodeId(n - 1);
+                    abilities.set_measured(src, q);
+                    abilities.propagate()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acc_graph, bench_layered_graphs);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benches for the WCRT analyses the MCC runs as acceptance
+//! tests (E4 mechanism cost): CPU busy-window, CAN non-preemptive, and the
+//! system-level fixpoint with jitter propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_sim::time::Duration;
+use saav_timing::event_model::EventModel;
+use saav_timing::system::{Activation, SystemModel};
+use saav_timing::task::{Priority, Task};
+use saav_timing::{CanAnalysis, CpuAnalysis};
+
+fn task_set(n: usize) -> Vec<Task> {
+    // Harmonic-ish periods, utilization ~0.7 spread over n tasks.
+    (0..n)
+        .map(|i| {
+            let period = Duration::from_millis(10 * (i as u64 + 1));
+            let wcet = period.mul_f64(0.7 / n as f64);
+            Task::new(
+                format!("t{i}"),
+                wcet.max(Duration::from_micros(10)),
+                Priority(i as u32),
+                EventModel::periodic(period),
+                period,
+            )
+        })
+        .collect()
+}
+
+fn bench_cpu_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcrt/cpu");
+    for n in [5usize, 20, 50] {
+        let tasks = task_set(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| {
+                let mut cpu = CpuAnalysis::new();
+                for t in tasks {
+                    cpu.add_task(t.clone());
+                }
+                cpu.analyze().expect("schedulable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_can_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcrt/can");
+    for n in [10usize, 40] {
+        let frames: Vec<Task> = (0..n)
+            .map(|i| {
+                Task::new(
+                    format!("f{i}"),
+                    Duration::from_micros(270),
+                    Priority(i as u32),
+                    EventModel::periodic(Duration::from_millis(10 + 5 * i as u64)),
+                    Duration::from_millis(10 + 5 * i as u64),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &frames, |b, frames| {
+            b.iter(|| {
+                let mut can = CanAnalysis::with_bitrate(500_000);
+                for f in frames {
+                    can.add_frame(f.clone());
+                }
+                can.analyze().expect("schedulable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_fixpoint(c: &mut Criterion) {
+    c.bench_function("wcrt/system_chain_fixpoint", |b| {
+        b.iter(|| {
+            let mut sys = SystemModel::new();
+            let cpu0 = sys.add_cpu("cpu0");
+            let can = sys.add_can("can0", 500_000);
+            let cpu1 = sys.add_cpu("cpu1");
+            let p = Duration::from_millis(10);
+            let sense = sys.add_task(
+                cpu0,
+                Task::new("sense", Duration::from_millis(2), Priority(0),
+                          EventModel::periodic(p), p)
+                    .with_bcet(Duration::from_millis(1)),
+                Activation::External,
+            );
+            let frame = sys.add_task(
+                can,
+                Task::new("frame", Duration::from_micros(270), Priority(1),
+                          EventModel::periodic(p), p)
+                    .with_bcet(Duration::from_micros(94)),
+                Activation::ChainedTo(sense),
+            );
+            let act = sys.add_task(
+                cpu1,
+                Task::new("act", Duration::from_millis(1), Priority(0),
+                          EventModel::periodic(p), p),
+                Activation::ChainedTo(frame),
+            );
+            let analysis = sys.analyze().expect("schedulable");
+            analysis.path_latency(&[sense, frame, act]).expect("path")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cpu_analysis,
+    bench_can_analysis,
+    bench_system_fixpoint
+);
+criterion_main!(benches);

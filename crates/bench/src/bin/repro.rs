@@ -1,0 +1,43 @@
+//! Prints the reproduced tables for every experiment in DESIGN.md.
+//!
+//! Usage: `repro [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 a2 a3 | all]`
+
+use saav_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in wanted {
+        match id {
+            "e1" => {
+                println!("{}", exp_can::e1_table().render());
+                println!("{}", exp_can::e1_throughput_table().render());
+            }
+            "e2" => println!("{}", exp_can::e2_table().render()),
+            "e3" => println!("{}", exp_monitor::e3_table().render()),
+            "e4" => println!("{}", exp_mcc::e4_table().render()),
+            "e5" => println!("{}", exp_skills::e5_table().render()),
+            "e6" => println!("{}", exp_scenarios::e6_table().render()),
+            "e7" => println!("{}", exp_scenarios::e7_table().render()),
+            "e8" => {
+                println!("{}", exp_platoon::e8_table().render());
+                println!("{}", exp_platoon::e8b_table().render());
+            }
+            "e9" => println!("{}", exp_platoon::e9_table().render()),
+            "e10" => {
+                println!("{}", exp_propagation::e10_table().render());
+                println!("{}", exp_propagation::e10b_fmea_table().render());
+            }
+            "a1" => println!("{}", exp_skills::a1_table().render()),
+            "a2" => println!("{}", exp_propagation::a2_table().render()),
+            "a3" => println!("{}", exp_monitor::a3_table().render()),
+            other => eprintln!("unknown experiment `{other}`"),
+        }
+    }
+}

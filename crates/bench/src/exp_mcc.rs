@@ -1,0 +1,168 @@
+//! E4: the MCC as gatekeeper — only contract-conformant updates are
+//! accepted (Sec. II-A).
+//!
+//! A batch of update requests, each crafted to violate exactly one
+//! viewpoint, is proposed to the MCC; the table shows which acceptance test
+//! catches which update. This regenerates the paper's central claim about
+//! the model domain: *"updates are applied to an already deployed system
+//! only if the system can still adhere to the required safety and security
+//! constraints."*
+
+use saav_mcc::contract::parse_contracts;
+use saav_mcc::integration::{Mcc, UpdateRequest};
+use saav_mcc::model::PlatformModel;
+use saav_sim::report::Table;
+
+/// Builds an MCC preloaded with a sane base system.
+pub fn base_system() -> Mcc {
+    let mut mcc = Mcc::new(PlatformModel::reference());
+    let base = parse_contracts(
+        r#"
+component radar_driver {
+  asil B
+  provides sensor.radar
+  task drv { period 10ms wcet 1ms priority 1 }
+  frame radar_status { id 0x120 period 20ms payload 8 }
+}
+component brake_ctl {
+  asil D
+  provides actuator.brake critical
+  task ctl { period 10ms wcet 1ms priority 0 }
+  frame brake_cmd { id 0x110 period 10ms payload 4 }
+}
+component acc_controller {
+  asil B
+  requires sensor.radar rate 100
+  requires actuator.brake rate 100
+  provides control.acc
+  task ctl { period 20ms wcet 4ms priority 3 }
+}
+"#,
+    )
+    .expect("base contracts parse");
+    let report = mcc
+        .propose_update(UpdateRequest {
+            label: "base system".into(),
+            add: base,
+            remove: vec![],
+        })
+        .expect("base integration runs");
+    assert!(report.accepted, "base system must integrate:\n{report}");
+    mcc
+}
+
+/// The crafted update batch: `(label, contract source, expected verdict)`.
+pub fn update_batch() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        (
+            "lane-keeping (well-formed)",
+            "component lane_keeping {\n asil B\n requires sensor.radar rate 100\n \
+             provides control.lane\n task ctl { period 20ms wcet 3ms priority 4 }\n}",
+            true,
+        ),
+        (
+            "video-pipeline (timing violation)",
+            // Fits every PE's utilization bound, but its own encoder blocks
+            // the tight status task past the deadline — WCRT analysis must
+            // catch what the resource check cannot.
+            "component video_pipeline {\n asil A\n \
+             task enc { period 30ms wcet 9ms deadline 30ms priority 0 }\n \
+             task status { period 30ms wcet 1ms deadline 5ms priority 10 }\n}",
+            false,
+        ),
+        (
+            "cheap-pilot (safety violation)",
+            "component cheap_pilot {\n asil D\n requires sensor.radar\n \
+             provides control.pilot\n task ctl { period 20ms wcet 2ms priority 5 }\n}",
+            false,
+        ),
+        (
+            "market-app (security violation)",
+            "component market_app {\n domain untrusted\n requires actuator.brake\n}",
+            false,
+        ),
+        (
+            "data-logger (resource violation)",
+            "component data_logger {\n memory 9000\n}",
+            false,
+        ),
+        (
+            "diag-service (well-formed, untrusted but isolated)",
+            "component diag_service {\n domain untrusted\n provides diag.api\n \
+             task poll { period 100ms wcet 1ms priority 8 }\n}",
+            true,
+        ),
+    ]
+}
+
+/// E4 as a printable table.
+pub fn e4_table() -> Table {
+    let mut mcc = base_system();
+    let mut t = Table::new(["update", "verdicts", "result"])
+        .with_title("E4: MCC acceptance tests over an update batch");
+    for (label, src, _expected) in update_batch() {
+        let contracts = parse_contracts(src).expect("batch contracts parse");
+        let row = match mcc.propose_update(UpdateRequest {
+            label: label.into(),
+            add: contracts,
+            remove: vec![],
+        }) {
+            Ok(report) => {
+                let verdicts: Vec<String> = report
+                    .verdicts
+                    .iter()
+                    .map(|v| {
+                        format!("{}:{}", v.viewpoint, if v.passed { "ok" } else { "FAIL" })
+                    })
+                    .collect();
+                (
+                    label.to_string(),
+                    verdicts.join(" "),
+                    if report.accepted { "ACCEPTED" } else { "REJECTED" }.to_string(),
+                )
+            }
+            Err(e) => (label.to_string(), format!("refinement: {e}"), "REJECTED".into()),
+        };
+        t.row([row.0, row.1, row.2]);
+    }
+    t
+}
+
+/// Acceptance outcomes for assertions: `(label, accepted)`.
+pub fn e4_outcomes() -> Vec<(String, bool)> {
+    let mut mcc = base_system();
+    update_batch()
+        .into_iter()
+        .map(|(label, src, _)| {
+            let contracts = parse_contracts(src).expect("parse");
+            let accepted = mcc
+                .propose_update(UpdateRequest {
+                    label: label.into(),
+                    add: contracts,
+                    remove: vec![],
+                })
+                .map(|r| r.accepted)
+                .unwrap_or(false);
+            (label.to_string(), accepted)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_crafted_update_gets_its_expected_verdict() {
+        let outcomes = e4_outcomes();
+        let expected: Vec<bool> = update_batch().iter().map(|(_, _, e)| *e).collect();
+        for ((label, accepted), expect) in outcomes.iter().zip(expected) {
+            assert_eq!(*accepted, expect, "update `{label}`");
+        }
+    }
+
+    #[test]
+    fn table_has_all_updates() {
+        assert_eq!(e4_table().len(), update_batch().len());
+    }
+}

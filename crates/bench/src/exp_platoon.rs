@@ -1,0 +1,200 @@
+//! E8/E9: cooperation experiments (Sec. V).
+//!
+//! E8: platoon agreement on a common velocity with up to `f` compromised
+//! members — convergence, validity and the fog-driving motivation (a
+//! sensor-degraded vehicle keeps moving inside a platoon whose agreed speed
+//! respects its limits).
+//!
+//! E9: weather-aware routing — the risk-aware planner leaves the exposed
+//! alpine pass to the naive planner once the forecast worsens.
+
+use saav_platoon::agreement::{trimmed_mean_agreement, Behavior};
+use saav_platoon::platoon::Platoon;
+use saav_platoon::routing::{alpine_scenario, CostModel, RoadNode};
+use saav_sim::report::{fmt_f64, Table};
+
+/// One E8 configuration result.
+#[derive(Debug, Clone)]
+pub struct E8Point {
+    /// Total members.
+    pub n: usize,
+    /// Actual liars.
+    pub liars: usize,
+    /// Whether honest members reached ε-agreement.
+    pub converged: bool,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Whether the agreed value stayed within the honest initial range.
+    pub valid: bool,
+}
+
+/// Runs E8 over platoon sizes and fault counts.
+pub fn e8_points() -> Vec<E8Point> {
+    let mut points = Vec::new();
+    for &n in &[4usize, 7, 10, 13] {
+        let f_max = (n - 1) / 3;
+        for liars in 0..=f_max + 1 {
+            if liars >= n {
+                continue;
+            }
+            // Honest values spread around 20..25 m/s; liars alternate
+            // extremes.
+            let initial: Vec<f64> = (0..n)
+                .map(|i| 20.0 + 5.0 * (i as f64) / (n as f64 - 1.0))
+                .collect();
+            let mut behaviors = vec![Behavior::Honest; n];
+            for b in behaviors.iter_mut().take(liars) {
+                *b = Behavior::Oscillate {
+                    low: -40.0,
+                    high: 90.0,
+                };
+            }
+            let honest_lo = initial[liars..]
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let honest_hi = initial[liars..]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let r = trimmed_mean_agreement(&initial, &behaviors, f_max, 0.05, 300);
+            let v = r.agreed_value();
+            points.push(E8Point {
+                n,
+                liars,
+                converged: r.converged,
+                rounds: r.rounds,
+                valid: v >= honest_lo - 0.1 && v <= honest_hi + 0.1,
+            });
+        }
+    }
+    points
+}
+
+/// E8 as a printable table.
+pub fn e8_table() -> Table {
+    let mut t = Table::new(["n", "liars", "f tolerated", "converged", "rounds", "valid"])
+        .with_title("E8: platoon velocity agreement under Byzantine members (tolerates f < n/3)");
+    for p in e8_points() {
+        t.row([
+            p.n.to_string(),
+            p.liars.to_string(),
+            ((p.n - 1) / 3).to_string(),
+            p.converged.to_string(),
+            p.rounds.to_string(),
+            p.valid.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E8b: the fog-driving motivation — a degraded vehicle joins a platoon.
+pub fn e8b_table() -> Table {
+    let mut t = Table::new(["setting", "agreed speed", "fog vehicle can proceed"])
+        .with_title("E8b: driving in dense fog alone vs in a platoon");
+    // Alone: the fog-blind vehicle's safe speed is 6 m/s — below its
+    // minimum useful mission speed of 8 m/s, so it must stop.
+    let solo_safe = 6.0f64;
+    t.row([
+        "solo in fog".to_string(),
+        format!("{solo_safe:.1} m/s"),
+        (solo_safe >= 8.0).to_string(),
+    ]);
+    // In a platoon of better-equipped vehicles, the agreement protocol
+    // lands on a common speed that respects the weakest member, and
+    // cooperative perception lets the fog vehicle follow at that speed.
+    let mut platoon = Platoon::new(1);
+    for v in [22.0, 20.0, 21.0, 19.0, 23.0, 18.0] {
+        platoon.join(v, Behavior::Honest);
+    }
+    platoon.join(12.0, Behavior::Honest); // the fog vehicle, guided by the platoon
+    let negotiation = platoon.negotiate_speed().expect("quorum");
+    t.row([
+        "platoon (7 vehicles)".to_string(),
+        format!("{:.1} m/s", negotiation.speed_mps),
+        (negotiation.speed_mps >= 8.0).to_string(),
+    ]);
+    t
+}
+
+/// E9 as a printable table.
+pub fn e9_table() -> Table {
+    let mut t = Table::new([
+        "forecast p(bad)",
+        "naive route",
+        "risk-aware route",
+        "naive time if storm",
+        "risk-aware time if storm",
+    ])
+    .with_title("E9: weather-aware routing — alpine pass vs detour (flip near p=0.39)");
+    let risk = CostModel::RiskAware {
+        slowdown: 1.0,
+        risk_weight: 1.0,
+    };
+    for p in [0.0, 0.2, 0.35, 0.43, 0.6, 0.8, 1.0] {
+        let (g, s, goal) = alpine_scenario(p);
+        let naive = g.plan(s, goal, CostModel::Naive).expect("reachable");
+        let smart = g.plan(s, goal, risk).expect("reachable");
+        let name = |r: &saav_platoon::routing::Route| {
+            if r.nodes.contains(&RoadNode(1)) {
+                "pass"
+            } else {
+                "detour"
+            }
+        };
+        t.row([
+            fmt_f64(p, 2),
+            name(&naive).to_string(),
+            name(&smart).to_string(),
+            format!("{:.0} min", g.realized_time(&naive, true, 1.0)),
+            format!("{:.0} min", g.realized_time(&smart, true, 1.0)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_within_bound_always_converges_validly() {
+        for p in e8_points() {
+            if p.liars <= (p.n - 1) / 3 {
+                assert!(p.converged, "n={} liars={}", p.n, p.liars);
+                assert!(p.valid, "n={} liars={}", p.n, p.liars);
+            }
+        }
+    }
+
+    #[test]
+    fn e8_has_beyond_bound_rows() {
+        // The table purposely includes f_max + 1 liars to show the cliff.
+        assert!(e8_points().iter().any(|p| p.liars > (p.n - 1) / 3));
+    }
+
+    #[test]
+    fn e8b_platoon_rescues_fog_vehicle() {
+        let rendered = e8b_table().render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        let solo = lines.iter().find(|l| l.starts_with("solo")).unwrap();
+        let platoon = lines.iter().find(|l| l.starts_with("platoon")).unwrap();
+        assert!(solo.contains("false"));
+        assert!(platoon.contains("true"));
+    }
+
+    #[test]
+    fn e9_flip_happens_between_035_and_043() {
+        let rendered = e9_table().render();
+        let row = |p: &str| {
+            rendered
+                .lines()
+                .find(|l| l.starts_with(p))
+                .unwrap()
+                .to_string()
+        };
+        assert!(row("0.35").contains("pass  pass") || row("0.35").matches("pass").count() >= 2);
+        assert!(row("0.43").contains("detour"));
+        assert!(row("1.00").contains("detour"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # saav-bench — the experiment harness
+//!
+//! Regenerates every table/figure-level claim of Schlatow et al. (DATE
+//! 2017) as identified in `DESIGN.md`:
+//!
+//! | id | module | claim |
+//! |----|--------|-------|
+//! | E1 | [`exp_can`] | virtualized CAN adds ≈7–11 µs round trip, near-native throughput |
+//! | E2 | [`exp_can`] | FPGA break-even with stand-alone controllers at 4 VMs |
+//! | E3 | [`exp_monitor`] | monitoring adds little interference, detects overruns |
+//! | E4 | [`exp_mcc`] | MCC viewpoints accept/reject the right updates |
+//! | E5 | [`exp_skills`] | ability graph outdetects SAFER/RACE baselines |
+//! | E6 | [`exp_scenarios`] | intrusion response strategies trade availability vs risk |
+//! | E7 | [`exp_scenarios`] | thermal chain; cross-layer handling restores deadlines |
+//! | E8/E9 | [`exp_platoon`] | Byzantine platoon agreement; risk-aware routing |
+//! | E10 | [`exp_propagation`] | propagation terminates; layer distribution |
+//! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
+//!
+//! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
+
+#![warn(missing_docs)]
+
+pub mod exp_can;
+pub mod exp_mcc;
+pub mod exp_monitor;
+pub mod exp_platoon;
+pub mod exp_propagation;
+pub mod exp_scenarios;
+pub mod exp_skills;

@@ -1,0 +1,216 @@
+//! Bit-level CAN frame encoding: field layout, CRC-15 and bit stuffing.
+//!
+//! The bus simulation needs the *exact* number of bits a frame occupies on
+//! the wire (including stuff bits) to compute transmission times. This module
+//! builds the unstuffed bit sequence of a frame, computes the CAN CRC-15
+//! (polynomial `0x4599`) over the fields the standard covers, applies the
+//! 5-bit stuffing rule to the stuffable region (SOF through CRC sequence) and
+//! accounts for the fixed-form tail (CRC delimiter, ACK, EOF) plus the
+//! 3-bit interframe space.
+
+use crate::frame::{CanFrame, FrameId};
+
+/// Bits of the fixed-form (never stuffed) frame tail:
+/// CRC delimiter (1) + ACK slot (1) + ACK delimiter (1) + EOF (7).
+pub const TAIL_BITS: u32 = 10;
+
+/// Interframe space (intermission) between consecutive frames.
+pub const IFS_BITS: u32 = 3;
+
+/// CAN CRC-15 over a bit sequence (MSB-first), polynomial `x^15 + x^14 +
+/// x^10 + x^8 + x^7 + x^4 + x^3 + 1` (`0x4599`).
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_nxt = (bit as u16) ^ ((crc >> 14) & 1);
+        crc = (crc << 1) & 0x7FFF;
+        if crc_nxt != 0 {
+            crc ^= 0x4599;
+        }
+    }
+    crc
+}
+
+fn push_bits(out: &mut Vec<bool>, value: u64, nbits: u32) {
+    for i in (0..nbits).rev() {
+        out.push((value >> i) & 1 == 1);
+    }
+}
+
+/// The unstuffed bits of the stuffable region: SOF, arbitration, control,
+/// data and CRC sequence.
+pub fn stuffable_bits(frame: &CanFrame) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(128);
+    bits.push(false); // SOF, dominant
+    match frame.id() {
+        FrameId::Standard(id) => {
+            push_bits(&mut bits, id as u64, 11);
+            bits.push(frame.is_remote()); // RTR
+            bits.push(false); // IDE = dominant
+            bits.push(false); // r0
+        }
+        FrameId::Extended(id) => {
+            push_bits(&mut bits, (id >> 18) as u64, 11); // base id
+            bits.push(true); // SRR, recessive
+            bits.push(true); // IDE = recessive
+            push_bits(&mut bits, (id & 0x3_FFFF) as u64, 18);
+            bits.push(frame.is_remote()); // RTR
+            bits.push(false); // r1
+            bits.push(false); // r0
+        }
+    }
+    push_bits(&mut bits, frame.dlc() as u64, 4);
+    for &byte in frame.payload() {
+        push_bits(&mut bits, byte as u64, 8);
+    }
+    let crc = crc15(&bits);
+    push_bits(&mut bits, crc as u64, 15);
+    bits
+}
+
+/// Applies CAN bit stuffing: after five consecutive equal bits, a bit of
+/// opposite polarity is inserted. Stuff bits participate in subsequent runs.
+pub fn stuff(bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bits.len() + bits.len() / 4);
+    let mut run_bit = None;
+    let mut run_len = 0u32;
+    for &b in bits {
+        out.push(b);
+        if Some(b) == run_bit {
+            run_len += 1;
+        } else {
+            run_bit = Some(b);
+            run_len = 1;
+        }
+        if run_len == 5 {
+            let stuffed = !b;
+            out.push(stuffed);
+            run_bit = Some(stuffed);
+            run_len = 1;
+        }
+    }
+    out
+}
+
+/// Exact number of bits the frame occupies on the bus, **excluding** the
+/// interframe space: stuffed stuffable region plus the fixed-form tail.
+pub fn frame_bits_exact(frame: &CanFrame) -> u32 {
+    stuff(&stuffable_bits(frame)).len() as u32 + TAIL_BITS
+}
+
+/// Exact bits including the 3-bit interframe space that must elapse before
+/// the next frame.
+pub fn frame_bits_with_ifs(frame: &CanFrame) -> u32 {
+    frame_bits_exact(frame) + IFS_BITS
+}
+
+/// Worst-case bits for a frame with `dlc` payload bytes (classic bound
+/// including maximum stuffing and IFS): standard `8n + 47 + ⌊(34+8n−1)/4⌋`.
+pub fn frame_bits_worst_case(dlc: u8, extended: bool) -> u32 {
+    let n = dlc as u32;
+    let stuffable = if extended { 54 + 8 * n } else { 34 + 8 * n };
+    let fixed = stuffable + TAIL_BITS + IFS_BITS;
+    fixed + (stuffable - 1) / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameId;
+
+    fn data_frame(id: u16, payload: &[u8]) -> CanFrame {
+        CanFrame::data(FrameId::standard(id).unwrap(), payload).unwrap()
+    }
+
+    #[test]
+    fn crc_is_deterministic_and_sensitive() {
+        let bits = [true, false, true, true, false, false, true];
+        assert_eq!(crc15(&bits), crc15(&bits));
+        let mut flipped = bits;
+        flipped[3] = !flipped[3];
+        assert_ne!(crc15(&bits), crc15(&flipped));
+        assert_eq!(crc15(&[]), 0);
+    }
+
+    #[test]
+    fn crc_of_single_one_bit_is_polynomial() {
+        // Shifting a single 1 through an empty register applies the
+        // polynomial exactly once.
+        assert_eq!(crc15(&[true]), 0x4599 & 0x7FFF);
+    }
+
+    #[test]
+    fn stuffable_length_matches_layout() {
+        // Standard: 1 SOF + 11 id + 1 RTR + 1 IDE + 1 r0 + 4 DLC + 8·dlc + 15 CRC.
+        let f = data_frame(0x55, &[0xAA, 0x55]);
+        assert_eq!(stuffable_bits(&f).len(), 34 + 16);
+        let x = CanFrame::data(FrameId::extended(0x1ABCDE0).unwrap(), &[0; 8]).unwrap();
+        assert_eq!(stuffable_bits(&x).len(), 54 + 64);
+    }
+
+    #[test]
+    fn stuffing_breaks_runs_of_five() {
+        let bits = vec![true; 16];
+        let stuffed = stuff(&bits);
+        // Scan: no six consecutive equal bits anywhere.
+        let mut run = 1;
+        for w in stuffed.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                assert!(run <= 5, "run of {run} equal bits after stuffing");
+            } else {
+                run = 1;
+            }
+        }
+        // 16 ones: stuff after bit 5 (insert 0), then runs restart.
+        assert!(stuffed.len() > bits.len());
+    }
+
+    #[test]
+    fn stuffed_stream_never_has_six_equal_bits_for_any_frame() {
+        for id in [0u16, 0x155, 0x2AA, 0x7FF] {
+            for len in 0..=8usize {
+                let payload: Vec<u8> = (0..len).map(|i| [0x00, 0xFF][i % 2]).collect();
+                let f = data_frame(id, &payload);
+                let stuffed = stuff(&stuffable_bits(&f));
+                let mut run = 1;
+                for w in stuffed.windows(2) {
+                    if w[0] == w[1] {
+                        run += 1;
+                        assert!(run <= 5);
+                    } else {
+                        run = 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_bits_within_canonical_bounds() {
+        for len in 0..=8usize {
+            let payload = vec![0u8; len];
+            let f = data_frame(0x100, &payload);
+            let exact = frame_bits_with_ifs(&f);
+            let min = 34 + 8 * len as u32 + TAIL_BITS + IFS_BITS; // no stuffing
+            let max = frame_bits_worst_case(len as u8, false);
+            assert!(exact >= min, "len {len}: {exact} < {min}");
+            assert!(exact <= max, "len {len}: {exact} > {max}");
+        }
+    }
+
+    #[test]
+    fn worst_case_formula_matches_known_value() {
+        // Classic result: standard frame, 8 data bytes => 135 bits with IFS.
+        assert_eq!(frame_bits_worst_case(8, false), 135);
+        // And 0 data bytes => 55 bits.
+        assert_eq!(frame_bits_worst_case(0, false), 55);
+    }
+
+    #[test]
+    fn all_zero_payload_stuffs_heavily() {
+        let zeros = data_frame(0, &[0; 8]);
+        let ones = data_frame(0x555, &[0xAA; 8]);
+        assert!(frame_bits_exact(&zeros) > frame_bits_exact(&ones));
+    }
+}

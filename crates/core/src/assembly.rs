@@ -1,0 +1,1043 @@
+//! The self-aware vehicle: all layers assembled into one closed loop.
+//!
+//! This is the integration the paper argues for in Sec. V: platform
+//! ([`saav_hw`]), communication ([`saav_can`]), execution domain
+//! ([`saav_rte`]) with monitors ([`saav_monitor`]), the functional level
+//! ([`saav_skills`] over [`saav_vehicle`]) and the model domain
+//! ([`saav_mcc`]), coordinated by the cross-layer [`Coordinator`].
+//!
+//! Control runs closed-loop inside [`VehicleWorld`]; the CAN substrate
+//! carries the corresponding sensor/actuator traffic (radar status from the
+//! sensor VM's VF, brake commands from the control VM's VF) so that the
+//! communication layer sees — and its monitors can react to — the real
+//! message flows, including the flooding of a compromised component.
+//!
+//! Scenarios inject the paper's three headline disturbances — a security
+//! breach in the rear-brake component, an ambient-temperature ramp, and
+//! sensor-degrading fog — and the assembly records how each response
+//! strategy (single-layer, cross-layer, objective-stop) fares.
+
+use saav_can::bus::{CanBus, NodeId};
+use saav_can::controller::ControllerConfig;
+use saav_can::frame::{CanFrame, FrameId};
+use saav_can::virt::{PfToken, VfId, VirtCanConfig};
+use saav_hw::pe::PeId;
+use saav_hw::platform::Platform;
+use saav_monitor::access_mon::{AccessMonitor, AccessObservation};
+use saav_monitor::anomaly::{Anomaly, AnomalyKind};
+use saav_monitor::exec::{ExecutionMonitor, JobObservation};
+use saav_monitor::metrics::MetricBus;
+use saav_monitor::signal::{HeartbeatMonitor, QualityMonitor};
+use saav_rte::component::{ComponentSpec, VmId};
+use saav_rte::rte::Rte;
+use saav_rte::sched::{Priority, TaskRef, TaskSpec};
+use saav_sim::series::Series;
+use saav_sim::time::{Duration, Time};
+use saav_sim::trace::Tracer;
+use saav_skills::ability::{AbilityGraph, AggregateOp, Thresholds};
+use saav_skills::acc::{build_acc_graph, AccNodes};
+use saav_skills::decision::{DrivingMode, ModePolicy};
+use saav_vehicle::sensors::{SensorFault, Weather};
+use saav_vehicle::traffic::LeadVehicle;
+use saav_vehicle::world::VehicleWorld;
+
+use crate::coordinator::{Coordinator, EscalationPolicy};
+use crate::layer::{Containment, Directive, DirectiveBoard, Layer, ProblemKind};
+
+/// How the vehicle responds to detected problems (compared in E6/E7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStrategy {
+    /// Handle every problem only at its origin layer, declaring it resolved
+    /// there — the single-layer blindness the paper warns against.
+    SingleLayer,
+    /// Full cross-layer escalation (the paper's proposal).
+    CrossLayer,
+    /// Escalate straight to the objective layer: minimal-risk stop.
+    ObjectiveStop,
+}
+
+/// A scripted disturbance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// The rear-brake software component is compromised: it floods the bus
+    /// and oversteps its execution contract until contained.
+    CompromiseRearBrake,
+    /// Fog builds up to the given density over the given time.
+    FogRamp {
+        /// Final fog density (`[0,1]`).
+        to: f64,
+        /// Ramp duration.
+        over: Duration,
+    },
+    /// Ambient temperature ramps to the given value.
+    AmbientRamp {
+        /// Final ambient temperature (°C).
+        to_c: f64,
+        /// Ramp duration.
+        over: Duration,
+    },
+    /// A radar hardware fault.
+    RadarFault(SensorFault),
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label for reports.
+    pub label: String,
+    /// Scripted events.
+    pub events: Vec<(Time, ScenarioEvent)>,
+    /// Total simulated time.
+    pub duration: Duration,
+    /// Response strategy under test.
+    pub strategy: ResponseStrategy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial/lead traffic: `(ego speed, lead)`.
+    pub ego_speed_mps: f64,
+    /// The lead vehicle profile.
+    pub lead: LeadVehicle,
+}
+
+impl Scenario {
+    /// A 120 s highway following scenario with no disturbances.
+    pub fn baseline(seed: u64) -> Self {
+        Scenario {
+            label: "baseline".into(),
+            events: Vec::new(),
+            duration: Duration::from_secs(120),
+            strategy: ResponseStrategy::CrossLayer,
+            seed,
+            ego_speed_mps: 22.0,
+            lead: LeadVehicle::cruising(60.0, 22.0),
+        }
+    }
+
+    /// The paper's intrusion scenario: rear-brake compromise at t = 30 s
+    /// while following a lead vehicle that brakes hard at t = 60 s, holds
+    /// low speed, then recovers to cruise — so availability differences
+    /// between the response strategies show in the distance travelled.
+    pub fn intrusion(strategy: ResponseStrategy, seed: u64) -> Self {
+        use saav_vehicle::traffic::ProfileSegment;
+        Scenario {
+            label: format!("intrusion/{strategy:?}"),
+            events: vec![(Time::from_secs(30), ScenarioEvent::CompromiseRearBrake)],
+            duration: Duration::from_secs(120),
+            strategy,
+            seed,
+            ego_speed_mps: 22.0,
+            lead: LeadVehicle::new(
+                60.0,
+                22.0,
+                vec![
+                    ProfileSegment {
+                        duration: Duration::from_secs(60),
+                        end_speed_mps: 22.0,
+                    },
+                    ProfileSegment {
+                        duration: Duration::from_secs(4),
+                        end_speed_mps: 6.0,
+                    },
+                    ProfileSegment {
+                        duration: Duration::from_secs(10),
+                        end_speed_mps: 6.0,
+                    },
+                    ProfileSegment {
+                        duration: Duration::from_secs(6),
+                        end_speed_mps: 22.0,
+                    },
+                ],
+            ),
+        }
+    }
+
+    /// The thermal scenario: ambient ramps from 25 °C to the target over
+    /// 60 s starting immediately.
+    pub fn thermal(to_c: f64, strategy: ResponseStrategy, seed: u64) -> Self {
+        Scenario {
+            label: format!("thermal/{strategy:?}"),
+            events: vec![(
+                Time::from_secs(10),
+                ScenarioEvent::AmbientRamp {
+                    to_c,
+                    over: Duration::from_secs(60),
+                },
+            )],
+            duration: Duration::from_secs(240),
+            strategy,
+            seed,
+            ego_speed_mps: 22.0,
+            lead: LeadVehicle::cruising(60.0, 22.0),
+        }
+    }
+
+    /// The fog scenario for ability monitoring (E5).
+    pub fn fog(to: f64, seed: u64) -> Self {
+        Scenario {
+            label: "fog".into(),
+            events: vec![(
+                Time::from_secs(20),
+                ScenarioEvent::FogRamp {
+                    to,
+                    over: Duration::from_secs(40),
+                },
+            )],
+            duration: Duration::from_secs(120),
+            strategy: ResponseStrategy::CrossLayer,
+            seed,
+            ego_speed_mps: 22.0,
+            lead: LeadVehicle::cruising(60.0, 22.0),
+        }
+    }
+}
+
+/// Measured outcome of a scenario run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Scenario label.
+    pub label: String,
+    /// Speed over time.
+    pub speed: Series,
+    /// Root ability level over time.
+    pub ability: Series,
+    /// Deadline-miss ratio per second of the ACC task.
+    pub miss_rate: Series,
+    /// Die temperature of PE0 over time (°C).
+    pub temp_c: Series,
+    /// Execution speed factor of PE0 over time (1 = nominal).
+    pub speed_factor: Series,
+    /// Final driving mode.
+    pub final_mode: DrivingMode,
+    /// Safety metrics from the plant.
+    pub min_gap_m: f64,
+    /// Minimum time-to-collision observed.
+    pub min_ttc_s: f64,
+    /// Whether a collision occurred.
+    pub collision: bool,
+    /// Distance travelled (m) — availability proxy.
+    pub distance_m: f64,
+    /// Detection time of the first problem, if any.
+    pub first_detection: Option<Time>,
+    /// Time the last containment action completed, if any.
+    pub mitigated_at: Option<Time>,
+    /// All containment actions taken.
+    pub actions: Vec<String>,
+    /// Directive conflicts detected (and arbitrated) on the board.
+    pub conflicts: u64,
+    /// Longest problem propagation chain.
+    pub max_hops: usize,
+    /// Problems resolved / total.
+    pub resolution_rate: Option<f64>,
+    /// Full event trace.
+    pub trace: Tracer,
+}
+
+/// The assembled self-aware vehicle.
+pub struct SelfAwareVehicle {
+    platform: Platform,
+    rte: Rte,
+    bus: CanBus,
+    virt_node: NodeId,
+    _actuator_node: NodeId,
+    pf: PfToken,
+    world: VehicleWorld,
+    abilities: AbilityGraph,
+    nodes: AccNodes,
+    mode: ModePolicy,
+    exec_mon: ExecutionMonitor,
+    access_mon: AccessMonitor,
+    radar_quality: QualityMonitor,
+    radar_heartbeat: HeartbeatMonitor,
+    metrics: MetricBus,
+    coordinator: Coordinator,
+    board: DirectiveBoard,
+    tracer: Tracer,
+    strategy: ResponseStrategy,
+    // component/task handles
+    acc_task: TaskRef,
+    perception_task: TaskRef,
+    brake_rear_comp: saav_rte::component::ComponentId,
+    // scenario state
+    compromised: bool,
+    brake_rear_quarantined: bool,
+    fog_ramp: Option<(Time, f64, f64, Duration)>, // (start, from, to, over)
+    ambient_ramp: Option<(Time, f64, f64, Duration)>,
+    acc_reconfigured: bool,
+    thermal_mitigated: bool,
+    now: Time,
+}
+
+const CONTROL_PERIOD: Duration = Duration::from_millis(10);
+
+impl SelfAwareVehicle {
+    /// Builds the reference vehicle for a scenario.
+    pub fn new(scenario: &Scenario) -> Self {
+        let platform = Platform::with_embedded_pes(2, scenario.seed);
+        // --- execution domain -------------------------------------------
+        let mut rte = Rte::new(scenario.seed, 8_192);
+        let control_vm = rte.add_vm(4_096);
+        let radar_comp = rte
+            .install(
+                ComponentSpec::new("radar_driver", VmId(0)).provides("sensor.radar"),
+            )
+            .expect("fresh RTE");
+        let acc_comp = rte
+            .install(
+                ComponentSpec::new("acc_controller", control_vm)
+                    .provides("control.acc")
+                    .requires("sensor.radar")
+                    .requires("actuator.powertrain")
+                    .requires("actuator.brake.front")
+                    .requires("actuator.brake.rear"),
+            )
+            .expect("fresh RTE");
+        let brake_front_comp = rte
+            .install(
+                ComponentSpec::new("brake_front", control_vm)
+                    .provides("actuator.brake.front"),
+            )
+            .expect("fresh RTE");
+        let brake_rear_comp = rte
+            .install(
+                ComponentSpec::new("brake_rear", control_vm)
+                    .provides("actuator.brake.rear"),
+            )
+            .expect("fresh RTE");
+        let _pwr = rte
+            .install(
+                ComponentSpec::new("powertrain_ctl", control_vm)
+                    .provides("actuator.powertrain"),
+            )
+            .expect("fresh RTE");
+        rte.grant(acc_comp, "sensor.radar");
+        rte.grant(acc_comp, "actuator.powertrain");
+        rte.grant(acc_comp, "actuator.brake.front");
+        rte.grant(acc_comp, "actuator.brake.rear");
+
+        let _radar_task = rte
+            .add_task(
+                TaskSpec::periodic(
+                    "radar_drv",
+                    radar_comp,
+                    Duration::from_millis(10),
+                    Duration::from_millis(1),
+                    Priority(1),
+                )
+                .with_exec_fraction(0.7, 0.95),
+            )
+            .expect("valid task");
+        let perception_task = rte
+            .add_task(
+                TaskSpec::periodic(
+                    "perception",
+                    acc_comp,
+                    Duration::from_millis(10),
+                    Duration::from_micros(2_500),
+                    Priority(2),
+                )
+                .with_exec_fraction(0.75, 0.95),
+            )
+            .expect("valid task");
+        let acc_task = rte
+            .add_task(
+                TaskSpec::periodic(
+                    "acc_ctl",
+                    acc_comp,
+                    Duration::from_millis(10),
+                    Duration::from_millis(3),
+                    Priority(3),
+                )
+                .with_exec_fraction(0.7, 0.95)
+                .with_budget(Duration::from_millis(4)),
+            )
+            .expect("valid task");
+        for (name, comp) in [("brake_front_ctl", brake_front_comp), ("brake_rear_ctl", brake_rear_comp)] {
+            rte.add_task(
+                TaskSpec::periodic(
+                    name,
+                    comp,
+                    Duration::from_millis(10),
+                    Duration::from_micros(500),
+                    Priority(0),
+                )
+                .with_exec_fraction(0.8, 0.9),
+            )
+            .expect("valid task");
+        }
+
+        // --- communication ------------------------------------------------
+        let mut bus = CanBus::automotive_500k(scenario.seed);
+        let (virt_node, pf) = bus.attach_virtualized(VirtCanConfig::calibrated(2));
+        let actuator_node = bus.attach_standard(ControllerConfig::default());
+
+        // --- functional level ---------------------------------------------
+        let world = VehicleWorld::new(
+            scenario.seed,
+            scenario.ego_speed_mps,
+            scenario.lead.clone(),
+        );
+        let (graph, nodes) = build_acc_graph().expect("paper graph is valid");
+        let abilities =
+            AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
+                .expect("valid ability graph");
+
+        // --- monitors -------------------------------------------------------
+        let mut exec_mon = ExecutionMonitor::new();
+        exec_mon.set_contract("acc_ctl", Duration::from_millis(3));
+        exec_mon.set_contract("perception", Duration::from_micros(2_500));
+        exec_mon.set_contract("radar_drv", Duration::from_millis(1));
+        let mut access_mon = AccessMonitor::with_defaults();
+        access_mon.set_nominal_rate("brake_rear", "can.tx", 100.0);
+        access_mon.set_nominal_rate("brake_front", "can.tx", 100.0);
+
+        SelfAwareVehicle {
+            platform,
+            rte,
+            bus,
+            virt_node,
+            _actuator_node: actuator_node,
+            pf,
+            world,
+            abilities,
+            nodes,
+            mode: ModePolicy::with_defaults(),
+            exec_mon,
+            access_mon,
+            radar_quality: QualityMonitor::new("radar", 0.5, 5.0, 0.7),
+            radar_heartbeat: HeartbeatMonitor::new(
+                "radar",
+                Duration::from_millis(10),
+                5.0,
+            ),
+            metrics: MetricBus::new(),
+            coordinator: Coordinator::new(EscalationPolicy::LocalFirst),
+            board: DirectiveBoard::new(),
+            tracer: Tracer::new(),
+            strategy: scenario.strategy,
+            acc_task,
+            perception_task,
+            brake_rear_comp,
+            compromised: false,
+            brake_rear_quarantined: false,
+            fog_ramp: None,
+            ambient_ramp: None,
+            acc_reconfigured: false,
+            thermal_mitigated: false,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The event trace (after a run).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn apply_event(&mut self, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::CompromiseRearBrake => {
+                self.compromised = true;
+                self.tracer.fault(
+                    self.now,
+                    "scenario",
+                    "rear-brake component compromised (attacker active)",
+                );
+            }
+            ScenarioEvent::FogRamp { to, over } => {
+                self.fog_ramp = Some((self.now, self.world.weather.fog, to, over));
+                self.tracer
+                    .info(self.now, "scenario", format!("fog ramp to {to}"));
+            }
+            ScenarioEvent::AmbientRamp { to_c, over } => {
+                self.ambient_ramp = Some((self.now, self.platform.ambient_c(), to_c, over));
+                self.tracer
+                    .info(self.now, "scenario", format!("ambient ramp to {to_c} degC"));
+            }
+            ScenarioEvent::RadarFault(fault) => {
+                self.world.radar.set_fault(fault);
+                self.tracer
+                    .fault(self.now, "scenario", format!("radar fault {fault:?}"));
+            }
+        }
+    }
+
+    fn update_ramps(&mut self) {
+        if let Some((start, from, to, over)) = self.fog_ramp {
+            let frac = (self.now.saturating_since(start).as_secs_f64()
+                / over.as_secs_f64())
+            .clamp(0.0, 1.0);
+            self.world.weather = Weather {
+                fog: from + (to - from) * frac,
+                ..self.world.weather
+            };
+        }
+        if let Some((start, from, to, over)) = self.ambient_ramp {
+            let frac = (self.now.saturating_since(start).as_secs_f64()
+                / over.as_secs_f64())
+            .clamp(0.0, 1.0);
+            self.platform.set_ambient_c(from + (to - from) * frac);
+        }
+    }
+
+    /// CAN traffic of one control cycle: radar status from VF0, brake
+    /// command from VF1 (floods when compromised).
+    fn pump_can_traffic(&mut self) {
+        let radar_frame = {
+            let range_cm = self
+                .world
+                .last_radar()
+                .map(|r| (r.range_m * 100.0).clamp(0.0, 65_535.0) as u16)
+                .unwrap_or(u16::MAX);
+            CanFrame::data(
+                FrameId::Standard(0x120),
+                &range_cm.to_be_bytes(),
+            )
+            .expect("valid frame")
+        };
+        let virt = self.bus.virtualized_mut(self.virt_node);
+        let _ = virt.vf_send(VfId(0), radar_frame, self.now);
+        // Brake command frame from the control VM.
+        let brake_frame =
+            CanFrame::data(FrameId::Standard(0x110), &[0, 0]).expect("valid frame");
+        let _ = virt.vf_send(VfId(1), brake_frame, self.now);
+        // The compromised rear-brake component floods spurious brake frames
+        // and hammers services it has no capability for.
+        if self.compromised && !self.brake_rear_quarantined {
+            for i in 0..20u16 {
+                let f = CanFrame::data(
+                    FrameId::Standard(0x10F), // higher priority than legit traffic
+                    &i.to_be_bytes(),
+                )
+                .expect("valid frame");
+                let _ = self
+                    .bus
+                    .virtualized_mut(self.virt_node)
+                    .vf_send(VfId(1), f, self.now);
+                self.access_mon.observe(&AccessObservation {
+                    at: self.now,
+                    client: "brake_rear".into(),
+                    service: "can.tx".into(),
+                    allowed: true,
+                });
+            }
+            // Capability probing (denied attempts show in the RTE log).
+            let _ = self
+                .rte
+                .open_session(self.brake_rear_comp, "sensor.radar", self.now);
+        } else {
+            self.access_mon.observe(&AccessObservation {
+                at: self.now,
+                client: "brake_rear".into(),
+                service: "can.tx".into(),
+                allowed: true,
+            });
+        }
+        self.bus.advance(self.now);
+    }
+
+    fn collect_anomalies(&mut self) -> Vec<Anomaly> {
+        let mut anomalies = Vec::new();
+        // Execution monitoring from RTE job records.
+        for rec in self.rte.take_records() {
+            let obs = JobObservation {
+                at: rec.finish,
+                task: rec.name.clone(),
+                exec_nominal: rec.exec_nominal,
+                response: rec.response,
+                deadline_met: rec.deadline_met,
+            };
+            anomalies.extend(self.exec_mon.observe(&obs));
+        }
+        // Access monitoring from the RTE log.
+        for ev in self.rte.take_access_log() {
+            if !ev.allowed {
+                anomalies.extend(self.access_mon.observe(&AccessObservation {
+                    at: ev.at,
+                    client: format!("comp{}", ev.client.0),
+                    service: ev.service.to_string(),
+                    allowed: false,
+                }));
+            }
+        }
+        // Radar quality from the functional level. A target beyond the
+        // radar's clear-weather range yields no evidence either way ("no
+        // target" is a valid answer); only missing detections of a target
+        // that *should* be visible count as dropouts. The heartbeat models
+        // the radar's status frames: present unless the sensor is dead.
+        let expected_visible =
+            self.world.gap_m() <= self.world.radar.max_range_m() * 0.9;
+        if self.world.radar.fault() != SensorFault::Dead {
+            self.radar_heartbeat.beat(self.now);
+        }
+        if let Some(reading) = self.world.last_radar() {
+            let residual = reading.range_m - self.world.gap_m();
+            if let Some(a) = self.radar_quality.observe(self.now, true, residual) {
+                anomalies.push(a);
+            }
+        } else if expected_visible {
+            if let Some(a) = self.radar_quality.observe(self.now, false, 0.0) {
+                anomalies.push(a);
+            }
+        }
+        if let Some(a) = self.radar_heartbeat.check(self.now) {
+            anomalies.push(a);
+        }
+        anomalies
+    }
+
+    fn anomaly_to_problem(&self, anomaly: &Anomaly) -> (Layer, ProblemKind) {
+        match anomaly.kind {
+            AnomalyKind::ExecutionOverrun | AnomalyKind::DeadlineMiss => {
+                // Thermal stress shows up as timing violations on a hot PE.
+                if self.platform.pe(PeId(0)).temperature_c() > 80.0 {
+                    (Layer::Platform, ProblemKind::ThermalStress)
+                } else if self.compromised && anomaly.subject.contains("brake_rear") {
+                    (Layer::Safety, ProblemKind::SecurityBreach)
+                } else {
+                    (Layer::Platform, ProblemKind::TimingViolation)
+                }
+            }
+            AnomalyKind::AccessViolation | AnomalyKind::RateAnomaly => {
+                (Layer::Communication, ProblemKind::SecurityBreach)
+            }
+            AnomalyKind::HeartbeatLoss => (Layer::Safety, ProblemKind::ComponentFailure),
+            AnomalyKind::QualityDegraded
+            | AnomalyKind::OutOfRange
+            | AnomalyKind::ImplausibleRate
+            | AnomalyKind::StuckSignal => (Layer::Ability, ProblemKind::SensorDegradation),
+        }
+    }
+
+    /// One containment attempt by `layer` — the concrete countermeasures of
+    /// each layer, honoring the response strategy.
+    fn contain(&mut self, layer: Layer, kind: ProblemKind, subject: &str) -> Containment {
+        // Single-layer strategy: the origin layer always claims success.
+        let single = self.strategy == ResponseStrategy::SingleLayer;
+        match (layer, kind) {
+            (Layer::Platform, ProblemKind::ThermalStress) => {
+                // The throttle governor is already acting; that protects the
+                // silicon but not the deadlines.
+                self.tracer
+                    .action(self.now, "platform", "DVFS throttling engaged");
+                if single {
+                    Containment::Resolved {
+                        action: "dvfs throttling".into(),
+                    }
+                } else {
+                    Containment::Mitigated {
+                        action: "dvfs throttling".into(),
+                    }
+                }
+            }
+            (Layer::Platform, ProblemKind::TimingViolation) => {
+                if single {
+                    Containment::Resolved {
+                        action: "logged".into(),
+                    }
+                } else {
+                    Containment::CannotHandle
+                }
+            }
+            (Layer::Communication, ProblemKind::SecurityBreach) => {
+                // Throttle the offending VF at the virtualization layer.
+                let _ = self.bus.virtualized_mut(self.virt_node).pf_set_vf_quota(
+                    &self.pf,
+                    VfId(1),
+                    120.0,
+                    10.0,
+                );
+                self.tracer.action(
+                    self.now,
+                    "communication",
+                    "VF quota imposed on flooding VM",
+                );
+                if single {
+                    Containment::Resolved {
+                        action: "vf quota".into(),
+                    }
+                } else {
+                    Containment::Mitigated {
+                        action: "vf quota".into(),
+                    }
+                }
+            }
+            (Layer::Safety, ProblemKind::SecurityBreach | ProblemKind::ComponentFailure) => {
+                if subject.contains("brake_rear") || self.compromised {
+                    self.board
+                        .post(Layer::Safety, "brake_rear", Directive::Shutdown);
+                    self.rte.quarantine(self.brake_rear_comp);
+                    self.world.brakes.rear.set_enabled(false);
+                    self.brake_rear_quarantined = true;
+                    self.abilities.set_measured(self.nodes.brakes, 0.55);
+                    self.tracer.action(
+                        self.now,
+                        "safety",
+                        "rear-brake component quarantined, circuit disabled",
+                    );
+                    if single {
+                        Containment::Resolved {
+                            action: "quarantine rear brake".into(),
+                        }
+                    } else {
+                        // Rear braking capability is lost: the residual
+                        // must be reassessed at the ability layer.
+                        Containment::Mitigated {
+                            action: "quarantine rear brake".into(),
+                        }
+                    }
+                } else {
+                    Containment::CannotHandle
+                }
+            }
+            (Layer::Ability, _) => {
+                if self.strategy == ResponseStrategy::ObjectiveStop {
+                    return Containment::CannotHandle;
+                }
+                self.abilities.propagate();
+                let root = self.abilities.root_level();
+                if root >= 0.3 {
+                    if let crate::layer::Posting::Rejected { .. } = self.board.post(
+                        Layer::Ability,
+                        "vehicle",
+                        Directive::SpeedCap(15.0),
+                    ) {
+                        return Containment::CannotHandle
+                    }
+                    self.world.allocator.set_speed_cap(Some(15.0));
+                    self.world.allocator.prefer_regen = true;
+                    let mut action = String::from("speed cap 15 m/s + regen braking");
+                    if kind == ProblemKind::ThermalStress && !self.acc_reconfigured {
+                        // Relax the perception and control rates so the
+                        // throttled PE can hold its deadlines again — at the
+                        // capped speed the halved control rate is sufficient.
+                        self.rte.scheduler_mut().set_active(self.acc_task, false);
+                        self.rte
+                            .scheduler_mut()
+                            .set_active(self.perception_task, false);
+                        let comp = self
+                            .rte
+                            .component_by_name("acc_controller")
+                            .expect("installed");
+                        self.rte
+                            .add_task(
+                                TaskSpec::periodic(
+                                    "perception_lowrate",
+                                    comp,
+                                    Duration::from_millis(20),
+                                    Duration::from_micros(2_500),
+                                    saav_rte::sched::Priority(2),
+                                )
+                                .with_exec_fraction(0.75, 0.95),
+                            )
+                            .expect("valid task");
+                        self.rte
+                            .add_task(
+                                TaskSpec::periodic(
+                                    "acc_ctl_lowrate",
+                                    comp,
+                                    Duration::from_millis(20),
+                                    Duration::from_millis(3),
+                                    saav_rte::sched::Priority(3),
+                                )
+                                .with_exec_fraction(0.7, 0.95),
+                            )
+                            .expect("valid task");
+                        self.exec_mon
+                            .set_contract("acc_ctl_lowrate", Duration::from_millis(3));
+                        self.exec_mon.set_contract(
+                            "perception_lowrate",
+                            Duration::from_micros(2_500),
+                        );
+                        self.acc_reconfigured = true;
+                        self.thermal_mitigated = true;
+                        action.push_str(" + control rate halved");
+                    }
+                    self.tracer.action(self.now, "ability", action.clone());
+                    Containment::Resolved { action }
+                } else {
+                    Containment::CannotHandle
+                }
+            }
+            (Layer::Objective, _) => {
+                self.board.post(Layer::Objective, "vehicle", Directive::SafeStop);
+                self.world.command_safe_stop();
+                self.mode.commit_safe_stop();
+                self.tracer
+                    .action(self.now, "objective", "minimal-risk stop committed");
+                Containment::Resolved {
+                    action: "safe stop".into(),
+                }
+            }
+            _ => Containment::CannotHandle,
+        }
+    }
+
+    /// Runs a scenario to completion.
+    pub fn run(scenario: Scenario) -> Outcome {
+        let mut v = SelfAwareVehicle::new(&scenario);
+        let mut events = scenario.events.clone();
+        events.sort_by_key(|(t, _)| *t);
+        let mut speed = Series::new();
+        let mut ability = Series::new();
+        let mut miss_rate = Series::new();
+        let mut temp_c = Series::new();
+        let mut speed_factor_series = Series::new();
+        let mut first_detection: Option<Time> = None;
+        let mut mitigated_at: Option<Time> = None;
+        let mut actions: Vec<String> = Vec::new();
+        let mut misses_window = 0u64;
+        let mut jobs_window = 0u64;
+        let end = Time::ZERO + scenario.duration;
+
+        while v.now < end {
+            v.now += CONTROL_PERIOD;
+            // 1. scripted events + environmental ramps
+            while let Some(&(t, ev)) = events.first() {
+                if t > v.now {
+                    break;
+                }
+                events.remove(0);
+                v.apply_event(ev);
+            }
+            v.update_ramps();
+            // 2. platform
+            v.platform.step(CONTROL_PERIOD);
+            let speed_factor = v.platform.pe(PeId(0)).speed_factor();
+            // 3. execution domain
+            v.rte.advance(v.now, speed_factor.min(1_000.0));
+            v.platform
+                .pe_mut(PeId(0))
+                .set_utilization(v.rte.take_utilization().max(0.35));
+            // 4. plant + function
+            v.world.step(CONTROL_PERIOD);
+            // 5. communication traffic
+            v.pump_can_traffic();
+            // 6. monitors → anomalies → problems → cross-layer resolution
+            let anomalies = v.collect_anomalies();
+            for rec_missed in &anomalies {
+                if matches!(rec_missed.kind, AnomalyKind::DeadlineMiss) {
+                    misses_window += 1;
+                }
+            }
+            jobs_window += 1;
+            for anomaly in anomalies {
+                if first_detection.is_none() {
+                    first_detection = Some(v.now);
+                    v.tracer.fault(
+                        v.now,
+                        "monitor",
+                        format!("first anomaly: {anomaly}"),
+                    );
+                }
+                let (origin, kind) = v.anomaly_to_problem(&anomaly);
+                let subject = anomaly.subject.clone();
+                let problem = v
+                    .coordinator
+                    .detect(v.now, origin, subject.clone(), kind);
+                // Split borrows: the coordinator routes, `contain` acts.
+                let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
+                {
+                    let strategy_layers: Vec<Layer> = match v.coordinator.policy() {
+                        EscalationPolicy::LocalFirst => {
+                            let mut ls = Vec::new();
+                            let mut cur = Some(origin);
+                            while let Some(l) = cur {
+                                ls.push(l);
+                                cur = l.above();
+                            }
+                            ls
+                        }
+                        EscalationPolicy::BroadcastUp => Layer::ALL.to_vec(),
+                    };
+                    for layer in strategy_layers {
+                        let outcome = v.contain(layer, kind, &subject);
+                        let resolved = matches!(outcome, Containment::Resolved { .. });
+                        outcomes.push((layer, outcome));
+                        if resolved {
+                            break;
+                        }
+                    }
+                }
+                let resolved_now = outcomes
+                    .iter()
+                    .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
+                for (_, o) in &outcomes {
+                    if let Containment::Resolved { action } | Containment::Mitigated { action } =
+                        o
+                    {
+                        if !actions.contains(action) {
+                            actions.push(action.clone());
+                        }
+                    }
+                }
+                if resolved_now {
+                    mitigated_at = Some(v.now);
+                }
+                // Record via the coordinator for trace statistics.
+                let mut iter = outcomes.into_iter();
+                v.coordinator.resolve(problem, move |_, _| {
+                    iter.next()
+                        .map(|(_, o)| o)
+                        .unwrap_or(Containment::CannotHandle)
+                });
+            }
+            // 7. ability propagation from sensor quality + mode decision
+            let q = v.radar_quality.quality();
+            v.abilities.set_measured(v.nodes.env_sensors, q);
+            v.abilities.propagate();
+            let root = v.abilities.root_level();
+            let mode = v.mode.update(root);
+            if matches!(mode, DrivingMode::SafeStop) && !v.world.is_stopped() {
+                v.world.command_safe_stop();
+            }
+            // 8. metrics + series (1 Hz)
+            if v.now.as_millis().is_multiple_of(1_000) {
+                speed.push(v.now, v.world.ego.speed_mps());
+                ability.push(v.now, root);
+                let mr = if jobs_window > 0 {
+                    misses_window as f64 / jobs_window as f64
+                } else {
+                    0.0
+                };
+                miss_rate.push(v.now, mr);
+                temp_c.push(v.now, v.platform.pe(PeId(0)).temperature_c());
+                speed_factor_series.push(v.now, v.platform.pe(PeId(0)).speed_factor());
+                misses_window = 0;
+                jobs_window = 0;
+                v.metrics
+                    .publish(v.now, "assembly", "root_ability", root);
+                v.metrics.publish(
+                    v.now,
+                    "assembly",
+                    "pe0_temp_c",
+                    v.platform.pe(PeId(0)).temperature_c(),
+                );
+            }
+        }
+
+        let m = v.world.metrics();
+        Outcome {
+            label: scenario.label,
+            speed,
+            ability,
+            miss_rate,
+            temp_c,
+            speed_factor: speed_factor_series,
+            final_mode: v.mode.mode(),
+            min_gap_m: m.min_gap_m,
+            min_ttc_s: m.min_ttc_s,
+            collision: m.collision,
+            distance_m: v.world.ego.position_m(),
+            first_detection,
+            mitigated_at,
+            actions,
+            conflicts: v.board.conflicts_detected(),
+            max_hops: v.coordinator.max_hops(),
+            resolution_rate: v.coordinator.resolution_rate(),
+            trace: v.tracer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_runs_clean() {
+        let out = SelfAwareVehicle::run(Scenario::baseline(42));
+        assert!(!out.collision);
+        assert!(out.distance_m > 2_000.0, "distance {}", out.distance_m);
+        assert!(matches!(out.final_mode, DrivingMode::Normal));
+        assert!(out.conflicts == 0);
+    }
+
+    #[test]
+    fn intrusion_cross_layer_keeps_driving_capped() {
+        let out = SelfAwareVehicle::run(Scenario::intrusion(
+            ResponseStrategy::CrossLayer,
+            42,
+        ));
+        assert!(!out.collision, "min gap {}", out.min_gap_m);
+        assert!(out.first_detection.is_some(), "attack must be detected");
+        assert!(out.mitigated_at.is_some());
+        // The vehicle keeps moving (availability) …
+        assert!(out.distance_m > 1_500.0, "distance {}", out.distance_m);
+        // … under the ability layer's speed cap.
+        let final_speed = out.speed.last().unwrap();
+        assert!(final_speed <= 15.5, "final speed {final_speed}");
+        assert!(out
+            .actions
+            .iter()
+            .any(|a| a.contains("quarantine")), "{:?}", out.actions);
+        assert!(out
+            .actions
+            .iter()
+            .any(|a| a.contains("speed cap")), "{:?}", out.actions);
+    }
+
+    #[test]
+    fn intrusion_objective_stop_halts_vehicle() {
+        let out = SelfAwareVehicle::run(Scenario::intrusion(
+            ResponseStrategy::ObjectiveStop,
+            42,
+        ));
+        assert!(!out.collision);
+        let final_speed = out.speed.last().unwrap();
+        assert!(final_speed < 0.5, "should be stopped, at {final_speed}");
+        assert!(out.distance_m < 2_000.0, "mission aborted early");
+    }
+
+    #[test]
+    fn intrusion_single_layer_preserves_speed_but_less_margin() {
+        let cross = SelfAwareVehicle::run(Scenario::intrusion(
+            ResponseStrategy::CrossLayer,
+            42,
+        ));
+        let single = SelfAwareVehicle::run(Scenario::intrusion(
+            ResponseStrategy::SingleLayer,
+            42,
+        ));
+        // Single-layer never caps speed, so it drives further …
+        assert!(single.distance_m > cross.distance_m);
+        // … but with a worse worst-case safety margin during the lead's
+        // braking manoeuvre (full speed on front-only brakes).
+        assert!(
+            single.min_ttc_s <= cross.min_ttc_s + 1e-9,
+            "single {} vs cross {}",
+            single.min_ttc_s,
+            cross.min_ttc_s
+        );
+    }
+
+    #[test]
+    fn thermal_cross_layer_recovers_deadlines() {
+        let out = SelfAwareVehicle::run(Scenario::thermal(
+            75.0,
+            ResponseStrategy::CrossLayer,
+            7,
+        ));
+        // Misses appear mid-run, then the reconfiguration clears them.
+        let peak = out.miss_rate.max().unwrap();
+        let tail = out
+            .miss_rate
+            .iter()
+            .filter(|(t, _)| *t > Time::from_secs(200))
+            .map(|(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.0, "no misses ever appeared");
+        assert!(tail <= peak, "tail {tail} vs peak {peak}");
+        assert!(out.actions.iter().any(|a| a.contains("dvfs")));
+    }
+
+    #[test]
+    fn propagation_bounded_in_all_scenarios() {
+        for strategy in [
+            ResponseStrategy::SingleLayer,
+            ResponseStrategy::CrossLayer,
+            ResponseStrategy::ObjectiveStop,
+        ] {
+            let out = SelfAwareVehicle::run(Scenario::intrusion(strategy, 3));
+            assert!(out.max_hops <= Layer::ALL.len(), "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The cross-layer coordinator: routes detected problems to the layer best
+//! suited to contain them, with guaranteed termination.
+//!
+//! Sec. V: *"A self-aware system is then able to identify the most
+//! appropriate layer to respond to detected anomalies"* and *"it must
+//! ensure that these \[layers\] also cooperate and avoid situations in which
+//! the problem is forwarded ad infinitum."*
+//!
+//! Termination is structural: under [`EscalationPolicy::LocalFirst`] a
+//! problem starts at its origin layer and only ever moves *upward* through
+//! the finite layer order, so every resolution trace has at most
+//! `|layers|` attempts; a hop budget additionally caps the broadcast
+//! policy. This invariant is property-tested in the crate's tests.
+
+use saav_sim::time::Time;
+
+use crate::layer::{Containment, Layer, Problem, ProblemKind};
+
+/// How problems are routed to layers (ablation A2 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationPolicy {
+    /// Try the origin layer first, escalate strictly upward on failure.
+    LocalFirst,
+    /// Offer the problem to every layer from the bottom up, regardless of
+    /// origin (more containment attempts, more actions, more conflicts).
+    BroadcastUp,
+}
+
+/// One containment attempt in a resolution trace.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The layer that was asked.
+    pub layer: Layer,
+    /// What it answered.
+    pub outcome: Containment,
+}
+
+/// The full record of one problem's journey through the layers.
+#[derive(Debug, Clone)]
+pub struct ResolutionTrace {
+    /// The problem handled.
+    pub problem: Problem,
+    /// Attempts in order.
+    pub attempts: Vec<Attempt>,
+    /// The layer that finally resolved it, if any.
+    pub resolved_by: Option<Layer>,
+}
+
+impl ResolutionTrace {
+    /// Number of layer hops taken.
+    pub fn hops(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// Whether the problem was resolved.
+    pub fn resolved(&self) -> bool {
+        self.resolved_by.is_some()
+    }
+
+    /// All actions taken along the way (mitigations and the resolution).
+    pub fn actions(&self) -> Vec<&str> {
+        self.attempts
+            .iter()
+            .filter_map(|a| match &a.outcome {
+                Containment::Resolved { action } | Containment::Mitigated { action } => {
+                    Some(action.as_str())
+                }
+                Containment::CannotHandle => None,
+            })
+            .collect()
+    }
+}
+
+/// The coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    policy: EscalationPolicy,
+    next_id: u64,
+    traces: Vec<ResolutionTrace>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator with the given routing policy.
+    pub fn new(policy: EscalationPolicy) -> Self {
+        Coordinator {
+            policy,
+            next_id: 0,
+            traces: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> EscalationPolicy {
+        self.policy
+    }
+
+    /// Creates a new problem record.
+    pub fn detect(
+        &mut self,
+        at: Time,
+        origin: Layer,
+        subject: impl Into<String>,
+        kind: ProblemKind,
+    ) -> Problem {
+        let id = self.next_id;
+        self.next_id += 1;
+        Problem {
+            id,
+            detected_at: at,
+            origin,
+            subject: subject.into(),
+            kind,
+        }
+    }
+
+    /// Routes `problem` through the layers. `handler(layer, problem)` is the
+    /// concrete containment logic of each layer (implemented by the vehicle
+    /// assembly); the coordinator supplies routing, bounding and recording.
+    ///
+    /// The returned trace is also stored in the coordinator's history.
+    pub fn resolve<F>(&mut self, problem: Problem, mut handler: F) -> &ResolutionTrace
+    where
+        F: FnMut(Layer, &Problem) -> Containment,
+    {
+        let mut attempts = Vec::new();
+        let mut resolved_by = None;
+        let layers: Vec<Layer> = match self.policy {
+            EscalationPolicy::LocalFirst => {
+                // Origin layer, then strictly upward.
+                let mut ls = Vec::new();
+                let mut cur = Some(problem.origin);
+                while let Some(l) = cur {
+                    ls.push(l);
+                    cur = l.above();
+                }
+                ls
+            }
+            EscalationPolicy::BroadcastUp => Layer::ALL.to_vec(),
+        };
+        for layer in layers {
+            let outcome = handler(layer, &problem);
+            let is_resolved = matches!(outcome, Containment::Resolved { .. });
+            attempts.push(Attempt { layer, outcome });
+            if is_resolved {
+                resolved_by = Some(layer);
+                break;
+            }
+        }
+        self.traces.push(ResolutionTrace {
+            problem,
+            attempts,
+            resolved_by,
+        });
+        self.traces.last().expect("just pushed")
+    }
+
+    /// All resolution traces so far.
+    pub fn traces(&self) -> &[ResolutionTrace] {
+        &self.traces
+    }
+
+    /// Fraction of problems resolved, or `None` when no problem was seen.
+    pub fn resolution_rate(&self) -> Option<f64> {
+        if self.traces.is_empty() {
+            return None;
+        }
+        let resolved = self.traces.iter().filter(|t| t.resolved()).count();
+        Some(resolved as f64 / self.traces.len() as f64)
+    }
+
+    /// Histogram of resolving layers.
+    pub fn resolution_layers(&self) -> Vec<(Layer, usize)> {
+        Layer::ALL
+            .iter()
+            .map(|&l| {
+                (
+                    l,
+                    self.traces
+                        .iter()
+                        .filter(|t| t.resolved_by == Some(l))
+                        .count(),
+                )
+            })
+            .collect()
+    }
+
+    /// The longest propagation chain observed.
+    pub fn max_hops(&self) -> usize {
+        self.traces.iter().map(ResolutionTrace::hops).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(c: &mut Coordinator, origin: Layer) -> Problem {
+        c.detect(Time::ZERO, origin, "x", ProblemKind::ComponentFailure)
+    }
+
+    #[test]
+    fn local_first_stops_at_origin_when_contained() {
+        let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let p = problem(&mut c, Layer::Platform);
+        let trace = c.resolve(p, |layer, _| {
+            assert_eq!(layer, Layer::Platform);
+            Containment::Resolved {
+                action: "dvfs".into(),
+            }
+        });
+        assert_eq!(trace.hops(), 1);
+        assert_eq!(trace.resolved_by, Some(Layer::Platform));
+    }
+
+    #[test]
+    fn escalates_upward_until_resolved() {
+        let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let p = problem(&mut c, Layer::Platform);
+        let trace = c.resolve(p, |layer, _| {
+            if layer == Layer::Ability {
+                Containment::Resolved {
+                    action: "speed cap".into(),
+                }
+            } else {
+                Containment::CannotHandle
+            }
+        });
+        assert_eq!(trace.resolved_by, Some(Layer::Ability));
+        let visited: Vec<Layer> = trace.attempts.iter().map(|a| a.layer).collect();
+        assert_eq!(
+            visited,
+            vec![
+                Layer::Platform,
+                Layer::Communication,
+                Layer::Safety,
+                Layer::Ability
+            ]
+        );
+    }
+
+    #[test]
+    fn propagation_always_terminates() {
+        // Even a handler that never resolves terminates within |layers| hops
+        // from any origin — the paper's no-ad-infinitum requirement.
+        for &origin in &Layer::ALL {
+            let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+            let p = problem(&mut c, origin);
+            let trace = c.resolve(p, |_, _| Containment::CannotHandle);
+            assert!(trace.hops() <= Layer::ALL.len());
+            assert!(!trace.resolved());
+        }
+    }
+
+    #[test]
+    fn mitigations_accumulate_actions() {
+        let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let p = problem(&mut c, Layer::Safety);
+        let trace = c.resolve(p, |layer, _| match layer {
+            Layer::Safety => Containment::Mitigated {
+                action: "quarantine".into(),
+            },
+            Layer::Ability => Containment::Resolved {
+                action: "regen braking + speed cap".into(),
+            },
+            _ => Containment::CannotHandle,
+        });
+        assert_eq!(trace.actions().len(), 2);
+        assert_eq!(trace.resolved_by, Some(Layer::Ability));
+    }
+
+    #[test]
+    fn broadcast_visits_all_layers_bottom_up() {
+        let mut c = Coordinator::new(EscalationPolicy::BroadcastUp);
+        let p = problem(&mut c, Layer::Ability);
+        let trace = c.resolve(p, |_, _| Containment::Mitigated {
+            action: "noted".into(),
+        });
+        assert_eq!(trace.hops(), Layer::ALL.len());
+    }
+
+    #[test]
+    fn statistics_track_traces() {
+        let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let p1 = problem(&mut c, Layer::Platform);
+        c.resolve(p1, |_, _| Containment::Resolved { action: "a".into() });
+        let p2 = problem(&mut c, Layer::Ability);
+        c.resolve(p2, |_, _| Containment::CannotHandle);
+        assert_eq!(c.resolution_rate(), Some(0.5));
+        assert_eq!(c.max_hops(), 2); // Ability -> Objective
+        let by_layer = c.resolution_layers();
+        assert_eq!(
+            by_layer
+                .iter()
+                .find(|(l, _)| *l == Layer::Platform)
+                .unwrap()
+                .1,
+            1
+        );
+        assert_eq!(c.traces().len(), 2);
+    }
+
+    #[test]
+    fn problem_ids_are_unique() {
+        let mut c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let a = problem(&mut c, Layer::Platform);
+        let b = problem(&mut c, Layer::Platform);
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,43 @@
+//! # saav-core — cross-layer self-awareness
+//!
+//! The primary contribution of Schlatow et al. (DATE 2017), *Self-awareness
+//! in autonomous automotive systems*: self-awareness mechanisms exist per
+//! layer, but only their **coordination across layers** prevents conflicting
+//! decisions and contains faults at the most appropriate level.
+//!
+//! * [`layer`] — the layer lattice, problem records, countermeasure
+//!   directives and the [`layer::DirectiveBoard`] that arbitrates
+//!   conflicting directives by layer precedence (safety dominates).
+//! * [`coordinator`] — routing of detected problems through the layers with
+//!   structurally guaranteed termination (strictly upward escalation over a
+//!   finite lattice — the paper's "no forwarding ad infinitum").
+//! * [`assembly`] — the full vehicle: hardware platform, CAN, RTE,
+//!   monitors, ability graph, mode policy and the coordinator wired into a
+//!   closed loop, plus the paper's scenarios (intrusion in the rear-brake
+//!   component, thermal stress, fog) under three response strategies.
+//!
+//! ```
+//! use saav_core::coordinator::{Coordinator, EscalationPolicy};
+//! use saav_core::layer::{Containment, Layer, ProblemKind};
+//! use saav_sim::time::Time;
+//!
+//! let mut coord = Coordinator::new(EscalationPolicy::LocalFirst);
+//! let problem = coord.detect(Time::ZERO, Layer::Platform, "ecu0",
+//!                            ProblemKind::ThermalStress);
+//! let trace = coord.resolve(problem, |layer, _p| match layer {
+//!     Layer::Platform => Containment::Mitigated { action: "throttle".into() },
+//!     Layer::Ability => Containment::Resolved { action: "slow down".into() },
+//!     _ => Containment::CannotHandle,
+//! });
+//! assert_eq!(trace.resolved_by, Some(Layer::Ability));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assembly;
+pub mod coordinator;
+pub mod layer;
+
+pub use assembly::{Outcome, ResponseStrategy, Scenario, ScenarioEvent, SelfAwareVehicle};
+pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
+pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};

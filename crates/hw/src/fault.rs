@@ -1,0 +1,255 @@
+//! Fault injection for platform components.
+//!
+//! Supports both *scripted* faults (a scenario injects a fault at a known
+//! instant, e.g. "radar harness breaks at t = 30 s") and *stochastic* faults
+//! drawn from an exponential inter-arrival model (MTBF). Transient faults
+//! heal after a fixed recovery time; permanent faults persist.
+
+use saav_sim::rng::SimRng;
+use saav_sim::time::{Duration, Time};
+
+/// Health of a platform element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Health {
+    /// Fully operational.
+    Ok,
+    /// Operational with reduced capability (e.g. throttled, noisy).
+    Degraded,
+    /// Not operational.
+    Failed,
+}
+
+impl Health {
+    /// Whether the element can still provide (possibly degraded) service.
+    pub fn is_operational(self) -> bool {
+        !matches!(self, Health::Failed)
+    }
+}
+
+/// Kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Permanent failure; never recovers.
+    Permanent,
+    /// Transient failure; recovers after the injector's recovery time.
+    Transient,
+    /// Degradation: element keeps running at reduced capability.
+    Degradation,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScriptedFault {
+    at: Time,
+    kind: FaultKind,
+}
+
+/// Per-element fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    scripted: Vec<ScriptedFault>,
+    mtbf: Option<Duration>,
+    next_random: Option<Time>,
+    recovery: Duration,
+    health: Health,
+    recover_at: Option<Time>,
+    fault_count: u64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults scheduled and 100 ms transient
+    /// recovery time.
+    pub fn new() -> Self {
+        FaultInjector {
+            scripted: Vec::new(),
+            mtbf: None,
+            next_random: None,
+            recovery: Duration::from_millis(100),
+            health: Health::Ok,
+            recover_at: None,
+            fault_count: 0,
+        }
+    }
+
+    /// Schedules a fault at an absolute instant.
+    pub fn script(&mut self, at: Time, kind: FaultKind) -> &mut Self {
+        self.scripted.push(ScriptedFault { at, kind });
+        self.scripted.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// Enables random transient faults with the given mean time between
+    /// failures. The first arrival is drawn on the next [`step`].
+    ///
+    /// [`step`]: FaultInjector::step
+    pub fn with_mtbf(&mut self, mtbf: Duration) -> &mut Self {
+        assert!(!mtbf.is_zero(), "MTBF must be positive");
+        self.mtbf = Some(mtbf);
+        self
+    }
+
+    /// Sets the transient recovery time.
+    pub fn with_recovery(&mut self, recovery: Duration) -> &mut Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Total faults injected so far.
+    pub fn fault_count(&self) -> u64 {
+        self.fault_count
+    }
+
+    /// Forces the element back to [`Health::Ok`] (e.g. after repair).
+    pub fn repair(&mut self) {
+        self.health = Health::Ok;
+        self.recover_at = None;
+    }
+
+    /// Advances the injector to `now`, applying due scripted faults, drawing
+    /// random faults, and processing transient recovery. Returns the health
+    /// after the update.
+    pub fn step(&mut self, now: Time, rng: &mut SimRng) -> Health {
+        // Transient recovery. `recover_at` is only ever set by transient
+        // faults and cleared by permanent ones, so firing it is always valid.
+        if let Some(t) = self.recover_at {
+            if now >= t {
+                self.health = Health::Ok;
+                self.recover_at = None;
+            }
+        }
+        // Scripted faults.
+        while let Some(f) = self.scripted.first().copied() {
+            if f.at > now {
+                break;
+            }
+            self.scripted.remove(0);
+            self.apply(f.kind, now);
+        }
+        // Random transient faults.
+        if let Some(mtbf) = self.mtbf {
+            let next = *self.next_random.get_or_insert_with(|| {
+                now + Duration::from_secs_f64(rng.exponential(1.0 / mtbf.as_secs_f64()))
+            });
+            if now >= next {
+                self.apply(FaultKind::Transient, now);
+                self.next_random = Some(
+                    now + Duration::from_secs_f64(rng.exponential(1.0 / mtbf.as_secs_f64())),
+                );
+            }
+        }
+        self.health
+    }
+
+    fn apply(&mut self, kind: FaultKind, now: Time) {
+        self.fault_count += 1;
+        match kind {
+            FaultKind::Permanent => {
+                self.health = Health::Failed;
+                self.recover_at = None;
+            }
+            FaultKind::Transient => {
+                if self.health != Health::Failed {
+                    self.health = Health::Failed;
+                    self.recover_at = Some(now + self.recovery);
+                }
+            }
+            FaultKind::Degradation => {
+                if self.health == Health::Ok {
+                    self.health = Health::Degraded;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(1)
+    }
+
+    #[test]
+    fn scripted_permanent_fault_sticks() {
+        let mut inj = FaultInjector::new();
+        inj.script(Time::from_secs(5), FaultKind::Permanent);
+        let mut r = rng();
+        assert_eq!(inj.step(Time::from_secs(4), &mut r), Health::Ok);
+        assert_eq!(inj.step(Time::from_secs(5), &mut r), Health::Failed);
+        assert_eq!(inj.step(Time::from_secs(500), &mut r), Health::Failed);
+        assert_eq!(inj.fault_count(), 1);
+    }
+
+    #[test]
+    fn transient_fault_recovers() {
+        let mut inj = FaultInjector::new();
+        inj.with_recovery(Duration::from_secs(1))
+            .script(Time::from_secs(2), FaultKind::Transient);
+        let mut r = rng();
+        assert_eq!(inj.step(Time::from_secs(2), &mut r), Health::Failed);
+        assert_eq!(
+            inj.step(Time::from_millis(2_500), &mut r),
+            Health::Failed
+        );
+        assert_eq!(inj.step(Time::from_secs(3), &mut r), Health::Ok);
+    }
+
+    #[test]
+    fn degradation_keeps_element_operational() {
+        let mut inj = FaultInjector::new();
+        inj.script(Time::from_secs(1), FaultKind::Degradation);
+        let mut r = rng();
+        let h = inj.step(Time::from_secs(1), &mut r);
+        assert_eq!(h, Health::Degraded);
+        assert!(h.is_operational());
+    }
+
+    #[test]
+    fn permanent_overrides_pending_recovery() {
+        let mut inj = FaultInjector::new();
+        inj.with_recovery(Duration::from_secs(10))
+            .script(Time::from_secs(1), FaultKind::Transient)
+            .script(Time::from_secs(2), FaultKind::Permanent);
+        let mut r = rng();
+        inj.step(Time::from_secs(1), &mut r);
+        inj.step(Time::from_secs(2), &mut r);
+        assert_eq!(inj.step(Time::from_secs(100), &mut r), Health::Failed);
+    }
+
+    #[test]
+    fn mtbf_produces_faults_at_expected_rate() {
+        let mut inj = FaultInjector::new();
+        inj.with_mtbf(Duration::from_secs(10))
+            .with_recovery(Duration::from_millis(1));
+        let mut r = rng();
+        let mut t = Time::ZERO;
+        for _ in 0..100_000 {
+            t += Duration::from_millis(100);
+            inj.step(t, &mut r);
+        }
+        // 10_000 s of simulated time, MTBF 10 s => about 1000 faults.
+        let count = inj.fault_count() as f64;
+        assert!((800.0..1200.0).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn repair_restores_health() {
+        let mut inj = FaultInjector::new();
+        inj.script(Time::from_secs(1), FaultKind::Permanent);
+        let mut r = rng();
+        inj.step(Time::from_secs(1), &mut r);
+        inj.repair();
+        assert_eq!(inj.health(), Health::Ok);
+    }
+}

@@ -1,0 +1,301 @@
+//! Processing elements: the computing resources of the platform.
+//!
+//! A [`ProcessingElement`] combines a DVFS table, a power model, a thermal
+//! node and a fault injector. Each simulation step it computes power from
+//! utilization, integrates temperature, lets the throttle governor adjust the
+//! operating point, and updates health. The resulting
+//! [`speed_factor`](ProcessingElement::speed_factor) scales task execution
+//! times in the RTE — the mechanism by which thermal stress becomes a timing
+//! problem, as discussed in Sec. V of the paper.
+
+use saav_sim::rng::SimRng;
+use saav_sim::time::{Duration, Time};
+
+use crate::dvfs::{DvfsTable, GovernorDecision, ThrottleGovernor};
+use crate::fault::{FaultInjector, FaultKind, Health};
+use crate::power::PowerModel;
+use crate::thermal::ThermalModel;
+
+/// Identifier of a processing element within a [`Platform`].
+///
+/// [`Platform`]: crate::platform::Platform
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub usize);
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// A single processing element.
+#[derive(Debug, Clone)]
+pub struct ProcessingElement {
+    id: PeId,
+    name: String,
+    dvfs: DvfsTable,
+    level: usize,
+    governor: ThrottleGovernor,
+    power: PowerModel,
+    thermal: ThermalModel,
+    faults: FaultInjector,
+    utilization: f64,
+    /// Set when the governor demanded shutdown.
+    thermally_shutdown: bool,
+    throttle_events: u64,
+    /// Last OPP change, for governor settling.
+    last_level_change: Time,
+    /// Minimum dwell between downward OPP steps, giving the rest of the
+    /// system time to adapt at each intermediate operating point. Sized at
+    /// about twice the thermal time constant so a load reduction at the new
+    /// OPP can actually show up in the die temperature before the governor
+    /// steps again.
+    settle_down: Duration,
+    /// Minimum dwell before stepping back up.
+    settle_up: Duration,
+}
+
+impl ProcessingElement {
+    /// Creates a PE from explicit models, starting at the fastest OPP.
+    pub fn new(
+        id: PeId,
+        name: impl Into<String>,
+        dvfs: DvfsTable,
+        governor: ThrottleGovernor,
+        power: PowerModel,
+        thermal: ThermalModel,
+    ) -> Self {
+        let level = dvfs.top_level();
+        ProcessingElement {
+            id,
+            name: name.into(),
+            dvfs,
+            level,
+            governor,
+            power,
+            thermal,
+            faults: FaultInjector::new(),
+            utilization: 0.0,
+            thermally_shutdown: false,
+            throttle_events: 0,
+            last_level_change: Time::ZERO,
+            settle_down: Duration::from_secs(40),
+            settle_up: Duration::from_secs(60),
+        }
+    }
+
+    /// A PE with typical embedded-SoC models.
+    pub fn embedded_soc(id: PeId, name: impl Into<String>) -> Self {
+        ProcessingElement::new(
+            id,
+            name,
+            DvfsTable::typical_quad(),
+            ThrottleGovernor::automotive(),
+            PowerModel::embedded_soc(),
+            ThermalModel::embedded_soc(),
+        )
+    }
+
+    /// The PE identifier.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// The PE name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current DVFS level (0 = slowest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal.temperature_c()
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        if self.thermally_shutdown {
+            Health::Failed
+        } else {
+            self.faults.health()
+        }
+    }
+
+    /// Execution-time multiplier relative to nominal WCETs (`>= 1`).
+    ///
+    /// Returns `f64::INFINITY` when the element is failed, which makes any
+    /// execution on it impossible by construction.
+    pub fn speed_factor(&self) -> f64 {
+        if !self.health().is_operational() {
+            f64::INFINITY
+        } else {
+            self.dvfs.slowdown(self.level)
+        }
+    }
+
+    /// Times the governor stepped the OPP down so far.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events
+    }
+
+    /// Mutable access to the fault injector for scenario scripting.
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    /// Injects a fault right away (scripting convenience).
+    pub fn inject_fault(&mut self, now: Time, kind: FaultKind, rng: &mut SimRng) {
+        self.faults.script(now, kind);
+        self.faults.step(now, rng);
+    }
+
+    /// Sets the utilization (activity factor) used for the next power step.
+    pub fn set_utilization(&mut self, utilization: f64) {
+        self.utilization = utilization.clamp(0.0, 1.0);
+    }
+
+    /// Current utilization.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Pins the DVFS level (e.g. a self-aware countermeasure forcing
+    /// low-power mode).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn set_level(&mut self, level: usize) {
+        assert!(level < self.dvfs.len(), "DVFS level out of range");
+        self.level = level;
+    }
+
+    /// Clears a thermal shutdown once the die has cooled below the recover
+    /// threshold; returns whether the element is operational again.
+    pub fn try_thermal_restart(&mut self) -> bool {
+        if self.thermally_shutdown && self.temperature_c() <= self.governor.recover_c() {
+            self.thermally_shutdown = false;
+            self.level = 0; // restart at the slowest OPP
+        }
+        !self.thermally_shutdown
+    }
+
+    /// Advances the PE by `dt`: power → temperature → governor → health.
+    pub fn step(&mut self, now: Time, dt: Duration, ambient_c: f64, rng: &mut SimRng) {
+        let health = self.faults.step(now, rng);
+        let active = health.is_operational() && !self.thermally_shutdown;
+        let util = if active { self.utilization } else { 0.0 };
+        let p = self
+            .power
+            .power_w(self.dvfs.point(self.level), util, self.thermal.temperature_c());
+        let p = if active { p } else { 0.0 };
+        self.thermal.step(p, ambient_c, dt);
+        if active {
+            let settled_down = now.saturating_since(self.last_level_change) >= self.settle_down;
+            let settled_up = now.saturating_since(self.last_level_change) >= self.settle_up;
+            match self
+                .governor
+                .evaluate(self.thermal.temperature_c(), self.level, self.dvfs.top_level())
+            {
+                GovernorDecision::StepDown if settled_down => {
+                    self.level -= 1;
+                    self.throttle_events += 1;
+                    self.last_level_change = now;
+                }
+                GovernorDecision::StepUp if settled_up => {
+                    self.level += 1;
+                    self.last_level_change = now;
+                }
+                GovernorDecision::Shutdown => {
+                    // Imminent damage overrides settling.
+                    self.thermally_shutdown = true;
+                    self.throttle_events += 1;
+                    self.last_level_change = now;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_for(pe: &mut ProcessingElement, secs: u64, ambient: f64, rng: &mut SimRng) {
+        let dt = Duration::from_millis(100);
+        let mut t = Time::ZERO;
+        for _ in 0..secs * 10 {
+            t += dt;
+            pe.step(t, dt, ambient, rng);
+        }
+    }
+
+    #[test]
+    fn cool_ambient_keeps_top_frequency() {
+        let mut pe = ProcessingElement::embedded_soc(PeId(0), "ecu0");
+        pe.set_utilization(0.6);
+        let mut rng = SimRng::seed_from(2);
+        step_for(&mut pe, 300, 25.0, &mut rng);
+        assert_eq!(pe.level(), 3);
+        assert_eq!(pe.speed_factor(), 1.0);
+        assert_eq!(pe.throttle_events(), 0);
+    }
+
+    #[test]
+    fn hot_ambient_causes_throttling_and_slowdown() {
+        let mut pe = ProcessingElement::embedded_soc(PeId(0), "ecu0");
+        pe.set_utilization(1.0);
+        let mut rng = SimRng::seed_from(3);
+        step_for(&mut pe, 600, 75.0, &mut rng);
+        assert!(pe.level() < 3, "should have throttled, level={}", pe.level());
+        assert!(pe.speed_factor() > 1.0);
+        assert!(pe.throttle_events() > 0);
+        assert!(pe.health().is_operational());
+    }
+
+    #[test]
+    fn failed_pe_has_infinite_speed_factor() {
+        let mut pe = ProcessingElement::embedded_soc(PeId(1), "ecu1");
+        let mut rng = SimRng::seed_from(4);
+        pe.inject_fault(Time::from_secs(1), FaultKind::Permanent, &mut rng);
+        assert_eq!(pe.health(), Health::Failed);
+        assert_eq!(pe.speed_factor(), f64::INFINITY);
+    }
+
+    #[test]
+    fn extreme_ambient_forces_shutdown_then_restart_after_cooling() {
+        let mut pe = ProcessingElement::embedded_soc(PeId(0), "ecu0");
+        pe.set_utilization(1.0);
+        let mut rng = SimRng::seed_from(5);
+        step_for(&mut pe, 600, 108.0, &mut rng);
+        assert_eq!(pe.health(), Health::Failed, "temp {}", pe.temperature_c());
+        // Cool down with zero power draw (shutdown) at mild ambient.
+        step_for(&mut pe, 600, 25.0, &mut rng);
+        assert!(pe.try_thermal_restart());
+        assert!(pe.health().is_operational());
+        assert_eq!(pe.level(), 0, "restarts at slowest OPP");
+    }
+
+    #[test]
+    fn temperature_tracks_utilization() {
+        let mut busy = ProcessingElement::embedded_soc(PeId(0), "busy");
+        let mut idle = ProcessingElement::embedded_soc(PeId(1), "idle");
+        busy.set_utilization(1.0);
+        idle.set_utilization(0.05);
+        let mut rng = SimRng::seed_from(6);
+        step_for(&mut busy, 120, 25.0, &mut rng);
+        step_for(&mut idle, 120, 25.0, &mut rng);
+        assert!(busy.temperature_c() > idle.temperature_c() + 5.0);
+    }
+
+    #[test]
+    fn set_level_pins_operating_point() {
+        let mut pe = ProcessingElement::embedded_soc(PeId(0), "ecu0");
+        pe.set_level(0);
+        assert_eq!(pe.speed_factor(), 4.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! CMOS-style power model.
+//!
+//! Dissipated power is the sum of a dynamic term `k·α·V²·f` (switched
+//! capacitance × activity × voltage² × frequency) and a temperature-dependent
+//! leakage term, linearized as `P_leak = l0·(1 + l1·(T − 25 °C))`. The
+//! coefficients are chosen for plausibility of an embedded automotive SoC
+//! core (a few watts at full tilt), not for any particular silicon.
+
+use crate::dvfs::OperatingPoint;
+
+/// Power model parameters for one processing element.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Effective switched capacitance coefficient, W / (V²·MHz).
+    k_dyn: f64,
+    /// Leakage at 25 °C in watts.
+    leak_w_25c: f64,
+    /// Relative leakage increase per kelvin above 25 °C.
+    leak_temp_coeff: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    /// Panics if any coefficient is negative.
+    pub fn new(k_dyn: f64, leak_w_25c: f64, leak_temp_coeff: f64) -> Self {
+        assert!(k_dyn >= 0.0 && leak_w_25c >= 0.0 && leak_temp_coeff >= 0.0);
+        PowerModel {
+            k_dyn,
+            leak_w_25c,
+            leak_temp_coeff,
+        }
+    }
+
+    /// A plausible embedded-SoC core: ~2.3 W dynamic at 1.6 GHz/1.1 V full
+    /// activity, 0.3 W leakage at 25 °C growing 1 %/K.
+    pub fn embedded_soc() -> Self {
+        PowerModel::new(1.2e-3, 0.3, 0.01)
+    }
+
+    /// Total power at the given OPP, utilization (activity factor in `[0,1]`)
+    /// and die temperature.
+    pub fn power_w(&self, opp: OperatingPoint, utilization: f64, temp_c: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let dynamic = self.k_dyn * u * opp.voltage_v * opp.voltage_v * opp.freq_mhz;
+        let leakage = self.leak_w_25c * (1.0 + self.leak_temp_coeff * (temp_c - 25.0).max(0.0));
+        dynamic + leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opp(f: f64, v: f64) -> OperatingPoint {
+        OperatingPoint::new(f, v)
+    }
+
+    #[test]
+    fn idle_power_is_leakage_only() {
+        let m = PowerModel::embedded_soc();
+        let p = m.power_w(opp(1600.0, 1.1), 0.0, 25.0);
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_monotone_in_utilization_frequency_voltage() {
+        let m = PowerModel::embedded_soc();
+        let base = m.power_w(opp(800.0, 0.9), 0.5, 25.0);
+        assert!(m.power_w(opp(800.0, 0.9), 0.8, 25.0) > base);
+        assert!(m.power_w(opp(1200.0, 0.9), 0.5, 25.0) > base);
+        assert!(m.power_w(opp(800.0, 1.1), 0.5, 25.0) > base);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = PowerModel::embedded_soc();
+        let cold = m.power_w(opp(400.0, 0.8), 0.0, 25.0);
+        let hot = m.power_w(opp(400.0, 0.8), 0.0, 85.0);
+        assert!((hot - cold - 0.3 * 0.01 * 60.0).abs() < 1e-12);
+        // No negative-temperature bonus below 25 °C.
+        assert_eq!(m.power_w(opp(400.0, 0.8), 0.0, -10.0), cold);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = PowerModel::embedded_soc();
+        assert_eq!(
+            m.power_w(opp(800.0, 0.9), 1.5, 25.0),
+            m.power_w(opp(800.0, 0.9), 1.0, 25.0)
+        );
+    }
+
+    #[test]
+    fn full_tilt_magnitude_plausible() {
+        let m = PowerModel::embedded_soc();
+        let p = m.power_w(opp(1600.0, 1.1), 1.0, 60.0);
+        assert!(p > 2.0 && p < 3.5, "power {p} W");
+    }
+}

@@ -1,0 +1,542 @@
+//! The contracting language.
+//!
+//! Sec. II-A: *"The requirements for these viewpoints – e.g. a safety-level
+//! requirement or a real-time constraint – are collected for each component
+//! in a so-called contracting language, which serves as an input to the
+//! MCC."* This module defines the typed contract model and a line-oriented
+//! text syntax with a hand-written recursive-descent parser:
+//!
+//! ```text
+//! component acc_controller {
+//!   asil C
+//!   domain trusted
+//!   memory 128
+//!   provides control.acc
+//!   requires sensor.radar rate 100
+//!   task ctl { period 20ms wcet 4ms deadline 20ms priority 3 }
+//!   frame status { id 0x120 period 100ms payload 8 }
+//! }
+//! ```
+
+use std::fmt;
+
+use saav_sim::time::Duration;
+
+/// Automotive safety integrity level, ordered QM < A < B < C < D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Asil {
+    /// Quality managed (no safety requirement).
+    Qm,
+    /// ASIL A.
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D.
+    D,
+}
+
+impl fmt::Display for Asil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Asil::Qm => "QM",
+            Asil::A => "A",
+            Asil::B => "B",
+            Asil::C => "C",
+            Asil::D => "D",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Asil {
+    /// Parses an ASIL label.
+    pub fn parse(s: &str) -> Option<Asil> {
+        match s.to_ascii_uppercase().as_str() {
+            "QM" => Some(Asil::Qm),
+            "A" => Some(Asil::A),
+            "B" => Some(Asil::B),
+            "C" => Some(Asil::C),
+            "D" => Some(Asil::D),
+            _ => None,
+        }
+    }
+
+    /// The ASIL each channel must reach when a requirement is decomposed
+    /// over two independent redundant channels (ISO 26262-9 style:
+    /// D → B(D), C → A(C), B → A(B), A/QM unchanged).
+    pub fn decomposed(self) -> Asil {
+        match self {
+            Asil::D => Asil::B,
+            Asil::C | Asil::B => Asil::A,
+            Asil::A => Asil::A,
+            Asil::Qm => Asil::Qm,
+        }
+    }
+}
+
+/// Trust domain of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrustDomain {
+    /// Vetted, OEM-signed code.
+    #[default]
+    Trusted,
+    /// Third-party or field-updated code with no trust assumption.
+    Untrusted,
+}
+
+/// A provided service, possibly marked safety/security critical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvidedService {
+    /// Service name.
+    pub name: String,
+    /// Whether the service is critical (e.g. an actuator path): untrusted
+    /// components must have no influence path to it.
+    pub critical: bool,
+}
+
+/// A required service with an optional contracted message rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequiredService {
+    /// Service name.
+    pub name: String,
+    /// Contracted nominal call rate (calls/s) for the communication
+    /// monitor; `None` leaves the channel unprofiled.
+    pub rate_per_sec: Option<f64>,
+}
+
+/// A real-time task contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskContract {
+    /// Task name (unique within the component).
+    pub name: String,
+    /// Activation period.
+    pub period: Duration,
+    /// Worst-case execution time.
+    pub wcet: Duration,
+    /// Relative deadline.
+    pub deadline: Duration,
+    /// Static priority (lower = more important).
+    pub priority: u32,
+}
+
+/// A CAN frame stream contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameContract {
+    /// Stream name (unique within the component).
+    pub name: String,
+    /// CAN identifier (doubles as priority).
+    pub can_id: u32,
+    /// Transmission period.
+    pub period: Duration,
+    /// Payload bytes (0–8).
+    pub payload: u8,
+}
+
+/// A full component contract.
+#[derive(Debug, Clone, Default)]
+pub struct Contract {
+    /// Component name.
+    pub name: String,
+    /// Safety integrity level.
+    pub asil: Option<Asil>,
+    /// Trust domain.
+    pub domain: TrustDomain,
+    /// Memory demand in KiB.
+    pub memory_kib: u32,
+    /// Provided services.
+    pub provides: Vec<ProvidedService>,
+    /// Required services.
+    pub requires: Vec<RequiredService>,
+    /// Real-time tasks.
+    pub tasks: Vec<TaskContract>,
+    /// CAN frame streams.
+    pub frames: Vec<FrameContract>,
+}
+
+impl Contract {
+    /// Effective ASIL for safety analysis: untrusted components are capped
+    /// at QM regardless of their claimed level.
+    pub fn effective_asil(&self) -> Asil {
+        match self.domain {
+            TrustDomain::Trusted => self.asil.unwrap_or(Asil::Qm),
+            TrustDomain::Untrusted => Asil::Qm,
+        }
+    }
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_duration(tok: &str, line: usize) -> Result<Duration, ParseError> {
+    let err = || ParseError {
+        line,
+        message: format!("invalid duration `{tok}` (expected e.g. 10ms, 500us, 1s)"),
+    };
+    let (num, unit) = tok.split_at(tok.find(|c: char| c.is_ascii_alphabetic()).ok_or_else(err)?);
+    let value: u64 = num.parse().map_err(|_| err())?;
+    match unit {
+        "ns" => Ok(Duration::from_nanos(value)),
+        "us" => Ok(Duration::from_micros(value)),
+        "ms" => Ok(Duration::from_millis(value)),
+        "s" => Ok(Duration::from_secs(value)),
+        _ => Err(err()),
+    }
+}
+
+fn parse_u32(tok: &str, line: usize) -> Result<u32, ParseError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| ParseError {
+        line,
+        message: format!("invalid integer `{tok}`"),
+    })
+}
+
+/// Key-value pairs inside `{ ... }` blocks on one line.
+fn parse_kv_block<'a>(
+    tokens: &'a [&'a str],
+    line: usize,
+) -> Result<Vec<(&'a str, &'a str)>, ParseError> {
+    if tokens.first() != Some(&"{") || tokens.last() != Some(&"}") {
+        return Err(ParseError {
+            line,
+            message: "expected `{ key value ... }` on one line".into(),
+        });
+    }
+    let inner = &tokens[1..tokens.len() - 1];
+    if !inner.len().is_multiple_of(2) {
+        return Err(ParseError {
+            line,
+            message: "expected key/value pairs".into(),
+        });
+    }
+    Ok(inner.chunks(2).map(|c| (c[0], c[1])).collect())
+}
+
+/// Parses a contract document (one or more `component` blocks).
+///
+/// # Errors
+/// [`ParseError`] with the offending line number.
+pub fn parse_contracts(input: &str) -> Result<Vec<Contract>, ParseError> {
+    let mut contracts = Vec::new();
+    let mut current: Option<Contract> = None;
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match (tokens[0], &mut current) {
+            ("component", None) => {
+                if tokens.len() != 3 || tokens[2] != "{" {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "expected `component <name> {`".into(),
+                    });
+                }
+                current = Some(Contract {
+                    name: tokens[1].to_string(),
+                    memory_kib: 64,
+                    ..Contract::default()
+                });
+            }
+            ("component", Some(_)) => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "nested `component` blocks are not allowed".into(),
+                })
+            }
+            ("}", Some(_)) => {
+                contracts.push(current.take().expect("checked"));
+            }
+            (_, None) => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("`{}` outside a component block", tokens[0]),
+                })
+            }
+            ("asil", Some(c)) => {
+                let level = tokens.get(1).and_then(|t| Asil::parse(t)).ok_or(ParseError {
+                    line: line_no,
+                    message: "expected `asil QM|A|B|C|D`".into(),
+                })?;
+                c.asil = Some(level);
+            }
+            ("domain", Some(c)) => {
+                c.domain = match tokens.get(1).copied() {
+                    Some("trusted") => TrustDomain::Trusted,
+                    Some("untrusted") => TrustDomain::Untrusted,
+                    _ => {
+                        return Err(ParseError {
+                            line: line_no,
+                            message: "expected `domain trusted|untrusted`".into(),
+                        })
+                    }
+                };
+            }
+            ("memory", Some(c)) => {
+                c.memory_kib = parse_u32(
+                    tokens.get(1).copied().unwrap_or(""),
+                    line_no,
+                )?;
+            }
+            ("provides", Some(c)) => {
+                let name = tokens.get(1).copied().ok_or(ParseError {
+                    line: line_no,
+                    message: "expected `provides <service> [critical]`".into(),
+                })?;
+                let critical = tokens.get(2) == Some(&"critical");
+                c.provides.push(ProvidedService {
+                    name: name.to_string(),
+                    critical,
+                });
+            }
+            ("requires", Some(c)) => {
+                let name = tokens.get(1).copied().ok_or(ParseError {
+                    line: line_no,
+                    message: "expected `requires <service> [rate <per-sec>]`".into(),
+                })?;
+                let rate = if tokens.get(2) == Some(&"rate") {
+                    let r: f64 = tokens
+                        .get(3)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(ParseError {
+                            line: line_no,
+                            message: "expected numeric rate".into(),
+                        })?;
+                    Some(r)
+                } else {
+                    None
+                };
+                c.requires.push(RequiredService {
+                    name: name.to_string(),
+                    rate_per_sec: rate,
+                });
+            }
+            ("task", Some(c)) => {
+                let name = tokens.get(1).copied().ok_or(ParseError {
+                    line: line_no,
+                    message: "expected `task <name> { ... }`".into(),
+                })?;
+                let kv = parse_kv_block(&tokens[2..], line_no)?;
+                let mut task = TaskContract {
+                    name: name.to_string(),
+                    period: Duration::ZERO,
+                    wcet: Duration::ZERO,
+                    deadline: Duration::ZERO,
+                    priority: 10,
+                };
+                for (k, v) in kv {
+                    match k {
+                        "period" => task.period = parse_duration(v, line_no)?,
+                        "wcet" => task.wcet = parse_duration(v, line_no)?,
+                        "deadline" => task.deadline = parse_duration(v, line_no)?,
+                        "priority" => task.priority = parse_u32(v, line_no)?,
+                        _ => {
+                            return Err(ParseError {
+                                line: line_no,
+                                message: format!("unknown task attribute `{k}`"),
+                            })
+                        }
+                    }
+                }
+                if task.period.is_zero() || task.wcet.is_zero() {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "task needs non-zero period and wcet".into(),
+                    });
+                }
+                if task.deadline.is_zero() {
+                    task.deadline = task.period;
+                }
+                c.tasks.push(task);
+            }
+            ("frame", Some(c)) => {
+                let name = tokens.get(1).copied().ok_or(ParseError {
+                    line: line_no,
+                    message: "expected `frame <name> { ... }`".into(),
+                })?;
+                let kv = parse_kv_block(&tokens[2..], line_no)?;
+                let mut frame = FrameContract {
+                    name: name.to_string(),
+                    can_id: 0x7FF,
+                    period: Duration::ZERO,
+                    payload: 8,
+                };
+                for (k, v) in kv {
+                    match k {
+                        "id" => frame.can_id = parse_u32(v, line_no)?,
+                        "period" => frame.period = parse_duration(v, line_no)?,
+                        "payload" => {
+                            frame.payload = parse_u32(v, line_no)? as u8;
+                            if frame.payload > 8 {
+                                return Err(ParseError {
+                                    line: line_no,
+                                    message: "payload above 8 bytes".into(),
+                                });
+                            }
+                        }
+                        _ => {
+                            return Err(ParseError {
+                                line: line_no,
+                                message: format!("unknown frame attribute `{k}`"),
+                            })
+                        }
+                    }
+                }
+                if frame.period.is_zero() {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "frame needs a non-zero period".into(),
+                    });
+                }
+                c.frames.push(frame);
+            }
+            (other, Some(_)) => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(ParseError {
+            line: input.lines().count(),
+            message: "unterminated component block".into(),
+        });
+    }
+    Ok(contracts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# The ACC controller's contract.
+component acc_controller {
+  asil C
+  domain trusted
+  memory 128
+  provides control.acc
+  requires sensor.radar rate 100
+  requires actuator.powertrain
+  task ctl { period 20ms wcet 4ms deadline 20ms priority 3 }
+  frame status { id 0x120 period 100ms payload 8 }
+}
+
+component infotainment {
+  domain untrusted
+  memory 512
+  requires control.acc
+}
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let contracts = parse_contracts(SAMPLE).unwrap();
+        assert_eq!(contracts.len(), 2);
+        let acc = &contracts[0];
+        assert_eq!(acc.name, "acc_controller");
+        assert_eq!(acc.asil, Some(Asil::C));
+        assert_eq!(acc.memory_kib, 128);
+        assert_eq!(acc.provides.len(), 1);
+        assert_eq!(acc.requires.len(), 2);
+        assert_eq!(acc.requires[0].rate_per_sec, Some(100.0));
+        assert_eq!(acc.requires[1].rate_per_sec, None);
+        let task = &acc.tasks[0];
+        assert_eq!(task.period, Duration::from_millis(20));
+        assert_eq!(task.wcet, Duration::from_millis(4));
+        assert_eq!(task.priority, 3);
+        let frame = &acc.frames[0];
+        assert_eq!(frame.can_id, 0x120);
+        assert_eq!(frame.payload, 8);
+        let info = &contracts[1];
+        assert_eq!(info.domain, TrustDomain::Untrusted);
+        assert_eq!(info.effective_asil(), Asil::Qm);
+    }
+
+    #[test]
+    fn deadline_defaults_to_period() {
+        let src = "component x {\n task t { period 10ms wcet 1ms }\n}";
+        let c = parse_contracts(src).unwrap();
+        assert_eq!(c[0].tasks[0].deadline, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn critical_service_marker() {
+        let src = "component brake {\n provides actuator.brake.rear critical\n}";
+        let c = parse_contracts(src).unwrap();
+        assert!(c[0].provides[0].critical);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "component x {\n  asil Z\n}";
+        let err = parse_contracts(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("asil"));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let err = parse_contracts("component x {\n asil A").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn directive_outside_block_rejected() {
+        let err = parse_contracts("asil A").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn bad_duration_rejected() {
+        let err =
+            parse_contracts("component x {\n task t { period 10 wcet 1ms }\n}").unwrap_err();
+        assert!(err.message.contains("duration"));
+    }
+
+    #[test]
+    fn zero_wcet_rejected() {
+        let err =
+            parse_contracts("component x {\n task t { period 10ms wcet 0ms }\n}").unwrap_err();
+        assert!(err.message.contains("non-zero"));
+    }
+
+    #[test]
+    fn asil_ordering_and_decomposition() {
+        assert!(Asil::Qm < Asil::A && Asil::A < Asil::D);
+        assert_eq!(Asil::D.decomposed(), Asil::B);
+        assert_eq!(Asil::C.decomposed(), Asil::A);
+        assert_eq!(Asil::B.decomposed(), Asil::A);
+        assert_eq!(Asil::Qm.decomposed(), Asil::Qm);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# top comment\n\ncomponent x { # trailing\n}\n";
+        assert_eq!(parse_contracts(src).unwrap().len(), 1);
+    }
+}

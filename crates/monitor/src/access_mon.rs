@@ -1,0 +1,199 @@
+//! Communication/access monitoring for intrusion detection.
+//!
+//! Consumes the RTE's access log and detects two attack signatures the paper
+//! discusses in its security example (Sec. V): outright capability
+//! violations (denied attempts) and message-rate anomalies on otherwise
+//! legitimate channels — the observable footprint of a compromised component
+//! "governing rear braking".
+
+use std::collections::HashMap;
+
+use saav_sim::time::{Duration, Time};
+
+use crate::anomaly::{Anomaly, AnomalyKind};
+
+/// One access observation (mirrors the RTE's log entry without depending on
+/// the RTE crate).
+#[derive(Debug, Clone)]
+pub struct AccessObservation {
+    /// When the access happened.
+    pub at: Time,
+    /// Requesting component (by name for report readability).
+    pub client: String,
+    /// Service addressed.
+    pub service: String,
+    /// Whether the capability check allowed it.
+    pub allowed: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    /// Learned nominal rate (messages/s), if calibrated.
+    nominal_rate: Option<f64>,
+    /// Messages in the current window.
+    window_count: u64,
+    window_start: Option<Time>,
+    flagged: bool,
+}
+
+/// The access monitor.
+#[derive(Debug, Clone)]
+pub struct AccessMonitor {
+    channels: HashMap<(String, String), ChannelState>,
+    window: Duration,
+    /// Rate anomaly threshold: flagged when the windowed rate exceeds
+    /// `nominal × factor`.
+    rate_factor: f64,
+}
+
+impl AccessMonitor {
+    /// Creates a monitor with the given rate window and anomaly factor.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or `rate_factor <= 1`.
+    pub fn new(window: Duration, rate_factor: f64) -> Self {
+        assert!(!window.is_zero());
+        assert!(rate_factor > 1.0);
+        AccessMonitor {
+            channels: HashMap::new(),
+            window,
+            rate_factor,
+        }
+    }
+
+    /// A monitor with a 1-second window flagging 3× rate excursions.
+    pub fn with_defaults() -> Self {
+        AccessMonitor::new(Duration::from_secs(1), 3.0)
+    }
+
+    /// Declares the nominal message rate of a channel (from the contract).
+    pub fn set_nominal_rate(
+        &mut self,
+        client: impl Into<String>,
+        service: impl Into<String>,
+        rate_per_sec: f64,
+    ) {
+        let state = self
+            .channels
+            .entry((client.into(), service.into()))
+            .or_default();
+        state.nominal_rate = Some(rate_per_sec.max(0.0));
+    }
+
+    /// Feeds one access observation.
+    pub fn observe(&mut self, obs: &AccessObservation) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        if !obs.allowed {
+            out.push(Anomaly::new(
+                obs.at,
+                obs.client.clone(),
+                AnomalyKind::AccessViolation,
+                format!("denied access to `{}`", obs.service),
+            ));
+            return out;
+        }
+        let key = (obs.client.clone(), obs.service.clone());
+        let window = self.window;
+        let factor = self.rate_factor;
+        let state = self.channels.entry(key).or_default();
+        match state.window_start {
+            Some(start) if obs.at.saturating_since(start) < window => {
+                state.window_count += 1;
+            }
+            _ => {
+                state.window_start = Some(obs.at);
+                state.window_count = 1;
+                state.flagged = false;
+            }
+        }
+        if let Some(nominal) = state.nominal_rate {
+            let rate = state.window_count as f64 / window.as_secs_f64();
+            if nominal > 0.0 && rate > nominal * factor && !state.flagged {
+                state.flagged = true;
+                out.push(Anomaly::new(
+                    obs.at,
+                    obs.client.clone(),
+                    AnomalyKind::RateAnomaly,
+                    format!(
+                        "`{}` at {rate:.1}/s vs nominal {nominal:.1}/s",
+                        obs.service
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allowed(at_ms: u64, client: &str, service: &str) -> AccessObservation {
+        AccessObservation {
+            at: Time::from_millis(at_ms),
+            client: client.into(),
+            service: service.into(),
+            allowed: true,
+        }
+    }
+
+    #[test]
+    fn denial_is_immediate_violation() {
+        let mut m = AccessMonitor::with_defaults();
+        let a = m.observe(&AccessObservation {
+            at: Time::ZERO,
+            client: "attacker".into(),
+            service: "actuator.brake".into(),
+            allowed: false,
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, AnomalyKind::AccessViolation);
+    }
+
+    #[test]
+    fn nominal_rate_passes() {
+        let mut m = AccessMonitor::with_defaults();
+        m.set_nominal_rate("acc", "actuator.brake", 100.0);
+        // 100 msgs over 1 s: exactly nominal.
+        for i in 0..100 {
+            assert!(m.observe(&allowed(i * 10, "acc", "actuator.brake")).is_empty());
+        }
+    }
+
+    #[test]
+    fn flooding_triggers_rate_anomaly_once_per_window() {
+        let mut m = AccessMonitor::with_defaults();
+        m.set_nominal_rate("brake_ctl", "actuator.brake", 100.0);
+        let mut anomalies = Vec::new();
+        // 1000 msgs in 500 ms: 10x nominal within one window.
+        for i in 0..1000u64 {
+            anomalies.extend(m.observe(&allowed(i / 2, "brake_ctl", "actuator.brake")));
+        }
+        assert_eq!(anomalies.len(), 1, "one flag per window");
+        assert_eq!(anomalies[0].kind, AnomalyKind::RateAnomaly);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut m = AccessMonitor::with_defaults();
+        m.set_nominal_rate("a", "svc", 10.0);
+        m.set_nominal_rate("b", "svc", 10_000.0);
+        let mut anomalies = Vec::new();
+        for i in 0..500u64 {
+            anomalies.extend(m.observe(&allowed(i, "a", "svc")));
+            anomalies.extend(m.observe(&allowed(i, "b", "svc")));
+        }
+        // Only channel a (nominal 10/s, actual ~1000/s) fires.
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].subject, "a");
+    }
+
+    #[test]
+    fn unprofiled_channel_never_rate_flags() {
+        let mut m = AccessMonitor::with_defaults();
+        for i in 0..2000u64 {
+            assert!(m.observe(&allowed(i / 4, "x", "y")).is_empty());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Anomalies: the common output type of all monitors.
+
+use std::fmt;
+
+use saav_sim::time::Time;
+
+/// What kind of deviation a monitor detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// A job executed longer than its contracted WCET.
+    ExecutionOverrun,
+    /// A job finished after its deadline.
+    DeadlineMiss,
+    /// An expected heartbeat did not arrive in time.
+    HeartbeatLoss,
+    /// A value left its static boundary range.
+    OutOfRange,
+    /// A value changed faster than physically plausible.
+    ImplausibleRate,
+    /// A signal is frozen (stuck-at) while it should vary.
+    StuckSignal,
+    /// Signal quality dropped below its requirement.
+    QualityDegraded,
+    /// A capability check was violated (denied access attempt).
+    AccessViolation,
+    /// Message rate on a channel deviates strongly from its profile.
+    RateAnomaly,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AnomalyKind::ExecutionOverrun => "execution overrun",
+            AnomalyKind::DeadlineMiss => "deadline miss",
+            AnomalyKind::HeartbeatLoss => "heartbeat loss",
+            AnomalyKind::OutOfRange => "value out of range",
+            AnomalyKind::ImplausibleRate => "implausible rate of change",
+            AnomalyKind::StuckSignal => "stuck signal",
+            AnomalyKind::QualityDegraded => "quality degraded",
+            AnomalyKind::AccessViolation => "access violation",
+            AnomalyKind::RateAnomaly => "message rate anomaly",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected deviation from modeled/expected behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Detection instant.
+    pub at: Time,
+    /// The monitored entity (task, signal, channel, component).
+    pub subject: String,
+    /// Deviation class.
+    pub kind: AnomalyKind,
+    /// Free-form detail for reports.
+    pub detail: String,
+}
+
+impl Anomaly {
+    /// Creates an anomaly.
+    pub fn new(
+        at: Time,
+        subject: impl Into<String>,
+        kind: AnomalyKind,
+        detail: impl Into<String>,
+    ) -> Self {
+        Anomaly {
+            at,
+            subject: subject.into(),
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {} ({})", self.at, self.subject, self.kind, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let a = Anomaly::new(
+            Time::from_secs(3),
+            "acc_ctl",
+            AnomalyKind::DeadlineMiss,
+            "response 12ms > 10ms",
+        );
+        let s = a.to_string();
+        assert!(s.contains("acc_ctl"));
+        assert!(s.contains("deadline miss"));
+        assert!(s.contains("12ms"));
+    }
+}

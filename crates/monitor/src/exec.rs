@@ -1,0 +1,184 @@
+//! Execution-time and deadline monitoring (application monitor).
+//!
+//! Supervises job records from the RTE scheduler against the contracted
+//! WCET/deadline, and maintains an observed execution-time profile that the
+//! model domain can use to refine its models ("extract run-time metrics that
+//! can be fed back into the model domain for optimization", Sec. II-B).
+
+use std::collections::HashMap;
+
+use saav_sim::time::{Duration, Time};
+
+use crate::anomaly::{Anomaly, AnomalyKind};
+
+/// One observed job execution, decoupled from the RTE's record type.
+#[derive(Debug, Clone)]
+pub struct JobObservation {
+    /// Completion time.
+    pub at: Time,
+    /// Task name.
+    pub task: String,
+    /// Speed-normalized execution demand of the job.
+    pub exec_nominal: Duration,
+    /// Response time.
+    pub response: Duration,
+    /// Whether the deadline was met.
+    pub deadline_met: bool,
+}
+
+/// Per-task observed execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Number of observed jobs.
+    pub jobs: u64,
+    /// Largest observed nominal execution time.
+    pub max_exec: Duration,
+    /// Largest observed response time.
+    pub max_response: Duration,
+    /// Accumulated deadline misses.
+    pub misses: u64,
+    /// Accumulated overruns (exec above contract WCET).
+    pub overruns: u64,
+}
+
+/// The execution monitor.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionMonitor {
+    contracts: HashMap<String, Duration>,
+    profiles: HashMap<String, ExecProfile>,
+}
+
+impl ExecutionMonitor {
+    /// Creates a monitor with no contracts.
+    pub fn new() -> Self {
+        ExecutionMonitor::default()
+    }
+
+    /// Registers the contracted WCET of a task.
+    pub fn set_contract(&mut self, task: impl Into<String>, wcet: Duration) {
+        self.contracts.insert(task.into(), wcet);
+    }
+
+    /// Feeds one job observation; returns any detected anomalies.
+    pub fn observe(&mut self, obs: &JobObservation) -> Vec<Anomaly> {
+        let profile = self.profiles.entry(obs.task.clone()).or_default();
+        profile.jobs += 1;
+        profile.max_exec = profile.max_exec.max(obs.exec_nominal);
+        profile.max_response = profile.max_response.max(obs.response);
+        let mut anomalies = Vec::new();
+        if let Some(&wcet) = self.contracts.get(&obs.task) {
+            if obs.exec_nominal > wcet {
+                profile.overruns += 1;
+                anomalies.push(Anomaly::new(
+                    obs.at,
+                    obs.task.clone(),
+                    AnomalyKind::ExecutionOverrun,
+                    format!("exec {} > contract {}", obs.exec_nominal, wcet),
+                ));
+            }
+        }
+        if !obs.deadline_met {
+            profile.misses += 1;
+            anomalies.push(Anomaly::new(
+                obs.at,
+                obs.task.clone(),
+                AnomalyKind::DeadlineMiss,
+                format!("response {}", obs.response),
+            ));
+        }
+        anomalies
+    }
+
+    /// The observed profile of a task, if any jobs were seen.
+    pub fn profile(&self, task: &str) -> Option<&ExecProfile> {
+        self.profiles.get(task)
+    }
+
+    /// Suggests a refined WCET from observations: the observed maximum plus
+    /// a safety margin. Returns `None` before any observation.
+    pub fn suggest_wcet(&self, task: &str, margin_factor: f64) -> Option<Duration> {
+        let p = self.profiles.get(task)?;
+        if p.jobs == 0 {
+            return None;
+        }
+        Some(p.max_exec.mul_f64(margin_factor.max(1.0)))
+    }
+
+    /// Deadline-miss ratio of a task over all observed jobs.
+    pub fn miss_ratio(&self, task: &str) -> f64 {
+        self.profiles
+            .get(task)
+            .filter(|p| p.jobs > 0)
+            .map_or(0.0, |p| p.misses as f64 / p.jobs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(task: &str, exec_ms: u64, resp_ms: u64, met: bool) -> JobObservation {
+        JobObservation {
+            at: Time::from_millis(resp_ms),
+            task: task.into(),
+            exec_nominal: Duration::from_millis(exec_ms),
+            response: Duration::from_millis(resp_ms),
+            deadline_met: met,
+        }
+    }
+
+    #[test]
+    fn overrun_detected_against_contract() {
+        let mut m = ExecutionMonitor::new();
+        m.set_contract("ctl", Duration::from_millis(2));
+        assert!(m.observe(&obs("ctl", 2, 3, true)).is_empty());
+        let anomalies = m.observe(&obs("ctl", 3, 4, true));
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::ExecutionOverrun);
+        assert_eq!(m.profile("ctl").unwrap().overruns, 1);
+    }
+
+    #[test]
+    fn deadline_miss_detected_without_contract() {
+        let mut m = ExecutionMonitor::new();
+        let anomalies = m.observe(&obs("anything", 1, 20, false));
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, AnomalyKind::DeadlineMiss);
+        assert!((m.miss_ratio("anything") - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn profile_tracks_maxima() {
+        let mut m = ExecutionMonitor::new();
+        m.observe(&obs("t", 1, 5, true));
+        m.observe(&obs("t", 4, 6, true));
+        m.observe(&obs("t", 2, 9, true));
+        let p = m.profile("t").unwrap();
+        assert_eq!(p.jobs, 3);
+        assert_eq!(p.max_exec, Duration::from_millis(4));
+        assert_eq!(p.max_response, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn wcet_refinement_applies_margin() {
+        let mut m = ExecutionMonitor::new();
+        m.observe(&obs("t", 4, 5, true));
+        assert_eq!(
+            m.suggest_wcet("t", 1.25),
+            Some(Duration::from_millis(5))
+        );
+        // Margin below 1 is clamped: never suggest less than the observation.
+        assert_eq!(m.suggest_wcet("t", 0.5), Some(Duration::from_millis(4)));
+        assert_eq!(m.suggest_wcet("unknown", 1.2), None);
+    }
+
+    #[test]
+    fn miss_ratio_accumulates() {
+        let mut m = ExecutionMonitor::new();
+        for i in 0..10 {
+            m.observe(&obs("t", 1, 2, i % 5 != 0)); // 2 of 10 miss
+        }
+        assert!((m.miss_ratio("t") - 0.2).abs() < 1e-12);
+        assert_eq!(m.miss_ratio("never-seen"), 0.0);
+    }
+}

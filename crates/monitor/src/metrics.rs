@@ -1,0 +1,110 @@
+//! The metric feedback channel from the execution domain to the model
+//! domain.
+//!
+//! Monitors publish numeric metrics here; the MCC (model domain) reads them
+//! to refine its models — closing the loop Fig. 1 of the paper draws between
+//! the monitors and the Multi-Change Controller ("metrics" arrow).
+
+use std::collections::HashMap;
+
+use saav_sim::time::Time;
+
+/// One published metric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Publication time.
+    pub at: Time,
+    /// Publishing subsystem, e.g. `"monitor.exec"`.
+    pub source: String,
+    /// Metric name, e.g. `"acc_ctl.max_exec_ms"`.
+    pub name: String,
+    /// Value.
+    pub value: f64,
+}
+
+/// An in-memory metric bus with last-value semantics plus history.
+#[derive(Debug, Clone, Default)]
+pub struct MetricBus {
+    history: Vec<Metric>,
+    latest: HashMap<String, Metric>,
+}
+
+impl MetricBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        MetricBus::default()
+    }
+
+    /// Publishes a metric sample.
+    pub fn publish(
+        &mut self,
+        at: Time,
+        source: impl Into<String>,
+        name: impl Into<String>,
+        value: f64,
+    ) {
+        let m = Metric {
+            at,
+            source: source.into(),
+            name: name.into(),
+            value,
+        };
+        self.latest.insert(m.name.clone(), m.clone());
+        self.history.push(m);
+    }
+
+    /// The most recent value of a metric.
+    pub fn latest(&self, name: &str) -> Option<f64> {
+        self.latest.get(name).map(|m| m.value)
+    }
+
+    /// The most recent full sample of a metric.
+    pub fn latest_sample(&self, name: &str) -> Option<&Metric> {
+        self.latest.get(name)
+    }
+
+    /// All samples of a metric, in publication order.
+    pub fn history_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Metric> {
+        self.history.iter().filter(move |m| m.name == name)
+    }
+
+    /// Number of samples published.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no metric has been published.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Names with at least one sample, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.latest.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_query() {
+        let mut bus = MetricBus::new();
+        bus.publish(Time::from_secs(1), "monitor.exec", "ctl.max_ms", 2.5);
+        bus.publish(Time::from_secs(2), "monitor.exec", "ctl.max_ms", 3.0);
+        bus.publish(Time::from_secs(2), "monitor.quality", "radar.q", 0.9);
+        assert_eq!(bus.latest("ctl.max_ms"), Some(3.0));
+        assert_eq!(bus.latest("radar.q"), Some(0.9));
+        assert_eq!(bus.latest("nope"), None);
+        assert_eq!(bus.history_of("ctl.max_ms").count(), 2);
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.names(), vec!["ctl.max_ms", "radar.q"]);
+        assert_eq!(
+            bus.latest_sample("radar.q").unwrap().source,
+            "monitor.quality"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Byzantine-tolerant agreement on shared driving parameters.
+//!
+//! Sec. V: *"agreeing on a common velocity or a minimum distance between
+//! vehicles in a platoon is an essential but non-trivial problem as the
+//! communication to or the platform of another vehicle might not be fully
+//! trustworthy or even compromised. … this can be addressed by agreement or
+//! consensus protocols."*
+//!
+//! Two protocols are provided:
+//!
+//! * [`trimmed_mean_agreement`] — iterative approximate agreement: each
+//!   round every member broadcasts its value and honest members adopt the
+//!   `f`-trimmed mean of what they received. For `n > 3f` this converges to
+//!   a value inside the honest range regardless of what the `f` faulty
+//!   members send (Dolev et al. style approximate agreement).
+//! * [`robust_min`] — a one-shot Byzantine-robust minimum for safety
+//!   parameters (common speed must not exceed any honest member's safe
+//!   speed): the `(f+1)`-th smallest reported value, which is at most the
+//!   largest honest value and ignores up to `f` adversarial low-balls.
+
+/// Behaviour of a platoon member in the agreement rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Behavior {
+    /// Follows the protocol.
+    Honest,
+    /// Always reports the same (wrong) value.
+    ConstantLie(f64),
+    /// Alternates between two extreme values each round.
+    Oscillate {
+        /// Low extreme.
+        low: f64,
+        /// High extreme.
+        high: f64,
+    },
+    /// Reports its honest value plus a selfish offset (e.g. wants the
+    /// platoon faster than safe).
+    SelfishOffset(f64),
+}
+
+/// Result of an agreement run.
+#[derive(Debug, Clone)]
+pub struct AgreementResult {
+    /// Final values held by the honest members, in member order.
+    pub honest_values: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether the honest members reached ε-agreement.
+    pub converged: bool,
+}
+
+impl AgreementResult {
+    /// Spread among honest members after the run.
+    pub fn spread(&self) -> f64 {
+        let lo = self.honest_values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self
+            .honest_values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if self.honest_values.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    /// Mean of the honest values (the agreed parameter when converged).
+    pub fn agreed_value(&self) -> f64 {
+        if self.honest_values.is_empty() {
+            return 0.0;
+        }
+        self.honest_values.iter().sum::<f64>() / self.honest_values.len() as f64
+    }
+}
+
+fn trimmed_mean(values: &mut [f64], f: usize) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in agreement"));
+    let kept = &values[f.min(values.len() / 2)..values.len().saturating_sub(f).max(f + 1)];
+    if kept.is_empty() {
+        return values[values.len() / 2];
+    }
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// Runs iterative trimmed-mean approximate agreement.
+///
+/// `initial[i]` is member *i*'s starting value; `behaviors[i]` its protocol
+/// behaviour; `f` the trim count (the assumed maximum number of faulty
+/// members); `epsilon` the target honest spread; `max_rounds` a hard bound.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn trimmed_mean_agreement(
+    initial: &[f64],
+    behaviors: &[Behavior],
+    f: usize,
+    epsilon: f64,
+    max_rounds: usize,
+) -> AgreementResult {
+    assert_eq!(initial.len(), behaviors.len());
+    assert!(!initial.is_empty());
+    let n = initial.len();
+    let mut values: Vec<f64> = initial.to_vec();
+    let honest_idx: Vec<usize> = (0..n)
+        .filter(|&i| behaviors[i] == Behavior::Honest)
+        .collect();
+    let mut rounds = 0;
+    let spread_of = |vals: &[f64]| -> f64 {
+        let hv: Vec<f64> = honest_idx.iter().map(|&i| vals[i]).collect();
+        let lo = hv.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = hv.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    };
+    while rounds < max_rounds && spread_of(&values) > epsilon {
+        rounds += 1;
+        // What each member broadcasts this round.
+        let broadcast: Vec<f64> = (0..n)
+            .map(|i| match behaviors[i] {
+                Behavior::Honest => values[i],
+                Behavior::ConstantLie(v) => v,
+                Behavior::Oscillate { low, high } => {
+                    if rounds % 2 == 0 {
+                        low
+                    } else {
+                        high
+                    }
+                }
+                Behavior::SelfishOffset(d) => values[i] + d,
+            })
+            .collect();
+        // Honest members update to the trimmed mean of all broadcasts.
+        let mut next = values.clone();
+        for &i in &honest_idx {
+            let mut received = broadcast.clone();
+            next[i] = trimmed_mean(&mut received, f);
+        }
+        values = next;
+    }
+    AgreementResult {
+        honest_values: honest_idx.iter().map(|&i| values[i]).collect(),
+        rounds,
+        converged: spread_of(&values) <= epsilon,
+    }
+}
+
+/// Byzantine-robust minimum: the `(f+1)`-th smallest reported value.
+///
+/// With at most `f` faulty reporters, at least one of the `f+1` smallest
+/// values is honest, so the result never exceeds the largest honest value;
+/// adversarial low-balls below it are discarded.
+///
+/// # Panics
+/// Panics if `reports.len() <= f`.
+pub fn robust_min(reports: &[f64], f: usize) -> f64 {
+    assert!(reports.len() > f, "need more reports than faults");
+    let mut sorted = reports.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted[f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: usize) -> Vec<Behavior> {
+        vec![Behavior::Honest; n]
+    }
+
+    #[test]
+    fn all_honest_converges_fast() {
+        let initial = [20.0, 22.0, 24.0, 26.0];
+        let r = trimmed_mean_agreement(&initial, &honest(4), 1, 0.01, 100);
+        assert!(r.converged);
+        assert!(r.spread() <= 0.01);
+        // Validity: result within the initial range.
+        let v = r.agreed_value();
+        assert!((20.0..=26.0).contains(&v), "{v}");
+        assert!(r.rounds < 50);
+    }
+
+    #[test]
+    fn tolerates_f_liars_when_n_over_3f() {
+        // n = 7, f = 2 liars pushing extreme values.
+        let initial = [20.0, 21.0, 22.0, 23.0, 24.0, 99.0, -50.0];
+        let mut behaviors = honest(7);
+        behaviors[5] = Behavior::ConstantLie(99.0);
+        behaviors[6] = Behavior::ConstantLie(-50.0);
+        let r = trimmed_mean_agreement(&initial, &behaviors, 2, 0.01, 200);
+        assert!(r.converged, "spread {}", r.spread());
+        let v = r.agreed_value();
+        assert!((20.0..=24.0).contains(&v), "validity violated: {v}");
+    }
+
+    #[test]
+    fn oscillating_adversary_still_converges() {
+        let initial = [20.0, 21.0, 22.0, 23.0, 0.0];
+        let mut behaviors = honest(5);
+        behaviors[4] = Behavior::Oscillate {
+            low: -100.0,
+            high: 100.0,
+        };
+        let r = trimmed_mean_agreement(&initial, &behaviors, 1, 0.01, 300);
+        assert!(r.converged);
+        let v = r.agreed_value();
+        assert!((20.0..=23.0).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn too_many_liars_break_validity_or_convergence() {
+        // n = 4, f assumed 1, but actually 2 coordinated liars: the
+        // guarantee n > 3f no longer holds and the agreed value is dragged
+        // outside the honest range.
+        let initial = [20.0, 21.0, 80.0, 80.0];
+        let mut behaviors = honest(4);
+        behaviors[2] = Behavior::ConstantLie(80.0);
+        behaviors[3] = Behavior::ConstantLie(80.0);
+        let r = trimmed_mean_agreement(&initial, &behaviors, 1, 0.01, 300);
+        let v = r.agreed_value();
+        assert!(
+            !r.converged || v > 21.0,
+            "expected corruption beyond honest range, got {v}"
+        );
+    }
+
+    #[test]
+    fn selfish_offset_has_bounded_influence() {
+        let initial = [20.0, 20.0, 20.0, 20.0, 20.0, 20.0, 20.0];
+        let mut behaviors = honest(7);
+        behaviors[0] = Behavior::SelfishOffset(10.0);
+        let r = trimmed_mean_agreement(&initial, &behaviors, 2, 0.01, 200);
+        assert!(r.converged);
+        // All honest started at 20; the selfish member's pushes are trimmed.
+        assert!((r.agreed_value() - 20.0).abs() < 0.5, "{}", r.agreed_value());
+    }
+
+    #[test]
+    fn robust_min_ignores_lowballs() {
+        // Honest safe speeds 15..25; attacker reports 1.0 to stall the
+        // platoon (denial of service via fake incapability).
+        let reports = [15.0, 18.0, 22.0, 25.0, 1.0];
+        let v = robust_min(&reports, 1);
+        assert_eq!(v, 15.0);
+        // Two lowballs with f=1 do poison it — the bound is tight.
+        let reports = [15.0, 18.0, 22.0, 1.0, 1.0];
+        assert_eq!(robust_min(&reports, 1), 1.0);
+        assert_eq!(robust_min(&reports, 2), 15.0);
+    }
+
+    #[test]
+    fn robust_min_never_exceeds_largest_honest_value() {
+        // Attacker high-balls instead: the (f+1)-th smallest is still an
+        // honest (or lower) value.
+        let reports = [15.0, 18.0, 22.0, 99.0];
+        assert!(robust_min(&reports, 1) <= 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more reports")]
+    fn robust_min_needs_quorum() {
+        let _ = robust_min(&[1.0], 1);
+    }
+}

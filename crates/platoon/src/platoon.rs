@@ -1,0 +1,256 @@
+//! Platoon membership, trust management and parameter negotiation.
+//!
+//! Combines the agreement protocols with a simple evidence-based trust
+//! model: members whose broadcasts repeatedly deviate from the agreed value
+//! lose trust and are ejected — the self-protection against "malicious
+//! neighbors" the paper calls for. The negotiated cruise speed is the
+//! Byzantine-robust minimum of the members' *safe speeds* (each derived
+//! from that vehicle's ability level), so a fog-blinded vehicle can keep
+//! driving by joining a platoon whose agreed speed respects everyone's
+//! capabilities.
+
+use std::collections::HashMap;
+
+use crate::agreement::{robust_min, trimmed_mean_agreement, AgreementResult, Behavior};
+
+/// Identifier of a platoon member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemberId(pub usize);
+
+/// One platoon member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Identifier.
+    pub id: MemberId,
+    /// The speed this vehicle considers safe given its own abilities (m/s).
+    pub safe_speed_mps: f64,
+    /// Protocol behaviour (faulty members lie).
+    pub behavior: Behavior,
+    /// Current trust score in `[0, 1]`.
+    pub trust: f64,
+}
+
+/// Outcome of one negotiation round.
+#[derive(Debug, Clone)]
+pub struct Negotiation {
+    /// The agreed common cruise speed (m/s).
+    pub speed_mps: f64,
+    /// The agreement run underlying it.
+    pub agreement: AgreementResult,
+    /// Members ejected for losing trust during this negotiation.
+    pub ejected: Vec<MemberId>,
+}
+
+/// A platoon with trust management.
+#[derive(Debug, Clone)]
+pub struct Platoon {
+    members: Vec<Member>,
+    /// Assumed maximum number of simultaneously faulty members.
+    max_faults: usize,
+    /// Trust lost per observed deviation; gained back per consistent round.
+    trust_step: f64,
+    /// Ejection threshold.
+    trust_floor: f64,
+}
+
+impl Platoon {
+    /// Creates a platoon tolerating up to `max_faults` faulty members.
+    pub fn new(max_faults: usize) -> Self {
+        Platoon {
+            members: Vec::new(),
+            max_faults,
+            trust_step: 0.25,
+            trust_floor: 0.5,
+        }
+    }
+
+    /// Adds a member with full trust; returns its id.
+    pub fn join(&mut self, safe_speed_mps: f64, behavior: Behavior) -> MemberId {
+        let id = MemberId(self.members.len());
+        self.members.push(Member {
+            id,
+            safe_speed_mps,
+            behavior,
+            trust: 1.0,
+        });
+        id
+    }
+
+    /// Active (non-ejected) members.
+    pub fn active_members(&self) -> Vec<&Member> {
+        self.members.iter().filter(|m| m.trust > 0.0).collect()
+    }
+
+    /// Number of active members.
+    pub fn len(&self) -> usize {
+        self.active_members().len()
+    }
+
+    /// Whether the platoon has no active members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Trust score of a member.
+    ///
+    /// # Panics
+    /// Panics on an invalid id.
+    pub fn trust(&self, id: MemberId) -> f64 {
+        self.members[id.0].trust
+    }
+
+    /// Negotiates the common cruise speed:
+    ///
+    /// 1. every active member reports its safe speed (liars lie);
+    /// 2. the speed is the Byzantine-robust minimum of the reports;
+    /// 3. agreement on the value is confirmed with trimmed-mean rounds;
+    /// 4. members whose report deviates grossly from the agreed value lose
+    ///    trust; below the floor they are ejected.
+    ///
+    /// Returns `None` when fewer than `3·max_faults + 1` members are active
+    /// (the protocol precondition does not hold).
+    pub fn negotiate_speed(&mut self) -> Option<Negotiation> {
+        let active: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.trust > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if active.len() < 3 * self.max_faults + 1 {
+            return None;
+        }
+        let reports: Vec<f64> = active
+            .iter()
+            .map(|&i| match self.members[i].behavior {
+                Behavior::Honest => self.members[i].safe_speed_mps,
+                Behavior::ConstantLie(v) => v,
+                Behavior::Oscillate { high, .. } => high,
+                Behavior::SelfishOffset(d) => self.members[i].safe_speed_mps + d,
+            })
+            .collect();
+        let behaviors: Vec<Behavior> =
+            active.iter().map(|&i| self.members[i].behavior).collect();
+        let speed = robust_min(&reports, self.max_faults);
+        let agreement = trimmed_mean_agreement(
+            &reports,
+            &behaviors,
+            self.max_faults,
+            0.01,
+            200,
+        );
+        // Trust update: deviation of each member's report from the robust
+        // minimum's neighborhood, using the honest spread as tolerance.
+        let tolerance = (agreement.spread() + 1.0).max(5.0);
+        let mut ejected = Vec::new();
+        for (k, &i) in active.iter().enumerate() {
+            let deviation = (reports[k] - agreement.agreed_value()).abs();
+            let member = &mut self.members[i];
+            if deviation > tolerance {
+                member.trust -= self.trust_step;
+                if member.trust < self.trust_floor {
+                    member.trust = 0.0;
+                    ejected.push(member.id);
+                }
+            } else {
+                member.trust = (member.trust + self.trust_step / 2.0).min(1.0);
+            }
+        }
+        Some(Negotiation {
+            speed_mps: speed,
+            agreement,
+            ejected,
+        })
+    }
+
+    /// Current trust scores by member id (for reports).
+    pub fn trust_table(&self) -> HashMap<MemberId, f64> {
+        self.members.iter().map(|m| (m.id, m.trust)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_platoon_agrees_on_slowest_safe_speed() {
+        let mut p = Platoon::new(1);
+        for v in [25.0, 22.0, 18.0, 24.0] {
+            p.join(v, Behavior::Honest);
+        }
+        let n = p.negotiate_speed().expect("quorum");
+        // Robust min with f=1 over sorted [18,22,24,25] = 22: one report is
+        // discarded as potentially faulty, so the fog-blind 18 m/s member is
+        // NOT fully trusted... the platoon must include enough members.
+        assert_eq!(n.speed_mps, 22.0);
+        assert!(n.agreement.converged);
+        assert!(n.ejected.is_empty());
+    }
+
+    #[test]
+    fn fog_blind_member_protected_with_larger_quorum() {
+        // With zero assumed faults the true minimum rules.
+        let mut p = Platoon::new(0);
+        for v in [25.0, 22.0, 12.0] {
+            p.join(v, Behavior::Honest);
+        }
+        let n = p.negotiate_speed().unwrap();
+        assert_eq!(n.speed_mps, 12.0);
+    }
+
+    #[test]
+    fn lowball_attacker_cannot_stall_platoon() {
+        let mut p = Platoon::new(1);
+        for v in [25.0, 23.0, 22.0, 24.0, 21.0, 23.5] {
+            p.join(v, Behavior::Honest);
+        }
+        p.join(21.0, Behavior::ConstantLie(2.0)); // wants everyone at 2 m/s
+        let n = p.negotiate_speed().unwrap();
+        assert!(n.speed_mps >= 21.0, "stalled at {}", n.speed_mps);
+    }
+
+    #[test]
+    fn persistent_liar_is_ejected() {
+        let mut p = Platoon::new(1);
+        for v in [25.0, 23.0, 22.0, 24.0, 21.0, 23.5] {
+            p.join(v, Behavior::Honest);
+        }
+        let liar = p.join(22.0, Behavior::ConstantLie(90.0));
+        let mut ejected_at = None;
+        for round in 0..5 {
+            let n = p.negotiate_speed().unwrap();
+            if n.ejected.contains(&liar) {
+                ejected_at = Some(round);
+                break;
+            }
+        }
+        assert!(ejected_at.is_some(), "liar never ejected");
+        assert_eq!(p.trust(liar), 0.0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn insufficient_quorum_refuses_negotiation() {
+        let mut p = Platoon::new(2);
+        for v in [25.0, 22.0, 20.0] {
+            p.join(v, Behavior::Honest);
+        }
+        assert!(p.negotiate_speed().is_none(), "3 < 3*2+1");
+    }
+
+    #[test]
+    fn honest_members_keep_trust() {
+        let mut p = Platoon::new(1);
+        let ids: Vec<MemberId> = [25.0, 23.0, 22.0, 24.0]
+            .iter()
+            .map(|&v| p.join(v, Behavior::Honest))
+            .collect();
+        for _ in 0..3 {
+            p.negotiate_speed().unwrap();
+        }
+        for id in ids {
+            assert_eq!(p.trust(id), 1.0);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A deterministic, typed event queue.
+//!
+//! [`EventQueue`] orders events by timestamp; events scheduled for the same
+//! instant pop in insertion order (FIFO), which keeps simulations
+//! deterministic regardless of heap internals.
+//!
+//! ```
+//! use saav_sim::event::EventQueue;
+//! use saav_sim::time::Time;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Time::from_micros(2), "late");
+//! q.schedule(Time::from_micros(1), "early");
+//! assert_eq!(q.pop(), Some((Time::from_micros(1), "early")));
+//! assert_eq!(q.pop(), Some((Time::from_micros(2), "late")));
+//! assert!(q.is_empty());
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, Time};
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) yields the earliest
+        // (time, seq) first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of typed events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: Time, delay: Duration, event: E) {
+        self.schedule(now + delay, event);
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the earliest event together with its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Removes and returns the earliest event if it is due at or before
+    /// `deadline`.
+    pub fn pop_due(&mut self, deadline: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 3);
+        q.schedule(Time::from_nanos(10), 1);
+        q.schedule(Time::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_micros(10), "a");
+        q.schedule(Time::from_micros(20), "b");
+        assert_eq!(q.pop_due(Time::from_micros(5)), None);
+        assert_eq!(
+            q.pop_due(Time::from_micros(10)),
+            Some((Time::from_micros(10), "a"))
+        );
+        assert_eq!(q.pop_due(Time::from_micros(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_after(Time::from_micros(100), Duration::from_micros(5), ());
+        assert_eq!(q.peek_time(), Some(Time::from_micros(105)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The `repro` binary prints every reproduced table/figure as an aligned
+//! text table built with [`Table`]:
+//!
+//! ```
+//! use saav_sim::report::Table;
+//!
+//! let mut t = Table::new(["n", "latency"]);
+//! t.row(["1", "7.2us"]);
+//! t.row(["8", "10.9us"]);
+//! let s = t.render();
+//! assert!(s.contains("latency"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, for table cells.
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]).with_title("demo");
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== demo ==");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at same offset in all rows.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 1], "1");
+        assert_eq!(&lines[4][col..col + 5], "22222");
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn formats_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.5), "50.0%");
+    }
+}

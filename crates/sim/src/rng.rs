@@ -1,0 +1,194 @@
+//! Deterministic random numbers for reproducible experiments.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::SmallRng`] and adds the small set
+//! of distributions the simulators need (uniform, Bernoulli, Gaussian via
+//! Box–Muller, exponential) without pulling in `rand_distr`.
+//!
+//! ```
+//! use saav_sim::rng::SimRng;
+//!
+//! let mut a = SimRng::seed_from(42);
+//! let mut b = SimRng::seed_from(42);
+//! assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic, seedable RNG with simulation-oriented helpers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    /// Cached second sample from the last Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed. Equal seeds produce equal streams.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child RNG; handy for giving each subsystem its
+    /// own stream so adding draws in one subsystem does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(seed)
+    }
+
+    /// Uniform sample in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty integer range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform index in `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index into empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Bernoulli trial; probabilities outside `[0,1]` are clamped.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Standard-normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box–Muller needs u1 in (0, 1]; gen() yields [0, 1).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Gaussian sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.abs() * self.standard_normal()
+    }
+
+    /// Exponential sample with the given rate (λ).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 10.0), b.uniform(0.0, 10.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32)
+            .filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0))
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1_000 {
+            let x = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(4.0, 4.0), 4.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut rng = SimRng::seed_from(17);
+        let hits = (0..20_000).filter(|_| rng.chance(0.3)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn fork_is_deterministic_but_independent() {
+        let mut parent1 = SimRng::seed_from(5);
+        let mut parent2 = SimRng::seed_from(5);
+        let mut c1 = parent1.fork(99);
+        let mut c2 = parent2.fork(99);
+        assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+        let mut other = parent1.fork(100);
+        assert_ne!(c1.uniform(0.0, 1.0), other.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(23);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+}

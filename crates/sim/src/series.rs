@@ -1,0 +1,342 @@
+//! Time-series recording and summary statistics for experiments.
+//!
+//! [`Series`] collects `(Time, f64)` samples produced by a simulation run and
+//! offers the aggregates the benchmark harness reports (mean, percentiles,
+//! min/max, time-weighted integrals). [`Histogram`] buckets samples for
+//! distribution-shaped outputs.
+
+use crate::time::{Duration, Time};
+
+/// An append-only time series of scalar samples.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    samples: Vec<(Time, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Appends a sample. Timestamps should be non-decreasing; out-of-order
+    /// pushes are accepted but time-weighted statistics then lose meaning.
+    pub fn push(&mut self, t: Time, value: f64) {
+        self.samples.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over `(time, value)` samples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The raw values, in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|&(_, v)| v)
+    }
+
+    /// The last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Smallest value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.min(v)))
+        })
+    }
+
+    /// Largest value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self
+            .values()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Percentile via nearest-rank on the sorted values; `q` in `[0, 1]`.
+    ///
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut vals: Vec<f64> = self.values().collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
+        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        Some(vals[rank - 1])
+    }
+
+    /// Fraction of samples for which `pred` holds; `None` when empty.
+    pub fn fraction_where<F: Fn(f64) -> bool>(&self, pred: F) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let hits = self.values().filter(|&v| pred(v)).count();
+        Some(hits as f64 / self.samples.len() as f64)
+    }
+
+    /// First time at which `pred` holds, if ever.
+    pub fn first_time_where<F: Fn(f64) -> bool>(&self, pred: F) -> Option<Time> {
+        self.iter().find(|&(_, v)| pred(v)).map(|(t, _)| t)
+    }
+
+    /// Time-weighted mean assuming zero-order hold between samples, evaluated
+    /// over `[first sample, end]`. Returns `None` with no samples or when
+    /// `end` precedes the first sample.
+    pub fn time_weighted_mean(&self, end: Time) -> Option<f64> {
+        let first = self.samples.first()?.0;
+        if end <= first {
+            return None;
+        }
+        let mut acc = 0.0;
+        for w in self.samples.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, _) = w[1];
+            let t1 = t1.min(end);
+            if t1 > t0 {
+                acc += v0 * (t1 - t0).as_secs_f64();
+            }
+        }
+        let (tl, vl) = *self.samples.last()?;
+        if end > tl {
+            acc += vl * (end - tl).as_secs_f64();
+        }
+        Some(acc / (end - first).as_secs_f64())
+    }
+
+    /// Total simulated time during which `pred` held (zero-order hold).
+    pub fn duration_where<F: Fn(f64) -> bool>(&self, end: Time, pred: F) -> Duration {
+        let mut acc = Duration::ZERO;
+        for w in self.samples.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, _) = w[1];
+            let t1 = t1.min(end);
+            if t1 > t0 && pred(v0) {
+                acc += t1 - t0;
+            }
+        }
+        if let Some(&(tl, vl)) = self.samples.last() {
+            if end > tl && pred(vl) {
+                acc += end - tl;
+            }
+        }
+        acc
+    }
+}
+
+impl FromIterator<(Time, f64)> for Series {
+    fn from_iter<I: IntoIterator<Item = (Time, f64)>>(iter: I) -> Self {
+        Series {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Time, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (Time, f64)>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// A fixed-width-bucket histogram over `[lo, hi)` with under/overflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize)
+                .min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower edge of bucket `idx`.
+    pub fn bucket_lo(&self, idx: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * idx as f64 / self.counts.len() as f64
+    }
+
+    /// Number of buckets (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Time {
+        Time::from_secs(s)
+    }
+
+    #[test]
+    fn empty_series_yields_none() {
+        let s = Series::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.time_weighted_mean(secs(1)), None);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s: Series = (0..5)
+            .map(|i| (secs(i), i as f64))
+            .collect();
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.percentile(0.5), Some(2.0));
+        assert_eq!(s.percentile(1.0), Some(4.0));
+        assert_eq!(s.percentile(0.0), Some(0.0));
+        let sd = s.std_dev().unwrap();
+        assert!((sd - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_uses_hold() {
+        let mut s = Series::new();
+        s.push(secs(0), 0.0);
+        s.push(secs(1), 10.0);
+        // 0.0 for 1s, then 10.0 for 3s => (0*1 + 10*3)/4 = 7.5
+        assert_eq!(s.time_weighted_mean(secs(4)), Some(7.5));
+    }
+
+    #[test]
+    fn duration_where_accumulates_hold_intervals() {
+        let mut s = Series::new();
+        s.push(secs(0), 1.0);
+        s.push(secs(2), 0.0);
+        s.push(secs(3), 1.0);
+        let d = s.duration_where(secs(5), |v| v > 0.5);
+        assert_eq!(d, Duration::from_secs(4)); // [0,2) and [3,5)
+    }
+
+    #[test]
+    fn fraction_and_first_time() {
+        let s: Series = (0..10)
+            .map(|i| (secs(i), i as f64))
+            .collect();
+        assert_eq!(s.fraction_where(|v| v >= 5.0), Some(0.5));
+        assert_eq!(s.first_time_where(|v| v >= 7.0), Some(secs(7)));
+        assert_eq!(s.first_time_where(|v| v > 100.0), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(2), 1); // 5.0
+        assert_eq!(h.count(4), 1); // 9.99
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bucket_lo(1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validates_q() {
+        let s: Series = [(secs(0), 1.0)].into_iter().collect();
+        let _ = s.percentile(1.5);
+    }
+}

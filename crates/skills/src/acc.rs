@@ -1,0 +1,205 @@
+//! The ACC (Adaptive Cruise Control) skill graph from Sec. IV of the paper.
+//!
+//! The paper walks through the construction in prose; this module encodes it
+//! edge by edge:
+//!
+//! > "for realizing ACC driving, the abilities to control distance, to
+//! > control speed and to keep the vehicle controllable for the driver are
+//! > required. To keep the vehicle controllable for the driver it is
+//! > necessary to estimate the driver's intent and to be able to decelerate
+//! > the vehicle. To control the distance to the preceding vehicle and to
+//! > control the speed of the ego vehicle the skill to select a target
+//! > object is needed. Both the aforementioned abilities are also dependent
+//! > on the skill to estimate the driver's intent and the skill to
+//! > accelerate and decelerate. For the selection of a target object, the
+//! > system has to be able to perceive and track dynamic objects which
+//! > itself depends on environment sensors as data sources. To estimate the
+//! > driver's intent, a form of HMI is required as a data source.
+//! > Acceleration and deceleration both require the powertrain system as a
+//! > data sink while deceleration also requires the braking system as a
+//! > data sink."
+
+use crate::graph::{GraphError, NodeId, SkillGraph};
+
+/// Node names of the ACC graph, for lookups by downstream code.
+pub mod names {
+    /// Main skill (root).
+    pub const ACC_DRIVING: &str = "acc_driving";
+    /// Distance control skill.
+    pub const CONTROL_DISTANCE: &str = "control_distance";
+    /// Speed control skill.
+    pub const CONTROL_SPEED: &str = "control_speed";
+    /// Keep-vehicle-controllable-for-driver skill.
+    pub const KEEP_CONTROLLABLE: &str = "keep_controllable";
+    /// Driver intent estimation skill.
+    pub const ESTIMATE_DRIVER_INTENT: &str = "estimate_driver_intent";
+    /// Target object selection skill.
+    pub const SELECT_TARGET: &str = "select_target";
+    /// Dynamic object perception/tracking skill.
+    pub const PERCEIVE_OBJECTS: &str = "perceive_objects";
+    /// Acceleration skill.
+    pub const ACCELERATE: &str = "accelerate";
+    /// Deceleration skill.
+    pub const DECELERATE: &str = "decelerate";
+    /// Environment sensor data source (radar et al.).
+    pub const ENV_SENSORS: &str = "env_sensors";
+    /// HMI data source.
+    pub const HMI: &str = "hmi";
+    /// Powertrain data sink.
+    pub const POWERTRAIN: &str = "powertrain";
+    /// Braking system data sink.
+    pub const BRAKES: &str = "brakes";
+}
+
+/// Handles to every node of the constructed ACC graph.
+#[derive(Debug, Clone, Copy)]
+pub struct AccNodes {
+    /// Main skill: ACC driving.
+    pub acc_driving: NodeId,
+    /// Control distance to the preceding vehicle.
+    pub control_distance: NodeId,
+    /// Control the ego vehicle's speed.
+    pub control_speed: NodeId,
+    /// Keep the vehicle controllable for the driver.
+    pub keep_controllable: NodeId,
+    /// Estimate the driver's intent.
+    pub estimate_driver_intent: NodeId,
+    /// Select the target object.
+    pub select_target: NodeId,
+    /// Perceive and track dynamic objects.
+    pub perceive_objects: NodeId,
+    /// Accelerate the vehicle.
+    pub accelerate: NodeId,
+    /// Decelerate the vehicle.
+    pub decelerate: NodeId,
+    /// Environment sensors (data source).
+    pub env_sensors: NodeId,
+    /// Human-machine interface (data source).
+    pub hmi: NodeId,
+    /// Powertrain (data sink).
+    pub powertrain: NodeId,
+    /// Braking system (data sink).
+    pub brakes: NodeId,
+}
+
+/// Builds the paper's ACC skill graph.
+///
+/// # Errors
+/// Never fails for the fixed construction; the `Result` carries the
+/// [`GraphError`] type for uniformity with hand-built graphs.
+pub fn build_acc_graph() -> Result<(SkillGraph, AccNodes), GraphError> {
+    let mut g = SkillGraph::new();
+    let acc_driving = g.add_skill(names::ACC_DRIVING)?;
+    let control_distance = g.add_skill(names::CONTROL_DISTANCE)?;
+    let control_speed = g.add_skill(names::CONTROL_SPEED)?;
+    let keep_controllable = g.add_skill(names::KEEP_CONTROLLABLE)?;
+    let estimate_driver_intent = g.add_skill(names::ESTIMATE_DRIVER_INTENT)?;
+    let select_target = g.add_skill(names::SELECT_TARGET)?;
+    let perceive_objects = g.add_skill(names::PERCEIVE_OBJECTS)?;
+    let accelerate = g.add_skill(names::ACCELERATE)?;
+    let decelerate = g.add_skill(names::DECELERATE)?;
+    let env_sensors = g.add_source(names::ENV_SENSORS)?;
+    let hmi = g.add_source(names::HMI)?;
+    let powertrain = g.add_sink(names::POWERTRAIN)?;
+    let brakes = g.add_sink(names::BRAKES)?;
+
+    // ACC driving requires distance control, speed control and keeping the
+    // vehicle controllable.
+    g.depend(acc_driving, control_distance)?;
+    g.depend(acc_driving, control_speed)?;
+    g.depend(acc_driving, keep_controllable)?;
+    // Keeping controllable requires intent estimation and deceleration.
+    g.depend(keep_controllable, estimate_driver_intent)?;
+    g.depend(keep_controllable, decelerate)?;
+    // Distance/speed control require target selection …
+    g.depend(control_distance, select_target)?;
+    g.depend(control_speed, select_target)?;
+    // … and also depend on intent estimation and accelerate/decelerate.
+    g.depend(control_distance, estimate_driver_intent)?;
+    g.depend(control_speed, estimate_driver_intent)?;
+    g.depend(control_distance, accelerate)?;
+    g.depend(control_distance, decelerate)?;
+    g.depend(control_speed, accelerate)?;
+    g.depend(control_speed, decelerate)?;
+    // Target selection needs object perception, which needs sensors.
+    g.depend(select_target, perceive_objects)?;
+    g.depend(perceive_objects, env_sensors)?;
+    // Intent estimation needs the HMI.
+    g.depend(estimate_driver_intent, hmi)?;
+    // Acceleration/deceleration actuate the powertrain; deceleration also
+    // the brakes.
+    g.depend(accelerate, powertrain)?;
+    g.depend(decelerate, powertrain)?;
+    g.depend(decelerate, brakes)?;
+
+    let nodes = AccNodes {
+        acc_driving,
+        control_distance,
+        control_speed,
+        keep_controllable,
+        estimate_driver_intent,
+        select_target,
+        perceive_objects,
+        accelerate,
+        decelerate,
+        env_sensors,
+        hmi,
+        powertrain,
+        brakes,
+    };
+    Ok((g, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn graph_is_valid_with_acc_as_root() {
+        let (g, n) = build_acc_graph().unwrap();
+        assert_eq!(g.validate().unwrap(), n.acc_driving);
+        assert_eq!(g.len(), 13);
+    }
+
+    #[test]
+    fn node_kinds_match_paper() {
+        let (g, n) = build_acc_graph().unwrap();
+        assert_eq!(g.kind(n.env_sensors), NodeKind::DataSource);
+        assert_eq!(g.kind(n.hmi), NodeKind::DataSource);
+        assert_eq!(g.kind(n.powertrain), NodeKind::DataSink);
+        assert_eq!(g.kind(n.brakes), NodeKind::DataSink);
+        assert_eq!(g.kind(n.acc_driving), NodeKind::Skill);
+    }
+
+    #[test]
+    fn paper_dependency_chains_exist() {
+        let (g, n) = build_acc_graph().unwrap();
+        // Sensor degradation propagates to ACC via perception and target
+        // selection.
+        let affected = g.dependents_of(n.env_sensors);
+        assert!(affected.contains(&n.perceive_objects));
+        assert!(affected.contains(&n.select_target));
+        assert!(affected.contains(&n.control_distance));
+        assert!(affected.contains(&n.control_speed));
+        assert!(affected.contains(&n.acc_driving));
+        // But not to intent estimation.
+        assert!(!affected.contains(&n.estimate_driver_intent));
+    }
+
+    #[test]
+    fn brakes_affect_decelerate_but_not_accelerate() {
+        let (g, n) = build_acc_graph().unwrap();
+        let affected = g.dependents_of(n.brakes);
+        assert!(affected.contains(&n.decelerate));
+        assert!(!affected.contains(&n.accelerate));
+        // Deceleration matters for keep_controllable too.
+        assert!(affected.contains(&n.keep_controllable));
+    }
+
+    #[test]
+    fn root_depends_on_everything() {
+        let (g, n) = build_acc_graph().unwrap();
+        assert_eq!(g.dependencies_of(n.acc_driving).len(), 12);
+    }
+}

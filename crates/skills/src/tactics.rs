@@ -1,0 +1,192 @@
+//! Graceful-degradation tactics driven by ability status changes.
+//!
+//! Sec. IV: *"In case of a reduced ability level it is possible for the
+//! system to apply graceful degradation tactics, e.g. by switching to
+//! different software modules or by performing self-reconfiguration."*
+//! A [`TacticEngine`] holds rules that map a node's status drop to an
+//! action; each rule fires once per degradation episode and re-arms when the
+//! node recovers.
+
+use crate::ability::{AbilityStatus, StatusChange};
+use crate::graph::NodeId;
+
+/// Action to take when a tactic triggers. Actions are returned to the
+//  caller (the cross-layer coordinator) for execution — the skill layer
+/// proposes, the vehicle-level coordination disposes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TacticAction {
+    /// Switch the implementation of a skill to a redundant module.
+    SwitchImplementation {
+        /// The skill to re-bind.
+        node: NodeId,
+        /// Name of the redundant module to activate.
+        to: String,
+    },
+    /// Restrict a driving parameter (the paper's "reducing the maximum
+    /// speed" countermeasure).
+    RestrictSpeed {
+        /// New speed cap in m/s.
+        max_mps: f64,
+    },
+    /// Disable a skill entirely (and everything that needs it).
+    DisableSkill {
+        /// The skill to disable.
+        node: NodeId,
+    },
+    /// Ask the model domain for a reconfiguration.
+    RequestReconfiguration {
+        /// Free-form request description.
+        reason: String,
+    },
+    /// Escalate to the objective layer: transition to minimal-risk state.
+    RequestSafeStop,
+}
+
+/// A degradation rule: when `node` reaches `at_or_below`, run `action`.
+#[derive(Debug, Clone)]
+pub struct Tactic {
+    /// Monitored node.
+    pub node: NodeId,
+    /// Severity threshold triggering the tactic.
+    pub at_or_below: AbilityStatus,
+    /// The proposed action.
+    pub action: TacticAction,
+}
+
+#[derive(Debug, Clone)]
+struct ArmedTactic {
+    tactic: Tactic,
+    armed: bool,
+}
+
+/// Evaluates tactics against ability status changes.
+#[derive(Debug, Clone, Default)]
+pub struct TacticEngine {
+    tactics: Vec<ArmedTactic>,
+}
+
+impl TacticEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        TacticEngine::default()
+    }
+
+    /// Registers a tactic.
+    pub fn add(&mut self, tactic: Tactic) -> &mut Self {
+        self.tactics.push(ArmedTactic {
+            tactic,
+            armed: true,
+        });
+        self
+    }
+
+    /// Number of registered tactics.
+    pub fn len(&self) -> usize {
+        self.tactics.len()
+    }
+
+    /// Whether no tactics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tactics.is_empty()
+    }
+
+    /// Processes a batch of status changes, returning the actions to take.
+    /// A tactic fires at most once per degradation episode.
+    pub fn evaluate(&mut self, changes: &[StatusChange]) -> Vec<TacticAction> {
+        let mut actions = Vec::new();
+        for change in changes {
+            for at in &mut self.tactics {
+                if at.tactic.node != change.node {
+                    continue;
+                }
+                let triggered = change.to <= at.tactic.at_or_below;
+                if triggered && at.armed {
+                    at.armed = false;
+                    actions.push(at.tactic.action.clone());
+                } else if !triggered {
+                    // Node recovered above the threshold: re-arm.
+                    at.armed = true;
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ability::{AbilityGraph, AggregateOp, Thresholds};
+    use crate::acc::build_acc_graph;
+
+    fn setup() -> (AbilityGraph, crate::acc::AccNodes, TacticEngine) {
+        let (g, n) = build_acc_graph().unwrap();
+        let a = AbilityGraph::instantiate(g, AggregateOp::Min, Thresholds::default()).unwrap();
+        let mut engine = TacticEngine::new();
+        engine.add(Tactic {
+            node: n.decelerate,
+            at_or_below: AbilityStatus::Degraded,
+            action: TacticAction::RestrictSpeed { max_mps: 15.0 },
+        });
+        engine.add(Tactic {
+            node: n.acc_driving,
+            at_or_below: AbilityStatus::Unavailable,
+            action: TacticAction::RequestSafeStop,
+        });
+        (a, n, engine)
+    }
+
+    #[test]
+    fn degraded_brakes_restrict_speed() {
+        let (mut a, n, mut engine) = setup();
+        a.propagate();
+        a.set_measured(n.brakes, 0.5);
+        let actions = engine.evaluate(&a.propagate());
+        assert!(actions.contains(&TacticAction::RestrictSpeed { max_mps: 15.0 }));
+        // Brakes at 0.5 leave the root Degraded, not Unavailable — no safe
+        // stop yet.
+        assert!(!actions.contains(&TacticAction::RequestSafeStop));
+    }
+
+    #[test]
+    fn total_brake_loss_escalates_to_safe_stop() {
+        let (mut a, n, mut engine) = setup();
+        a.propagate();
+        a.set_measured(n.brakes, 0.0);
+        let actions = engine.evaluate(&a.propagate());
+        assert!(actions.contains(&TacticAction::RequestSafeStop));
+    }
+
+    #[test]
+    fn tactic_fires_once_per_episode_and_rearms() {
+        let (mut a, n, mut engine) = setup();
+        a.propagate();
+        a.set_measured(n.brakes, 0.5);
+        let first = engine.evaluate(&a.propagate());
+        assert_eq!(first.len(), 1);
+        // Worsening within the same episode: decelerate goes Unavailable —
+        // but the tactic already fired.
+        a.set_measured(n.brakes, 0.1);
+        let second = engine.evaluate(&a.propagate());
+        assert!(second
+            .iter()
+            .all(|x| !matches!(x, TacticAction::RestrictSpeed { .. })));
+        // Recovery re-arms.
+        a.set_measured(n.brakes, 1.0);
+        engine.evaluate(&a.propagate());
+        a.set_measured(n.brakes, 0.5);
+        let third = engine.evaluate(&a.propagate());
+        assert_eq!(third.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_changes_do_not_trigger() {
+        let (mut a, n, mut engine) = setup();
+        a.propagate();
+        a.set_measured(n.hmi, 0.5);
+        let actions = engine.evaluate(&a.propagate());
+        // hmi affects intent estimation and the root (degraded), but neither
+        // registered tactic matches those nodes at those levels.
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,399 @@
+//! System-level compositional analysis: multiple resources, task chains and
+//! jitter propagation.
+//!
+//! This is the outer CPA loop the MCC's timing viewpoint runs: analyse each
+//! resource locally, derive output event models (input model plus response
+//! jitter), propagate them along activation chains, and repeat until the
+//! event models reach a fixpoint. End-to-end path latencies are computed over
+//! the converged response times.
+
+use std::collections::HashMap;
+
+use saav_sim::time::Duration;
+
+use crate::can_rt::CanAnalysis;
+use crate::cpu::CpuAnalysis;
+use crate::event_model::EventModel;
+use crate::task::{AnalysisError, Task, TaskResponse};
+
+/// Identifier of a resource within a [`SystemModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+/// Identifier of a task within a [`SystemModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+#[derive(Debug, Clone)]
+enum ResourceKind {
+    Cpu { speed_factor: f64 },
+    Can { bit_time: Duration },
+}
+
+#[derive(Debug, Clone)]
+struct Resource {
+    name: String,
+    kind: ResourceKind,
+}
+
+/// How a task is activated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Activated by an external event source described by the task's own
+    /// event model.
+    External,
+    /// Activated by completion of another task (event chain).
+    ChainedTo(TaskId),
+}
+
+#[derive(Debug, Clone)]
+struct SysTask {
+    task: Task,
+    resource: ResourceId,
+    activation: Activation,
+}
+
+/// A multi-resource system model for timing analysis.
+#[derive(Debug, Clone, Default)]
+pub struct SystemModel {
+    resources: Vec<Resource>,
+    tasks: Vec<SysTask>,
+}
+
+/// Result of a system-level analysis.
+#[derive(Debug, Clone)]
+pub struct SystemAnalysis {
+    responses: HashMap<TaskId, TaskResponse>,
+    /// Outer iterations until the event models converged.
+    pub iterations: usize,
+}
+
+impl SystemAnalysis {
+    /// Response of a task.
+    pub fn response(&self, id: TaskId) -> Option<&TaskResponse> {
+        self.responses.get(&id)
+    }
+
+    /// Whether every task meets its deadline.
+    pub fn schedulable(&self) -> bool {
+        self.responses.values().all(TaskResponse::meets_deadline)
+    }
+
+    /// Names of deadline violators, sorted for determinism.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .responses
+            .values()
+            .filter(|r| !r.meets_deadline())
+            .map(|r| r.name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Worst-case end-to-end latency along a chain of tasks: the sum of the
+    /// member WCRTs (valid for event-chained paths; for sampled links add
+    /// the sampling period at the consumer).
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::UnknownTask`] if a task id is not part of
+    /// the analysis.
+    pub fn path_latency(&self, chain: &[TaskId]) -> Result<Duration, AnalysisError> {
+        let mut total = Duration::ZERO;
+        for id in chain {
+            let r = self
+                .responses
+                .get(id)
+                .ok_or_else(|| AnalysisError::UnknownTask(format!("{id:?}")))?;
+            total += r.wcrt;
+        }
+        Ok(total)
+    }
+}
+
+impl SystemModel {
+    /// Creates an empty system model.
+    pub fn new() -> Self {
+        SystemModel::default()
+    }
+
+    /// Adds a CPU resource (static-priority preemptive).
+    pub fn add_cpu(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(Resource {
+            name: name.into(),
+            kind: ResourceKind::Cpu { speed_factor: 1.0 },
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Adds a CAN bus resource.
+    ///
+    /// # Panics
+    /// Panics if `bitrate_bps` is zero.
+    pub fn add_can(&mut self, name: impl Into<String>, bitrate_bps: u32) -> ResourceId {
+        assert!(bitrate_bps > 0);
+        self.resources.push(Resource {
+            name: name.into(),
+            kind: ResourceKind::Can {
+                bit_time: Duration::from_nanos(1_000_000_000 / bitrate_bps as u64),
+            },
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Sets the execution-speed factor of a CPU (thermal throttling input).
+    ///
+    /// # Panics
+    /// Panics if the resource is not a CPU or the factor is not positive.
+    pub fn set_cpu_speed_factor(&mut self, id: ResourceId, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0);
+        match &mut self.resources[id.0].kind {
+            ResourceKind::Cpu { speed_factor } => *speed_factor = factor,
+            ResourceKind::Can { .. } => panic!("resource is not a CPU"),
+        }
+    }
+
+    /// Adds a task (or frame stream) to a resource.
+    pub fn add_task(&mut self, resource: ResourceId, task: Task, activation: Activation) -> TaskId {
+        self.tasks.push(SysTask {
+            task,
+            resource,
+            activation,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Resource name lookup.
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.0].name
+    }
+
+    /// Number of tasks in the model.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the global CPA fixpoint.
+    ///
+    /// # Errors
+    /// Propagates local analysis errors ([`AnalysisError::Overload`],
+    /// [`AnalysisError::Diverged`]); returns [`AnalysisError::Diverged`]
+    /// with task `"<system>"` if the outer loop does not converge.
+    pub fn analyze(&self) -> Result<SystemAnalysis, AnalysisError> {
+        const MAX_OUTER: usize = 100;
+        // Current input event model per task.
+        let mut inputs: Vec<EventModel> =
+            self.tasks.iter().map(|t| t.task.events).collect();
+        // Chained tasks start from their own declared model's period but
+        // inherit the source period (periods must agree along a chain).
+        for (i, st) in self.tasks.iter().enumerate() {
+            if let Activation::ChainedTo(src) = st.activation {
+                inputs[i] = EventModel::new(
+                    self.tasks[src.0].task.events.period(),
+                    Duration::ZERO,
+                    self.tasks[src.0].task.events.d_min(),
+                );
+            }
+        }
+
+        let mut responses: HashMap<TaskId, TaskResponse> = HashMap::new();
+        for iteration in 1..=MAX_OUTER {
+            // Analyse every resource with the current input models.
+            responses.clear();
+            for (rid, _res) in self.resources.iter().enumerate() {
+                let members: Vec<usize> = (0..self.tasks.len())
+                    .filter(|&i| self.tasks[i].resource.0 == rid)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let local = self.analyze_resource(rid, &members, &inputs)?;
+                for (&ti, resp) in members.iter().zip(local) {
+                    responses.insert(TaskId(ti), resp);
+                }
+            }
+            // Propagate output jitter along chains.
+            let mut changed = false;
+            for (i, st) in self.tasks.iter().enumerate() {
+                if let Activation::ChainedTo(src) = st.activation {
+                    let src_resp = responses
+                        .get(&src)
+                        .ok_or_else(|| AnalysisError::UnknownTask(st.task.name.clone()))?;
+                    let src_in = inputs[src.0];
+                    let response_jitter = src_resp
+                        .wcrt
+                        .saturating_sub(self.tasks[src.0].task.bcet);
+                    let new_model = src_in.with_added_jitter(response_jitter);
+                    if new_model != inputs[i] {
+                        inputs[i] = new_model;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(SystemAnalysis {
+                    responses,
+                    iterations: iteration,
+                });
+            }
+        }
+        Err(AnalysisError::Diverged {
+            task: "<system>".into(),
+        })
+    }
+
+    fn analyze_resource(
+        &self,
+        rid: usize,
+        members: &[usize],
+        inputs: &[EventModel],
+    ) -> Result<Vec<TaskResponse>, AnalysisError> {
+        match self.resources[rid].kind {
+            ResourceKind::Cpu { speed_factor } => {
+                let mut cpu = CpuAnalysis::new();
+                cpu.set_speed_factor(speed_factor);
+                for &i in members {
+                    let mut t = self.tasks[i].task.clone();
+                    t.events = inputs[i];
+                    cpu.add_task(t);
+                }
+                cpu.analyze().map(|r| r.responses)
+            }
+            ResourceKind::Can { bit_time } => {
+                let mut can = CanAnalysis::new(bit_time);
+                for &i in members {
+                    let mut t = self.tasks[i].task.clone();
+                    t.events = inputs[i];
+                    can.add_frame(t);
+                }
+                can.analyze().map(|r| r.responses)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Priority;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn task(name: &str, c_ms: u64, p_ms: u64, prio: u32, d_ms: u64) -> Task {
+        Task::new(
+            name,
+            ms(c_ms),
+            Priority(prio),
+            EventModel::periodic(ms(p_ms)),
+            ms(d_ms),
+        )
+    }
+
+    /// Sensor task on CPU0 -> CAN frame -> actuator task on CPU1.
+    fn sensor_to_actuator() -> (SystemModel, TaskId, TaskId, TaskId) {
+        let mut sys = SystemModel::new();
+        let cpu0 = sys.add_cpu("cpu0");
+        let can = sys.add_can("can0", 500_000);
+        let cpu1 = sys.add_cpu("cpu1");
+        let sense = sys.add_task(
+            cpu0,
+            task("sense", 2, 10, 0, 5).with_bcet(ms(1)),
+            Activation::External,
+        );
+        let mut frame = Task::new(
+            "frame",
+            Duration::from_micros(270),
+            Priority(3),
+            EventModel::periodic(ms(10)),
+            ms(10),
+        );
+        frame.bcet = Duration::from_micros(94);
+        let frame = sys.add_task(can, frame, Activation::ChainedTo(sense));
+        let act = sys.add_task(
+            cpu1,
+            task("actuate", 1, 10, 0, 10),
+            Activation::ChainedTo(frame),
+        );
+        (sys, sense, frame, act)
+    }
+
+    #[test]
+    fn chained_system_converges_and_is_schedulable() {
+        let (sys, sense, frame, act) = sensor_to_actuator();
+        let res = sys.analyze().unwrap();
+        assert!(res.schedulable());
+        assert!(res.iterations >= 2, "jitter propagation needs a 2nd pass");
+        let r_sense = res.response(sense).unwrap().wcrt;
+        let r_frame = res.response(frame).unwrap().wcrt;
+        let r_act = res.response(act).unwrap().wcrt;
+        assert_eq!(r_sense, ms(2));
+        assert!(r_frame >= Duration::from_micros(270));
+        assert!(r_act >= ms(1));
+        let path = res.path_latency(&[sense, frame, act]).unwrap();
+        assert_eq!(path, r_sense + r_frame + r_act);
+    }
+
+    #[test]
+    fn chained_jitter_inflates_downstream_interference() {
+        // Two tasks on a CPU; the chained high-priority one inherits jitter
+        // from a long-running predecessor, bursting onto the victim.
+        let mut sys = SystemModel::new();
+        let cpu0 = sys.add_cpu("cpu0");
+        let cpu1 = sys.add_cpu("cpu1");
+        let producer = sys.add_task(
+            cpu0,
+            task("producer", 8, 20, 0, 20).with_bcet(ms(1)),
+            Activation::External,
+        );
+        let consumer = sys.add_task(
+            cpu1,
+            task("consumer", 2, 20, 0, 20),
+            Activation::ChainedTo(producer),
+        );
+        let victim = sys.add_task(cpu1, task("victim", 5, 40, 1, 40), Activation::External);
+        let res = sys.analyze().unwrap();
+        // Producer R = 8, bcet 1 -> consumer jitter 7ms. In a window of
+        // (5 + 2x) the consumer can hit twice once jitter >= 13... With J=7:
+        // victim w: 5 + eta_c(w)*2. w=7: eta = ceil((7+7)/20)=1 -> 7.
+        // So jitter here stays below the burst threshold; check exactness:
+        assert_eq!(res.response(victim).unwrap().wcrt, ms(7));
+        assert_eq!(res.response(consumer).unwrap().wcrt, ms(2));
+    }
+
+    #[test]
+    fn cpu_slowdown_breaks_schedulability_system_wide() {
+        let (sys, ..) = sensor_to_actuator();
+        let mut slow = sys.clone();
+        // cpu0 is ResourceId(0) in construction order. A 4x slowdown keeps
+        // utilization below 1 (0.8) but pushes `sense` past its 5 ms
+        // deadline.
+        slow.set_cpu_speed_factor(ResourceId(0), 4.0);
+        let res = slow.analyze().unwrap();
+        assert!(!res.schedulable());
+        assert_eq!(res.violations(), vec!["sense".to_string()]);
+    }
+
+    #[test]
+    fn unknown_task_in_path_is_error() {
+        let (sys, sense, ..) = sensor_to_actuator();
+        let res = sys.analyze().unwrap();
+        assert!(res.path_latency(&[sense, TaskId(99)]).is_err());
+    }
+
+    #[test]
+    fn empty_model_analyzes_trivially() {
+        let sys = SystemModel::new();
+        let res = sys.analyze().unwrap();
+        assert!(res.schedulable());
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn resource_names_are_kept() {
+        let mut sys = SystemModel::new();
+        let c = sys.add_cpu("ecu-front");
+        assert_eq!(sys.resource_name(c), "ecu-front");
+    }
+}

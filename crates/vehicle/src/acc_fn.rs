@@ -1,0 +1,401 @@
+//! The ACC driving function: target selection, gap/speed control and
+//! actuator allocation.
+//!
+//! Constant-time-gap spacing policy: desired gap `d* = d₀ + v·τ`, with the
+//! acceleration command `a = k₁(d − d*) + k₂(v_lead − v_ego)` arbitrated
+//! against a PI speed controller toward the driver's set speed (the smaller
+//! acceleration wins, as in production ACC). The [`Allocator`] then maps the
+//! acceleration demand onto powertrain and brake circuits — respecting a
+//! speed cap and rear-brake availability, which is how the ability layer's
+//! countermeasures ("reducing the maximum speed and generating additional
+//! brake torque from the drive train") take effect.
+
+use saav_sim::time::{Duration, Time};
+
+use crate::sensors::{HmiInput, RadarReading};
+
+/// Output of the ACC controller: a desired longitudinal acceleration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelCommand {
+    /// Desired acceleration in m/s² (negative = braking).
+    pub accel_mps2: f64,
+    /// Which control branch produced the command.
+    pub source: ControlBranch,
+}
+
+/// The arbitration branch that won.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlBranch {
+    /// Free-flow speed control toward the set speed.
+    SpeedControl,
+    /// Gap control behind a target vehicle.
+    GapControl,
+    /// Fallback when no valid target data exists and speed control is
+    /// inhibited (degraded perception): gentle coast-down.
+    CoastDown,
+}
+
+/// ACC controller parameters.
+#[derive(Debug, Clone)]
+pub struct AccParams {
+    /// Gap error gain (1/s²).
+    pub k_gap: f64,
+    /// Relative speed gain (1/s).
+    pub k_rel: f64,
+    /// Speed error gain for the speed controller (1/s).
+    pub k_speed: f64,
+    /// Standstill distance offset d₀ (m).
+    pub standstill_m: f64,
+    /// Acceleration limits (comfort): [min, max] m/s².
+    pub accel_limits: (f64, f64),
+    /// How long the controller keeps using a stale target before declaring
+    /// perception lost.
+    pub target_timeout: Duration,
+    /// After this much time without a measurement the target is considered
+    /// *departed* (out of range / changed lane) rather than lost to a
+    /// sensing problem, and free-flow speed control resumes.
+    pub target_departed_after: Duration,
+}
+
+impl Default for AccParams {
+    fn default() -> Self {
+        AccParams {
+            k_gap: 0.23,
+            k_rel: 0.74,
+            k_speed: 0.4,
+            standstill_m: 4.0,
+            accel_limits: (-3.5, 2.0),
+            target_timeout: Duration::from_millis(500),
+            target_departed_after: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The ACC control function.
+#[derive(Debug, Clone)]
+pub struct AccController {
+    params: AccParams,
+    last_target: Option<RadarReading>,
+}
+
+impl AccController {
+    /// Creates a controller.
+    pub fn new(params: AccParams) -> Self {
+        AccController {
+            params,
+            last_target: None,
+        }
+    }
+
+    /// Desired gap for the current speed under the HMI time-gap setting.
+    pub fn desired_gap_m(&self, ego_speed_mps: f64, hmi: HmiInput) -> f64 {
+        self.params.standstill_m + ego_speed_mps * hmi.time_gap_s
+    }
+
+    /// One control step.
+    ///
+    /// `radar` carries the newest measurement, if any arrived this cycle.
+    pub fn step(
+        &mut self,
+        now: Time,
+        ego_speed_mps: f64,
+        radar: Option<RadarReading>,
+        hmi: HmiInput,
+    ) -> AccelCommand {
+        if let Some(r) = radar {
+            self.last_target = Some(r);
+        }
+        // A target silent for long enough has departed (left the lane or
+        // pulled out of range): drop it and resume free flow instead of
+        // coasting down forever.
+        if let Some(last) = self.last_target {
+            if now.saturating_since(last.at) > self.params.target_departed_after {
+                self.last_target = None;
+            }
+        }
+        let (lo, hi) = self.params.accel_limits;
+        // Speed-control branch.
+        let a_speed = self.params.k_speed * (hmi.set_speed_mps - ego_speed_mps);
+        // Gap-control branch, if we have a fresh enough target.
+        let target = self
+            .last_target
+            .filter(|r| now.saturating_since(r.at) <= self.params.target_timeout);
+        
+        match target {
+            Some(r) => {
+                let desired = self.desired_gap_m(ego_speed_mps, hmi);
+                let a_gap = self.params.k_gap * (r.range_m - desired)
+                    + self.params.k_rel * r.range_rate_mps;
+                if a_gap < a_speed {
+                    AccelCommand {
+                        accel_mps2: a_gap.clamp(lo, hi),
+                        source: ControlBranch::GapControl,
+                    }
+                } else {
+                    AccelCommand {
+                        accel_mps2: a_speed.clamp(lo, hi),
+                        source: ControlBranch::SpeedControl,
+                    }
+                }
+            }
+            None => {
+                if self.last_target.is_some() {
+                    // Perception lost while following: coast down gently
+                    // rather than accelerating blindly into the unknown.
+                    AccelCommand {
+                        accel_mps2: (-0.8f64).clamp(lo, hi),
+                        source: ControlBranch::CoastDown,
+                    }
+                } else {
+                    AccelCommand {
+                        accel_mps2: a_speed.clamp(lo, hi),
+                        source: ControlBranch::SpeedControl,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Maps acceleration demands to actuator commands.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// Vehicle mass for force conversion.
+    pub mass_kg: f64,
+    /// Optional speed cap (the ability layer's "reduce maximum speed").
+    pub speed_cap_mps: Option<f64>,
+    /// Whether friction brakes are preferred (false shifts deceleration to
+    /// powertrain regen first — used when circuits are compromised).
+    pub prefer_regen: bool,
+}
+
+/// Actuator commands produced by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActuatorCommands {
+    /// Powertrain force command (positive drive, negative regen), N.
+    pub powertrain_n: f64,
+    /// Friction brake demand (total), N.
+    pub brake_n: f64,
+}
+
+impl Allocator {
+    /// Creates an allocator for a vehicle of the given mass.
+    pub fn new(mass_kg: f64) -> Self {
+        Allocator {
+            mass_kg,
+            speed_cap_mps: None,
+            prefer_regen: false,
+        }
+    }
+
+    /// Applies or clears a speed cap.
+    pub fn set_speed_cap(&mut self, cap: Option<f64>) {
+        self.speed_cap_mps = cap;
+    }
+
+    /// Converts an acceleration command to actuator commands.
+    ///
+    /// `max_regen_n` bounds how much of the braking demand regen can take.
+    pub fn allocate(
+        &self,
+        cmd: AccelCommand,
+        ego_speed_mps: f64,
+        max_regen_n: f64,
+    ) -> ActuatorCommands {
+        let mut accel = cmd.accel_mps2;
+        // Speed cap: never accelerate beyond the cap; brake gently down to
+        // it when exceeding.
+        if let Some(cap) = self.speed_cap_mps {
+            if ego_speed_mps > cap {
+                accel = accel.min(-0.5);
+            } else if ego_speed_mps > cap - 1.0 {
+                accel = accel.min(0.0);
+            }
+        }
+        let force = accel * self.mass_kg;
+        if force >= 0.0 {
+            ActuatorCommands {
+                powertrain_n: force,
+                brake_n: 0.0,
+            }
+        } else {
+            let brake_demand = -force;
+            if self.prefer_regen {
+                let regen = brake_demand.min(max_regen_n);
+                ActuatorCommands {
+                    powertrain_n: -regen,
+                    brake_n: brake_demand - regen,
+                }
+            } else {
+                // Blended: regen takes up to half the demand (energy
+                // recovery), friction the rest.
+                let regen = (brake_demand * 0.5).min(max_regen_n);
+                ActuatorCommands {
+                    powertrain_n: -regen,
+                    brake_n: brake_demand - regen,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hmi() -> HmiInput {
+        HmiInput {
+            set_speed_mps: 25.0,
+            time_gap_s: 1.8,
+        }
+    }
+
+    fn reading(at: Time, range: f64, rate: f64) -> RadarReading {
+        RadarReading {
+            at,
+            range_m: range,
+            range_rate_mps: rate,
+        }
+    }
+
+    #[test]
+    fn free_flow_accelerates_toward_set_speed() {
+        let mut acc = AccController::new(AccParams::default());
+        let cmd = acc.step(Time::ZERO, 15.0, None, hmi());
+        assert_eq!(cmd.source, ControlBranch::SpeedControl);
+        assert!(cmd.accel_mps2 > 0.0);
+        // At the set speed the command is ~0.
+        let cmd = acc.step(Time::ZERO, 25.0, None, hmi());
+        assert!(cmd.accel_mps2.abs() < 0.01);
+    }
+
+    #[test]
+    fn close_gap_commands_braking() {
+        let mut acc = AccController::new(AccParams::default());
+        // Desired gap at 25 m/s: 4 + 45 = 49 m. Actual 20 m and closing.
+        let cmd = acc.step(
+            Time::ZERO,
+            25.0,
+            Some(reading(Time::ZERO, 20.0, -5.0)),
+            hmi(),
+        );
+        assert_eq!(cmd.source, ControlBranch::GapControl);
+        assert!(cmd.accel_mps2 < -2.0, "{}", cmd.accel_mps2);
+        // Comfort limit respected.
+        assert!(cmd.accel_mps2 >= -3.5);
+    }
+
+    #[test]
+    fn far_target_defers_to_speed_control() {
+        let mut acc = AccController::new(AccParams::default());
+        let cmd = acc.step(
+            Time::ZERO,
+            20.0,
+            Some(reading(Time::ZERO, 150.0, 0.0)),
+            hmi(),
+        );
+        assert_eq!(cmd.source, ControlBranch::SpeedControl);
+        assert!(cmd.accel_mps2 > 0.0);
+    }
+
+    #[test]
+    fn stale_target_triggers_coast_down() {
+        let mut acc = AccController::new(AccParams::default());
+        acc.step(
+            Time::ZERO,
+            25.0,
+            Some(reading(Time::ZERO, 40.0, -1.0)),
+            hmi(),
+        );
+        // One second later with no fresh measurement: coast down.
+        let cmd = acc.step(Time::from_secs(1), 25.0, None, hmi());
+        assert_eq!(cmd.source, ControlBranch::CoastDown);
+        assert!(cmd.accel_mps2 < 0.0);
+    }
+
+    #[test]
+    fn departed_target_resumes_free_flow() {
+        let mut acc = AccController::new(AccParams::default());
+        acc.step(
+            Time::ZERO,
+            20.0,
+            Some(reading(Time::ZERO, 40.0, -1.0)),
+            hmi(),
+        );
+        // Beyond the departure window the controller forgets the target and
+        // accelerates back toward the set speed.
+        let cmd = acc.step(Time::from_secs(3), 20.0, None, hmi());
+        assert_eq!(cmd.source, ControlBranch::SpeedControl);
+        assert!(cmd.accel_mps2 > 0.0);
+    }
+
+    #[test]
+    fn allocator_splits_drive_and_brake() {
+        let alloc = Allocator::new(1_600.0);
+        let drive = alloc.allocate(
+            AccelCommand {
+                accel_mps2: 1.0,
+                source: ControlBranch::SpeedControl,
+            },
+            20.0,
+            3_000.0,
+        );
+        assert_eq!(drive.powertrain_n, 1_600.0);
+        assert_eq!(drive.brake_n, 0.0);
+        let brake = alloc.allocate(
+            AccelCommand {
+                accel_mps2: -2.0,
+                source: ControlBranch::GapControl,
+            },
+            20.0,
+            3_000.0,
+        );
+        // Blended: regen half (1600 N), friction half.
+        assert!((brake.powertrain_n + 1_600.0).abs() < 1e-9);
+        assert!((brake.brake_n - 1_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefer_regen_shifts_braking_to_powertrain() {
+        let mut alloc = Allocator::new(1_600.0);
+        alloc.prefer_regen = true;
+        let cmd = AccelCommand {
+            accel_mps2: -1.5,
+            source: ControlBranch::GapControl,
+        };
+        let out = alloc.allocate(cmd, 20.0, 3_000.0);
+        // Demand 2400 N, regen cap 3000: all regen, no friction.
+        assert!((out.powertrain_n + 2_400.0).abs() < 1e-9);
+        assert_eq!(out.brake_n, 0.0);
+        // Above the regen cap the rest spills to friction.
+        let big = alloc.allocate(
+            AccelCommand {
+                accel_mps2: -3.0,
+                source: ControlBranch::GapControl,
+            },
+            20.0,
+            3_000.0,
+        );
+        assert!((big.powertrain_n + 3_000.0).abs() < 1e-9);
+        assert!((big.brake_n - 1_800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_cap_inhibits_acceleration() {
+        let mut alloc = Allocator::new(1_600.0);
+        alloc.set_speed_cap(Some(15.0));
+        let cmd = AccelCommand {
+            accel_mps2: 1.5,
+            source: ControlBranch::SpeedControl,
+        };
+        // Above the cap: forced braking.
+        let out = alloc.allocate(cmd, 18.0, 3_000.0);
+        assert!(out.powertrain_n <= 0.0);
+        // Just below the cap: no further acceleration.
+        let out = alloc.allocate(cmd, 14.5, 3_000.0);
+        assert_eq!(out.powertrain_n, 0.0);
+        // Well below the cap: normal.
+        let out = alloc.allocate(cmd, 10.0, 3_000.0);
+        assert!(out.powertrain_n > 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Scripted traffic: the lead vehicle the ACC follows.
+
+use saav_sim::time::{Duration, Time};
+
+/// One segment of a lead-vehicle speed profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileSegment {
+    /// Segment duration.
+    pub duration: Duration,
+    /// Target speed at the end of the segment (linear ramp from the
+    /// previous segment's end speed).
+    pub end_speed_mps: f64,
+}
+
+/// A lead vehicle following a piecewise-linear speed profile.
+#[derive(Debug, Clone)]
+pub struct LeadVehicle {
+    segments: Vec<ProfileSegment>,
+    initial_speed_mps: f64,
+    position_m: f64,
+    speed_mps: f64,
+    elapsed: Duration,
+}
+
+impl LeadVehicle {
+    /// Creates a lead vehicle `start_gap_m` ahead, with an initial speed and
+    /// a profile. After the last segment the speed holds.
+    ///
+    /// # Panics
+    /// Panics on a negative start gap or initial speed.
+    pub fn new(start_gap_m: f64, initial_speed_mps: f64, segments: Vec<ProfileSegment>) -> Self {
+        assert!(start_gap_m >= 0.0 && initial_speed_mps >= 0.0);
+        LeadVehicle {
+            segments,
+            initial_speed_mps,
+            position_m: start_gap_m,
+            speed_mps: initial_speed_mps,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// A steady cruiser: constant speed forever.
+    pub fn cruising(start_gap_m: f64, speed_mps: f64) -> Self {
+        LeadVehicle::new(start_gap_m, speed_mps, Vec::new())
+    }
+
+    /// Cruise, then brake hard to a lower speed, then hold.
+    pub fn brake_event(
+        start_gap_m: f64,
+        cruise_mps: f64,
+        brake_at: Time,
+        brake_to_mps: f64,
+        brake_duration: Duration,
+    ) -> Self {
+        LeadVehicle::new(
+            start_gap_m,
+            cruise_mps,
+            vec![
+                ProfileSegment {
+                    duration: brake_at.saturating_since(Time::ZERO),
+                    end_speed_mps: cruise_mps,
+                },
+                ProfileSegment {
+                    duration: brake_duration,
+                    end_speed_mps: brake_to_mps,
+                },
+            ],
+        )
+    }
+
+    fn target_speed(&self, at: Duration) -> f64 {
+        let mut seg_start = Duration::ZERO;
+        let mut speed_at_start = self.initial_speed_mps;
+        for seg in &self.segments {
+            let seg_end = seg_start + seg.duration;
+            if at < seg_end {
+                let frac = if seg.duration.is_zero() {
+                    1.0
+                } else {
+                    at.saturating_sub(seg_start).as_secs_f64() / seg.duration.as_secs_f64()
+                };
+                return speed_at_start + (seg.end_speed_mps - speed_at_start) * frac;
+            }
+            speed_at_start = seg.end_speed_mps;
+            seg_start = seg_end;
+        }
+        speed_at_start
+    }
+
+    /// Advances the lead vehicle by `dt`.
+    pub fn step(&mut self, dt: Duration) {
+        self.elapsed += dt;
+        self.speed_mps = self.target_speed(self.elapsed).max(0.0);
+        self.position_m += self.speed_mps * dt.as_secs_f64();
+    }
+
+    /// Absolute position (m from the ego start).
+    pub fn position_m(&self) -> f64 {
+        self.position_m
+    }
+
+    /// Current speed (m/s).
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cruiser_holds_speed() {
+        let mut lead = LeadVehicle::cruising(50.0, 25.0);
+        for _ in 0..100 {
+            lead.step(Duration::from_millis(100));
+        }
+        assert_eq!(lead.speed_mps(), 25.0);
+        assert!((lead.position_m() - (50.0 + 25.0 * 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn brake_event_ramps_down() {
+        let mut lead = LeadVehicle::brake_event(
+            60.0,
+            25.0,
+            Time::from_secs(5),
+            10.0,
+            Duration::from_secs(3),
+        );
+        // Before the event.
+        for _ in 0..40 {
+            lead.step(Duration::from_millis(100));
+        }
+        assert_eq!(lead.speed_mps(), 25.0);
+        // Mid-ramp at t = 6.5 s: halfway from 25 to 10 = 17.5.
+        for _ in 0..25 {
+            lead.step(Duration::from_millis(100));
+        }
+        assert!((lead.speed_mps() - 17.5).abs() < 0.3, "{}", lead.speed_mps());
+        // After the ramp: holds 10.
+        for _ in 0..50 {
+            lead.step(Duration::from_millis(100));
+        }
+        assert!((lead.speed_mps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_never_negative() {
+        let mut lead = LeadVehicle::new(
+            10.0,
+            5.0,
+            vec![ProfileSegment {
+                duration: Duration::from_secs(1),
+                end_speed_mps: -10.0,
+            }],
+        );
+        for _ in 0..30 {
+            lead.step(Duration::from_millis(100));
+        }
+        assert_eq!(lead.speed_mps(), 0.0);
+    }
+}

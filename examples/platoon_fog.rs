@@ -1,0 +1,77 @@
+//! Cooperation under distrust: platooning through dense fog, and the
+//! weather-aware route choice (Sec. V).
+//!
+//! A fog-degraded vehicle cannot keep driving alone, but a platoon of
+//! better-equipped vehicles agrees on a common speed that respects its
+//! limits — even with a compromised member lying in the negotiation. The
+//! second half plans the alpine-pass-vs-detour route under a worsening
+//! forecast.
+//!
+//! Run with: `cargo run --example platoon_fog`
+
+use saav::platoon::agreement::Behavior;
+use saav::platoon::platoon::Platoon;
+use saav::platoon::routing::{alpine_scenario, CostModel, RoadNode};
+
+fn main() {
+    // --- platooning -----------------------------------------------------
+    println!("== platoon speed negotiation (f = 1 tolerated) ==");
+    let mut platoon = Platoon::new(1);
+    for (label, speed) in [
+        ("alpha (clear)", 24.0),
+        ("bravo (clear)", 23.0),
+        ("carol (clear)", 22.0),
+        ("dave  (clear)", 25.0),
+        ("erin  (light fog)", 18.0),
+    ] {
+        let id = platoon.join(speed, Behavior::Honest);
+        println!("  {label:<18} safe speed {speed:>5.1} m/s (member {id:?})");
+    }
+    // The fog-blind vehicle and an attacker that low-balls to stall everyone.
+    let fog_vehicle = platoon.join(12.0, Behavior::Honest);
+    println!("  foggy (dense fog)  safe speed  12.0 m/s (member {fog_vehicle:?})");
+    let attacker = platoon.join(20.0, Behavior::ConstantLie(2.0));
+    println!("  mallory (liar)     reports      2.0 m/s (member {attacker:?})");
+
+    for round in 1..=3 {
+        match platoon.negotiate_speed() {
+            Some(n) => {
+                println!(
+                    "round {round}: agreed speed {:.1} m/s (converged: {}, ejected: {:?})",
+                    n.speed_mps, n.agreement.converged, n.ejected
+                );
+            }
+            None => println!("round {round}: no quorum"),
+        }
+    }
+    println!(
+        "mallory's trust after negotiation: {:.2}\n",
+        platoon.trust(attacker)
+    );
+
+    // --- weather-aware routing -------------------------------------------
+    println!("== alpine pass vs detour ==");
+    let risk = CostModel::RiskAware {
+        slowdown: 1.0,
+        risk_weight: 1.0,
+    };
+    println!("forecast p(bad)  naive     risk-aware");
+    for p in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let (graph, start, goal) = alpine_scenario(p);
+        let naive = graph.plan(start, goal, CostModel::Naive).expect("reachable");
+        let smart = graph.plan(start, goal, risk).expect("reachable");
+        let name = |r: &saav::platoon::routing::Route| {
+            if r.nodes.contains(&RoadNode(1)) {
+                "pass"
+            } else {
+                "detour"
+            }
+        };
+        println!(
+            "      {p:.1}        {:<8}  {:<10} (risk-aware cost {:.0} min)",
+            name(&naive),
+            name(&smart),
+            smart.cost
+        );
+    }
+}

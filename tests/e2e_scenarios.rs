@@ -1,0 +1,133 @@
+//! End-to-end invariants of the assembled self-aware vehicle across
+//! scenarios, strategies and seeds — the paper's qualitative claims as
+//! executable checks.
+
+use saav::core::layer::{Directive, DirectiveBoard, Layer, Posting};
+use saav::core::{ResponseStrategy, Scenario, SelfAwareVehicle};
+use saav::skills::decision::DrivingMode;
+
+#[test]
+fn no_strategy_ever_collides_in_the_intrusion_scenario() {
+    for strategy in [
+        ResponseStrategy::SingleLayer,
+        ResponseStrategy::CrossLayer,
+        ResponseStrategy::ObjectiveStop,
+    ] {
+        for seed in [1, 42, 1234] {
+            let out = SelfAwareVehicle::run(Scenario::intrusion(strategy, seed));
+            assert!(!out.collision, "{strategy:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn cross_layer_keeps_the_mission_objective_stop_aborts_it() {
+    for seed in [1, 42] {
+        let cross =
+            SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, seed));
+        let stop =
+            SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::ObjectiveStop, seed));
+        assert!(cross.distance_m > stop.distance_m, "seed {seed}");
+        assert!(matches!(stop.final_mode, DrivingMode::SafeStop), "seed {seed}");
+        assert!(
+            !matches!(cross.final_mode, DrivingMode::SafeStop),
+            "seed {seed}: cross-layer should keep driving"
+        );
+    }
+}
+
+#[test]
+fn propagation_chains_bounded_in_every_run() {
+    for strategy in [
+        ResponseStrategy::SingleLayer,
+        ResponseStrategy::CrossLayer,
+        ResponseStrategy::ObjectiveStop,
+    ] {
+        for scenario in [
+            Scenario::intrusion(strategy, 7),
+            Scenario::thermal(75.0, strategy, 7),
+            Scenario::fog(0.8, 7),
+        ] {
+            let out = SelfAwareVehicle::run(scenario);
+            assert!(
+                out.max_hops <= Layer::ALL.len(),
+                "{}: {} hops",
+                out.label,
+                out.max_hops
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_runs_are_quiet() {
+    let out = SelfAwareVehicle::run(Scenario::baseline(9));
+    assert!(out.actions.is_empty(), "unexpected actions: {:?}", out.actions);
+    assert!(matches!(out.final_mode, DrivingMode::Normal));
+    assert_eq!(out.conflicts, 0);
+    assert!(out.ability.min().unwrap_or(1.0) > 0.9);
+}
+
+#[test]
+fn fog_scenario_degrades_ability_and_caps_speed() {
+    let out = SelfAwareVehicle::run(Scenario::fog(0.85, 11));
+    // Ability sinks as the fog builds …
+    assert!(out.ability.min().unwrap() < 0.7, "{:?}", out.ability.min());
+    // … and the vehicle leaves Normal mode.
+    assert!(
+        !matches!(out.final_mode, DrivingMode::Normal),
+        "mode {}",
+        out.final_mode
+    );
+    assert!(!out.collision);
+}
+
+/// The paper's "conflicting decisions" guard: a safety-layer shutdown beats
+/// an ability-layer keep-alive on the same subject, deterministically, and
+/// the conflict is counted rather than silently dropped.
+#[test]
+fn directive_arbitration_is_deterministic_across_orders() {
+    for order_flip in [false, true] {
+        let mut board = DirectiveBoard::new();
+        let posts: Vec<(Layer, Directive)> = if order_flip {
+            vec![
+                (Layer::Safety, Directive::Shutdown),
+                (Layer::Ability, Directive::KeepAlive),
+            ]
+        } else {
+            vec![
+                (Layer::Ability, Directive::KeepAlive),
+                (Layer::Safety, Directive::Shutdown),
+            ]
+        };
+        for (layer, directive) in posts {
+            let _ = board.post(layer, "brake_rear", directive);
+        }
+        let active: Vec<&Directive> = board.directives_for("brake_rear").collect();
+        assert_eq!(active, vec![&Directive::Shutdown], "flip={order_flip}");
+        assert_eq!(board.conflicts_detected(), 1);
+    }
+}
+
+/// Re-posting after losing arbitration must not flip the decision.
+#[test]
+fn losing_layer_cannot_override_by_retrying() {
+    let mut board = DirectiveBoard::new();
+    board.post(Layer::Safety, "brake_rear", Directive::Shutdown);
+    for _ in 0..10 {
+        let posting = board.post(Layer::Ability, "brake_rear", Directive::KeepAlive);
+        assert!(matches!(posting, Posting::Rejected { .. }));
+    }
+    let active: Vec<&Directive> = board.directives_for("brake_rear").collect();
+    assert_eq!(active, vec![&Directive::Shutdown]);
+}
+
+#[test]
+fn determinism_same_seed_same_outcome() {
+    let a = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 5));
+    let b = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 5));
+    assert_eq!(a.distance_m, b.distance_m);
+    assert_eq!(a.first_detection, b.first_detection);
+    assert_eq!(a.actions, b.actions);
+    assert_eq!(a.max_hops, b.max_hops);
+}

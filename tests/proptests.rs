@@ -1,0 +1,243 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning the workspace. Each property encodes something the design
+//! documents promise unconditionally.
+
+use proptest::prelude::*;
+
+use saav::can::bitstream::{frame_bits_exact, frame_bits_with_ifs, frame_bits_worst_case, stuff, stuffable_bits};
+use saav::can::controller::TxQueue;
+use saav::can::frame::{CanFrame, FrameId};
+use saav::core::coordinator::{Coordinator, EscalationPolicy};
+use saav::core::layer::{Containment, Layer, ProblemKind};
+use saav::platoon::agreement::{robust_min, trimmed_mean_agreement, Behavior};
+use saav::sim::series::Series;
+use saav::sim::time::{Duration, Time};
+use saav::skills::ability::{AbilityGraph, AggregateOp, Thresholds};
+use saav::skills::acc::build_acc_graph;
+use saav::timing::event_model::EventModel;
+use saav::timing::task::{Priority, Task};
+use saav::timing::CpuAnalysis;
+
+proptest! {
+    /// CAN bit stuffing never leaves six equal consecutive bits, and the
+    /// exact frame length stays within the canonical bounds.
+    #[test]
+    fn stuffing_invariants(id in 0u16..0x800, payload in proptest::collection::vec(any::<u8>(), 0..=8)) {
+        let frame = CanFrame::data(FrameId::standard(id).unwrap(), &payload).unwrap();
+        let stuffed = stuff(&stuffable_bits(&frame));
+        let mut run = 1;
+        for w in stuffed.windows(2) {
+            if w[0] == w[1] { run += 1; } else { run = 1; }
+            prop_assert!(run <= 5, "six equal bits after stuffing");
+        }
+        let exact = frame_bits_with_ifs(&frame);
+        let min = 34 + 8 * payload.len() as u32 + 13;
+        let max = frame_bits_worst_case(payload.len() as u8, false);
+        prop_assert!(exact >= min && exact <= max);
+        prop_assert_eq!(frame_bits_exact(&frame) + 3, exact);
+    }
+
+    /// Arbitration keys order frames exactly like CAN priority rules:
+    /// lower numeric standard id wins; any standard frame beats any
+    /// extended frame sharing its 11-bit base.
+    #[test]
+    fn arbitration_key_orders_ids(a in 0u16..0x800, b in 0u16..0x800, ext in 0u32..0x2000_0000) {
+        let fa = CanFrame::data(FrameId::standard(a).unwrap(), &[]).unwrap();
+        let fb = CanFrame::data(FrameId::standard(b).unwrap(), &[]).unwrap();
+        prop_assert_eq!(a.cmp(&b), fa.arbitration_key().cmp(&fb.arbitration_key()));
+        let fx = CanFrame::data(FrameId::extended(ext).unwrap(), &[]).unwrap();
+        if a as u32 == (ext >> 18) {
+            prop_assert!(fa.arbitration_key() < fx.arbitration_key());
+        }
+    }
+
+    /// TxQueue pops ready frames in strict arbitration order.
+    #[test]
+    fn tx_queue_pop_order(ids in proptest::collection::vec(0u16..0x800, 1..20)) {
+        let mut q = TxQueue::new();
+        for &id in &ids {
+            let f = CanFrame::data(FrameId::standard(id).unwrap(), &[]).unwrap();
+            q.push(f, Time::ZERO);
+        }
+        let mut popped = Vec::new();
+        while let Some(qf) = q.pop_best_ready(Time::ZERO) {
+            popped.push(qf.frame.id().raw());
+        }
+        let mut sorted = ids.iter().map(|&i| i as u32).collect::<Vec<_>>();
+        sorted.sort_unstable();
+        prop_assert_eq!(popped, sorted);
+    }
+
+    /// η⁺ and δ⁻ are pseudo-inverse: n events always fit in any window just
+    /// larger than δ⁻(n), and η⁺ is monotone in the window length.
+    #[test]
+    fn event_model_pseudo_inverse(
+        period_ms in 1u64..100,
+        jitter_ms in 0u64..200,
+        n in 2u64..20,
+        w1 in 1u64..500,
+        w2 in 1u64..500,
+    ) {
+        let m = EventModel::with_jitter(
+            Duration::from_millis(period_ms),
+            Duration::from_millis(jitter_ms),
+        );
+        let d = m.delta_min(n);
+        prop_assert!(m.eta_plus(d + Duration::from_nanos(1)) >= n);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(
+            m.eta_plus(Duration::from_millis(lo)) <= m.eta_plus(Duration::from_millis(hi))
+        );
+    }
+
+    /// WCRT is monotone in WCET: inflating any task's WCET never shrinks
+    /// the victim's bound (when both remain schedulable).
+    #[test]
+    fn wcrt_monotone_in_wcet(extra_ms in 0u64..3) {
+        let build = |hp_wcet: u64| {
+            let mut cpu = CpuAnalysis::new();
+            cpu.add_task(Task::new(
+                "hp",
+                Duration::from_millis(hp_wcet),
+                Priority(0),
+                EventModel::periodic(Duration::from_millis(10)),
+                Duration::from_millis(10),
+            ));
+            cpu.add_task(Task::new(
+                "victim",
+                Duration::from_millis(4),
+                Priority(1),
+                EventModel::periodic(Duration::from_millis(40)),
+                Duration::from_millis(40),
+            ));
+            cpu.analyze()
+        };
+        let base = build(2).unwrap().response("victim").unwrap().wcrt;
+        let inflated = build(2 + extra_ms).unwrap().response("victim").unwrap().wcrt;
+        prop_assert!(inflated >= base);
+    }
+
+    /// Ability propagation is monotone: raising any measured input never
+    /// lowers the root level (Min operator).
+    #[test]
+    fn ability_monotone(
+        sensors in 0.0f64..=1.0,
+        hmi in 0.0f64..=1.0,
+        brakes in 0.0f64..=1.0,
+        bump in 0.0f64..=0.5,
+    ) {
+        let build = |s: f64, h: f64, b: f64| {
+            let (graph, nodes) = build_acc_graph().unwrap();
+            let mut a = AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default()).unwrap();
+            a.set_measured(nodes.env_sensors, s);
+            a.set_measured(nodes.hmi, h);
+            a.set_measured(nodes.brakes, b);
+            a.propagate();
+            a.root_level()
+        };
+        let base = build(sensors, hmi, brakes);
+        prop_assert!(build((sensors + bump).min(1.0), hmi, brakes) >= base - 1e-12);
+        prop_assert!(build(sensors, (hmi + bump).min(1.0), brakes) >= base - 1e-12);
+        prop_assert!(build(sensors, hmi, (brakes + bump).min(1.0)) >= base - 1e-12);
+        // Root never exceeds the weakest measured leaf under Min.
+        prop_assert!(base <= sensors.min(hmi).min(brakes) + 1e-12);
+    }
+
+    /// Trimmed-mean agreement validity: with n > 3f the agreed value stays
+    /// inside the honest range no matter what the liars broadcast.
+    #[test]
+    fn agreement_validity(
+        honest in proptest::collection::vec(5.0f64..40.0, 4..10),
+        lie_a in -100.0f64..200.0,
+        lie_b in -100.0f64..200.0,
+    ) {
+        let n = honest.len() + 1; // one liar
+        prop_assume!(n > 3); // f = 1 tolerated for n >= 4 honest + liar
+        let mut initial = honest.clone();
+        initial.push(lie_a);
+        let mut behaviors = vec![Behavior::Honest; honest.len()];
+        behaviors.push(Behavior::Oscillate { low: lie_a.min(lie_b), high: lie_a.max(lie_b) });
+        let r = trimmed_mean_agreement(&initial, &behaviors, 1, 0.01, 500);
+        prop_assert!(r.converged);
+        let lo = honest.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = honest.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(r.agreed_value() >= lo - 0.05 && r.agreed_value() <= hi + 0.05,
+                     "agreed {} outside honest [{lo}, {hi}]", r.agreed_value());
+    }
+
+    /// The robust minimum never exceeds the largest honest report and never
+    /// sinks below the smallest honest report when at most f values are
+    /// adversarial.
+    #[test]
+    fn robust_min_bounds(
+        honest in proptest::collection::vec(5.0f64..40.0, 3..8),
+        adversarial in -1000.0f64..1000.0,
+    ) {
+        let mut reports = honest.clone();
+        reports.push(adversarial);
+        let v = robust_min(&reports, 1);
+        let hi = honest.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v <= hi);
+        // v is either an honest value or the adversarial one if it lies
+        // within the honest range — both acceptable.
+        let lo = honest.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(v >= lo.min(adversarial.max(lo)) - 1e-12);
+    }
+
+    /// The coordinator terminates within |layers| hops for every possible
+    /// handler behaviour (modelled as a random resolution layer).
+    #[test]
+    fn coordinator_always_terminates(
+        origin_idx in 0usize..5,
+        resolve_at in proptest::option::of(0usize..5),
+        policy_broadcast in any::<bool>(),
+    ) {
+        let policy = if policy_broadcast {
+            EscalationPolicy::BroadcastUp
+        } else {
+            EscalationPolicy::LocalFirst
+        };
+        let mut c = Coordinator::new(policy);
+        let origin = Layer::ALL[origin_idx];
+        let p = c.detect(Time::ZERO, origin, "x", ProblemKind::ComponentFailure);
+        let trace = c.resolve(p, |layer, _| {
+            if Some(layer) == resolve_at.map(|i| Layer::ALL[i]) {
+                Containment::Resolved { action: "act".into() }
+            } else {
+                Containment::CannotHandle
+            }
+        });
+        prop_assert!(trace.hops() <= Layer::ALL.len());
+        if let Some(r) = trace.resolved_by {
+            if policy == EscalationPolicy::LocalFirst {
+                prop_assert!(r >= origin, "resolution below origin layer");
+            }
+        }
+    }
+
+    /// Series percentiles are order statistics: always inside [min, max]
+    /// and monotone in q.
+    #[test]
+    fn series_percentiles(values in proptest::collection::vec(-1e6f64..1e6, 1..50), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let s: Series = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Time::from_millis(i as u64), v))
+            .collect();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = s.percentile(lo).unwrap();
+        let p_hi = s.percentile(hi).unwrap();
+        prop_assert!(p_lo <= p_hi);
+        prop_assert!(p_lo >= s.min().unwrap() && p_hi <= s.max().unwrap());
+    }
+
+    /// Duration arithmetic round-trips through the unit constructors.
+    #[test]
+    fn duration_roundtrip(us in 0u64..10_000_000) {
+        let d = Duration::from_micros(us);
+        prop_assert_eq!(d.as_micros(), us);
+        prop_assert_eq!(Duration::from_nanos(d.as_nanos()), d);
+        let t = Time::ZERO + d;
+        prop_assert_eq!(t - Time::ZERO, d);
+    }
+}
