@@ -43,26 +43,22 @@ fn bench_bus_throughput(c: &mut Criterion) {
         })
     });
     for vfs in [1usize, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("virtualized", vfs),
-            &vfs,
-            |b, &vfs| {
-                b.iter(|| {
-                    let mut bus = CanBus::automotive_500k(1);
-                    let (v, _pf) = bus.attach_virtualized(VirtCanConfig {
-                        base: deep.clone(),
-                        ..VirtCanConfig::calibrated(vfs)
-                    });
-                    let _z = bus.attach_standard(deep.clone());
-                    let f = CanFrame::data(FrameId::Standard(0x123), &[0; 8]).unwrap();
-                    for _ in 0..400 {
-                        let _ = bus.virtualized_mut(v).vf_send(VfId(0), f, Time::ZERO);
-                    }
-                    bus.advance(Time::from_millis(100));
-                    bus.stats().frames_ok
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("virtualized", vfs), &vfs, |b, &vfs| {
+            b.iter(|| {
+                let mut bus = CanBus::automotive_500k(1);
+                let (v, _pf) = bus.attach_virtualized(VirtCanConfig {
+                    base: deep.clone(),
+                    ..VirtCanConfig::calibrated(vfs)
+                });
+                let _z = bus.attach_standard(deep.clone());
+                let f = CanFrame::data(FrameId::Standard(0x123), &[0; 8]).unwrap();
+                for _ in 0..400 {
+                    let _ = bus.virtualized_mut(v).vf_send(VfId(0), f, Time::ZERO);
+                }
+                bus.advance(Time::from_millis(100));
+                bus.stats().frames_ok
+            })
+        });
     }
     group.finish();
 }

@@ -41,8 +41,7 @@ fn layered_graph(layers: usize, width: usize) -> SkillGraph {
 fn bench_acc_graph(c: &mut Criterion) {
     let (graph, nodes) = build_acc_graph().expect("paper graph");
     let mut abilities =
-        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
-            .expect("valid");
+        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default()).expect("valid");
     c.bench_function("skills/acc_monitor_cycle", |b| {
         let mut q = 1.0f64;
         b.iter(|| {

@@ -81,22 +81,37 @@ fn bench_system_fixpoint(c: &mut Criterion) {
             let p = Duration::from_millis(10);
             let sense = sys.add_task(
                 cpu0,
-                Task::new("sense", Duration::from_millis(2), Priority(0),
-                          EventModel::periodic(p), p)
-                    .with_bcet(Duration::from_millis(1)),
+                Task::new(
+                    "sense",
+                    Duration::from_millis(2),
+                    Priority(0),
+                    EventModel::periodic(p),
+                    p,
+                )
+                .with_bcet(Duration::from_millis(1)),
                 Activation::External,
             );
             let frame = sys.add_task(
                 can,
-                Task::new("frame", Duration::from_micros(270), Priority(1),
-                          EventModel::periodic(p), p)
-                    .with_bcet(Duration::from_micros(94)),
+                Task::new(
+                    "frame",
+                    Duration::from_micros(270),
+                    Priority(1),
+                    EventModel::periodic(p),
+                    p,
+                )
+                .with_bcet(Duration::from_micros(94)),
                 Activation::ChainedTo(sense),
             );
             let act = sys.add_task(
                 cpu1,
-                Task::new("act", Duration::from_millis(1), Priority(0),
-                          EventModel::periodic(p), p),
+                Task::new(
+                    "act",
+                    Duration::from_millis(1),
+                    Priority(0),
+                    EventModel::periodic(p),
+                    p,
+                ),
                 Activation::ChainedTo(frame),
             );
             let analysis = sys.analyze().expect("schedulable");

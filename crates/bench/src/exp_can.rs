@@ -141,7 +141,12 @@ pub fn e2_table() -> Table {
             n.to_string(),
             format!("{}/{}", s.luts, s.ffs),
             format!("{}/{}", v.luts, v.ffs),
-            if v.fits_within(s) { "virtualized" } else { "standalone" }.to_string(),
+            if v.fits_within(s) {
+                "virtualized"
+            } else {
+                "standalone"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -175,7 +180,11 @@ pub fn e1_throughput_table() -> Table {
             (Some(v), bus.attach_standard(deep.clone()))
         } else {
             let a = bus.attach_standard(deep.clone());
-            (None, { let b = bus.attach_standard(deep); let _ = a; b })
+            (None, {
+                let b = bus.attach_standard(deep);
+                let _ = a;
+                b
+            })
         };
         // Saturate: enqueue 4000 frames at t=0 (bus fits ~4400 x 114-bit
         // frames per second at 500 kbit/s).
@@ -187,7 +196,8 @@ pub fn e1_throughput_table() -> Table {
                 }
                 None => {
                     // need a sender distinct from receiver s
-                    bus.standard_mut(saav_can::bus::NodeId(0)).send(f, Time::ZERO);
+                    bus.standard_mut(saav_can::bus::NodeId(0))
+                        .send(f, Time::ZERO);
                 }
             }
         }

@@ -111,17 +111,24 @@ pub fn e4_table() -> Table {
                 let verdicts: Vec<String> = report
                     .verdicts
                     .iter()
-                    .map(|v| {
-                        format!("{}:{}", v.viewpoint, if v.passed { "ok" } else { "FAIL" })
-                    })
+                    .map(|v| format!("{}:{}", v.viewpoint, if v.passed { "ok" } else { "FAIL" }))
                     .collect();
                 (
                     label.to_string(),
                     verdicts.join(" "),
-                    if report.accepted { "ACCEPTED" } else { "REJECTED" }.to_string(),
+                    if report.accepted {
+                        "ACCEPTED"
+                    } else {
+                        "REJECTED"
+                    }
+                    .to_string(),
                 )
             }
-            Err(e) => (label.to_string(), format!("refinement: {e}"), "REJECTED".into()),
+            Err(e) => (
+                label.to_string(),
+                format!("refinement: {e}"),
+                "REJECTED".into(),
+            ),
         };
         t.row([row.0, row.1, row.2]);
     }

@@ -27,8 +27,14 @@ fn run(monitor_period: Option<Duration>, inject_overrun: bool) -> MonitoredRun {
     let mut sched = Scheduler::new(7);
     let comp = ComponentId(0);
     let ctl = sched.add_task(
-        TaskSpec::periodic("ctl", comp, Duration::from_millis(10), Duration::from_millis(2), Priority(1))
-            .with_exec_fraction(0.9, 1.0),
+        TaskSpec::periodic(
+            "ctl",
+            comp,
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Priority(1),
+        )
+        .with_exec_fraction(0.9, 1.0),
     );
     let victim = sched.add_task(
         TaskSpec::periodic(
@@ -45,8 +51,14 @@ fn run(monitor_period: Option<Duration>, inject_overrun: bool) -> MonitoredRun {
         // The monitor itself costs 50 us per activation at high priority —
         // the "very little interference" under test.
         sched.add_task(
-            TaskSpec::periodic("monitor", comp, period, Duration::from_micros(50), Priority(0))
-                .with_exec_fraction(1.0, 1.0),
+            TaskSpec::periodic(
+                "monitor",
+                comp,
+                period,
+                Duration::from_micros(50),
+                Priority(0),
+            )
+            .with_exec_fraction(1.0, 1.0),
         );
     }
     let overrun_at = Time::from_secs(5);

@@ -134,10 +134,7 @@ pub fn e10_table() -> Table {
     t.row(["problems", &c.problems.to_string()]);
     t.row(["resolved", &fmt_f64(c.resolved * 100.0, 1)]);
     t.row(["mean hops", &fmt_f64(c.mean_hops, 2)]);
-    t.row([
-        "max hops (bound = 5 layers)",
-        &c.max_hops.to_string(),
-    ]);
+    t.row(["max hops (bound = 5 layers)", &c.max_hops.to_string()]);
     for (layer, count) in Layer::ALL.iter().zip(&c.per_layer) {
         t.row([format!("resolved at {layer}"), count.to_string()]);
     }

@@ -114,8 +114,12 @@ mod tests {
         let stop = &outs[2];
         // Availability: single-layer > cross-layer > objective stop. The
         // cross-layer speed cap costs real distance once the lead recovers.
-        assert!(single.distance_m > cross.distance_m + 150.0,
-                "single {} vs cross {}", single.distance_m, cross.distance_m);
+        assert!(
+            single.distance_m > cross.distance_m + 150.0,
+            "single {} vs cross {}",
+            single.distance_m,
+            cross.distance_m
+        );
         assert!(cross.distance_m > stop.distance_m + 200.0);
         // Nobody collides in this scenario …
         assert!(!single.collision && !cross.collision && !stop.collision);

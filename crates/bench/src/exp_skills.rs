@@ -38,7 +38,8 @@ pub struct Detection {
 impl Detection {
     /// Latency from injection to detection.
     pub fn latency(&self) -> Option<Duration> {
-        self.detected_at.map(|t| t.saturating_since(self.injected_at))
+        self.detected_at
+            .map(|t| t.saturating_since(self.injected_at))
     }
 }
 
@@ -63,18 +64,12 @@ pub fn e5_run(fault: FaultClass, seed: u64) -> E5Run {
     // The lead brakes at t = 40 s: with a stuck radar the frozen reading
     // becomes *wrong* only once the world changes — exactly the
     // plausible-but-incorrect case boundary checks cannot see.
-    let lead = LeadVehicle::brake_event(
-        60.0,
-        22.0,
-        Time::from_secs(40),
-        8.0,
-        Duration::from_secs(5),
-    );
+    let lead =
+        LeadVehicle::brake_event(60.0, 22.0, Time::from_secs(40), 8.0, Duration::from_secs(5));
     let mut world = VehicleWorld::new(seed, 22.0, lead);
     let (graph, nodes) = build_acc_graph().expect("valid");
     let mut abilities =
-        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
-            .expect("valid");
+        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default()).expect("valid");
     let mut quality = QualityMonitor::new("radar", 0.5, 5.0, 0.7);
     let mut heartbeat = HeartbeatMonitor::new("radar", Duration::from_millis(10), 5.0);
     // RACE-style boundary on the measured range: anything in [0, 200] m
@@ -93,8 +88,8 @@ pub fn e5_run(fault: FaultClass, seed: u64) -> E5Run {
         if now >= injected_at {
             match fault {
                 FaultClass::FogRamp => {
-                    let frac = (now.saturating_since(injected_at).as_secs_f64() / 30.0)
-                        .clamp(0.0, 1.0);
+                    let frac =
+                        (now.saturating_since(injected_at).as_secs_f64() / 30.0).clamp(0.0, 1.0);
                     world.weather = Weather::foggy(fog_target * frac);
                 }
                 FaultClass::RadarDead => world.radar.set_fault(SensorFault::Dead),
@@ -167,7 +162,11 @@ pub fn e5_table() -> Table {
         "final root ability",
     ])
     .with_title("E5: detection power, ability graph vs baselines (fault at t=20s)");
-    for fault in [FaultClass::FogRamp, FaultClass::RadarDead, FaultClass::RadarStuck] {
+    for fault in [
+        FaultClass::FogRamp,
+        FaultClass::RadarDead,
+        FaultClass::RadarStuck,
+    ] {
         let r = e5_run(fault, 11);
         t.row([
             format!("{fault:?}"),
@@ -191,8 +190,7 @@ pub fn a1_table() -> Table {
     .with_title("A1: ability aggregation operator ablation");
     for op in [AggregateOp::Min, AggregateOp::Product, AggregateOp::Mean] {
         let (graph, nodes) = build_acc_graph().expect("valid");
-        let mut a = AbilityGraph::instantiate(graph, op, Thresholds::default())
-            .expect("valid");
+        let mut a = AbilityGraph::instantiate(graph, op, Thresholds::default()).expect("valid");
         // Fog degrades sensors; light rain also nicks the HMI link a bit so
         // the operators differ.
         a.set_measured(nodes.env_sensors, 0.6);
@@ -203,10 +201,7 @@ pub fn a1_table() -> Table {
         a.set_measured(nodes.hmi, 0.8);
         a.propagate();
         let heavy = a.root_level();
-        let root = a
-            .graph()
-            .node("acc_driving")
-            .expect("root exists");
+        let root = a.graph().node("acc_driving").expect("root exists");
         t.row([
             format!("{op:?}"),
             fmt_f64(mid, 3),
@@ -223,26 +218,47 @@ mod tests {
 
     #[test]
     fn ability_graph_detects_all_three_faults() {
-        for fault in [FaultClass::FogRamp, FaultClass::RadarDead, FaultClass::RadarStuck] {
+        for fault in [
+            FaultClass::FogRamp,
+            FaultClass::RadarDead,
+            FaultClass::RadarStuck,
+        ] {
             let r = e5_run(fault, 11);
             assert!(
                 r.ability.detected_at.is_some(),
                 "ability monitoring missed {fault:?}"
             );
-            assert!(r.final_root_level < 0.8, "{fault:?}: {}", r.final_root_level);
+            assert!(
+                r.final_root_level < 0.8,
+                "{fault:?}: {}",
+                r.final_root_level
+            );
         }
     }
 
     #[test]
     fn heartbeat_only_sees_dead_radar() {
-        assert!(e5_run(FaultClass::RadarDead, 11).heartbeat.detected_at.is_some());
-        assert!(e5_run(FaultClass::FogRamp, 11).heartbeat.detected_at.is_none());
-        assert!(e5_run(FaultClass::RadarStuck, 11).heartbeat.detected_at.is_none());
+        assert!(e5_run(FaultClass::RadarDead, 11)
+            .heartbeat
+            .detected_at
+            .is_some());
+        assert!(e5_run(FaultClass::FogRamp, 11)
+            .heartbeat
+            .detected_at
+            .is_none());
+        assert!(e5_run(FaultClass::RadarStuck, 11)
+            .heartbeat
+            .detected_at
+            .is_none());
     }
 
     #[test]
     fn boundary_misses_everything_in_range() {
-        for fault in [FaultClass::FogRamp, FaultClass::RadarDead, FaultClass::RadarStuck] {
+        for fault in [
+            FaultClass::FogRamp,
+            FaultClass::RadarDead,
+            FaultClass::RadarStuck,
+        ] {
             let r = e5_run(fault, 11);
             assert!(
                 r.boundary.detected_at.is_none(),

@@ -475,7 +475,8 @@ mod tests {
     fn back_to_back_frames_serialize_on_the_bus() {
         let (mut bus, a, b) = two_node_bus();
         for i in 0..10u16 {
-            bus.standard_mut(a).send(frame(0x100 + i, &[i as u8]), Time::ZERO);
+            bus.standard_mut(a)
+                .send(frame(0x100 + i, &[i as u8]), Time::ZERO);
         }
         bus.advance(Time::from_millis(10));
         let t = Time::from_millis(10);
@@ -530,7 +531,8 @@ mod tests {
         bus.reset_node(a);
         assert!(!bus.is_bus_off(a));
         bus.set_error_rate(0.0);
-        bus.standard_mut(a).send(frame(0x101, &[0]), Time::from_secs(2));
+        bus.standard_mut(a)
+            .send(frame(0x101, &[0]), Time::from_secs(2));
         bus.advance(Time::from_secs(3));
         assert_eq!(bus.stats().frames_ok, 1);
     }
@@ -548,7 +550,8 @@ mod tests {
         let got = bus.standard_mut(s).receive(Time::from_millis(1));
         assert_eq!(got, Some(frame(0x321, &[9])));
         // And the reverse direction reaches both VFs.
-        bus.standard_mut(s).send(frame(0x55, &[1]), Time::from_millis(1));
+        bus.standard_mut(s)
+            .send(frame(0x55, &[1]), Time::from_millis(1));
         bus.advance(Time::from_millis(2));
         let t = Time::from_millis(2);
         assert_eq!(
@@ -570,7 +573,9 @@ mod tests {
         });
         let _b = bus.attach_standard(ControllerConfig::default());
         for _ in 0..100 {
-            assert!(bus.standard_mut(a).send(frame(0x100, &[0xFF; 8]), Time::ZERO));
+            assert!(bus
+                .standard_mut(a)
+                .send(frame(0x100, &[0xFF; 8]), Time::ZERO));
         }
         bus.advance(Time::from_millis(50));
         let u = bus.stats().utilization(Time::from_millis(50));

@@ -213,10 +213,7 @@ impl RxFifo {
 
     /// Pops the oldest frame visible at `now`, if any.
     pub fn pop(&mut self, now: Time) -> Option<CanFrame> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.visible_at <= now)?;
+        let idx = self.entries.iter().position(|e| e.visible_at <= now)?;
         Some(self.entries.remove(idx).frame)
     }
 
@@ -356,8 +353,7 @@ impl CanController {
 
     pub(crate) fn bus_deliver(&mut self, frame: CanFrame, completed_at: Time) {
         if self.config.filters.iter().any(|f| f.matches(frame.id())) {
-            self.rx
-                .push(frame, completed_at + self.config.rx_latency);
+            self.rx.push(frame, completed_at + self.config.rx_latency);
             self.stats.rx_frames += 1;
         } else {
             self.stats.rx_filtered += 1;
@@ -410,7 +406,10 @@ mod tests {
         q.push(frame(0x100), Time::from_micros(10));
         q.push(frame(0x200), Time::from_micros(1));
         // At t=5 only 0x200 is ready, despite 0x100's higher priority.
-        assert_eq!(q.best_ready_key(Time::from_micros(5)), Some(frame(0x200).arbitration_key()));
+        assert_eq!(
+            q.best_ready_key(Time::from_micros(5)),
+            Some(frame(0x200).arbitration_key())
+        );
         assert_eq!(
             q.pop_best_ready(Time::from_micros(5)).unwrap().frame.id(),
             sid(0x200)

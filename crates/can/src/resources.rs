@@ -95,7 +95,10 @@ fn vf_slice() -> ResourceEstimate {
 /// # Panics
 /// Panics if `num_vfs` is zero.
 pub fn virtualized_controller(num_vfs: u32) -> ResourceEstimate {
-    assert!(num_vfs > 0, "a virtualized controller needs at least one VF");
+    assert!(
+        num_vfs > 0,
+        "a virtualized controller needs at least one VF"
+    );
     protocol_engine()
         .plus(pf_wrapper())
         .plus(vf_slice().times(num_vfs))

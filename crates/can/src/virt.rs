@@ -447,7 +447,10 @@ mod tests {
             c.vf_send(VfId(1), frame(1), Time::ZERO),
             Err(VirtError::VfDisabled)
         );
-        assert_eq!(c.vf_receive(VfId(1), Time::ZERO), Err(VirtError::VfDisabled));
+        assert_eq!(
+            c.vf_receive(VfId(1), Time::ZERO),
+            Err(VirtError::VfDisabled)
+        );
         assert_eq!(c.enabled_vfs(), 1);
         c.pf_enable_vf(&pf, VfId(1)).unwrap();
         assert!(c.vf_send(VfId(1), frame(1), Time::ZERO).is_ok());
@@ -514,8 +517,14 @@ mod tests {
         let rt8 = c8.tx_overhead() + c8.rx_overhead();
         assert!(rt1 < rt8);
         // Calibration targets: ~7 us at 1 VF, <= 11 us at 8 VFs.
-        assert!(rt1.as_micros_f64() >= 6.5 && rt1.as_micros_f64() <= 7.5, "{rt1}");
-        assert!(rt8.as_micros_f64() >= 9.5 && rt8.as_micros_f64() <= 11.0, "{rt8}");
+        assert!(
+            rt1.as_micros_f64() >= 6.5 && rt1.as_micros_f64() <= 7.5,
+            "{rt1}"
+        );
+        assert!(
+            rt8.as_micros_f64() >= 9.5 && rt8.as_micros_f64() <= 11.0,
+            "{rt8}"
+        );
     }
 
     #[test]

@@ -277,9 +277,7 @@ impl SelfAwareVehicle {
         let mut rte = Rte::new(scenario.seed, 8_192);
         let control_vm = rte.add_vm(4_096);
         let radar_comp = rte
-            .install(
-                ComponentSpec::new("radar_driver", VmId(0)).provides("sensor.radar"),
-            )
+            .install(ComponentSpec::new("radar_driver", VmId(0)).provides("sensor.radar"))
             .expect("fresh RTE");
         let acc_comp = rte
             .install(
@@ -292,21 +290,14 @@ impl SelfAwareVehicle {
             )
             .expect("fresh RTE");
         let brake_front_comp = rte
-            .install(
-                ComponentSpec::new("brake_front", control_vm)
-                    .provides("actuator.brake.front"),
-            )
+            .install(ComponentSpec::new("brake_front", control_vm).provides("actuator.brake.front"))
             .expect("fresh RTE");
         let brake_rear_comp = rte
-            .install(
-                ComponentSpec::new("brake_rear", control_vm)
-                    .provides("actuator.brake.rear"),
-            )
+            .install(ComponentSpec::new("brake_rear", control_vm).provides("actuator.brake.rear"))
             .expect("fresh RTE");
         let _pwr = rte
             .install(
-                ComponentSpec::new("powertrain_ctl", control_vm)
-                    .provides("actuator.powertrain"),
+                ComponentSpec::new("powertrain_ctl", control_vm).provides("actuator.powertrain"),
             )
             .expect("fresh RTE");
         rte.grant(acc_comp, "sensor.radar");
@@ -351,7 +342,10 @@ impl SelfAwareVehicle {
                 .with_budget(Duration::from_millis(4)),
             )
             .expect("valid task");
-        for (name, comp) in [("brake_front_ctl", brake_front_comp), ("brake_rear_ctl", brake_rear_comp)] {
+        for (name, comp) in [
+            ("brake_front_ctl", brake_front_comp),
+            ("brake_rear_ctl", brake_rear_comp),
+        ] {
             rte.add_task(
                 TaskSpec::periodic(
                     name,
@@ -371,15 +365,10 @@ impl SelfAwareVehicle {
         let actuator_node = bus.attach_standard(ControllerConfig::default());
 
         // --- functional level ---------------------------------------------
-        let world = VehicleWorld::new(
-            scenario.seed,
-            scenario.ego_speed_mps,
-            scenario.lead.clone(),
-        );
+        let world = VehicleWorld::new(scenario.seed, scenario.ego_speed_mps, scenario.lead.clone());
         let (graph, nodes) = build_acc_graph().expect("paper graph is valid");
-        let abilities =
-            AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
-                .expect("valid ability graph");
+        let abilities = AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
+            .expect("valid ability graph");
 
         // --- monitors -------------------------------------------------------
         let mut exec_mon = ExecutionMonitor::new();
@@ -404,11 +393,7 @@ impl SelfAwareVehicle {
             exec_mon,
             access_mon,
             radar_quality: QualityMonitor::new("radar", 0.5, 5.0, 0.7),
-            radar_heartbeat: HeartbeatMonitor::new(
-                "radar",
-                Duration::from_millis(10),
-                5.0,
-            ),
+            radar_heartbeat: HeartbeatMonitor::new("radar", Duration::from_millis(10), 5.0),
             metrics: MetricBus::new(),
             coordinator: Coordinator::new(EscalationPolicy::LocalFirst),
             board: DirectiveBoard::new(),
@@ -462,18 +447,16 @@ impl SelfAwareVehicle {
 
     fn update_ramps(&mut self) {
         if let Some((start, from, to, over)) = self.fog_ramp {
-            let frac = (self.now.saturating_since(start).as_secs_f64()
-                / over.as_secs_f64())
-            .clamp(0.0, 1.0);
+            let frac = (self.now.saturating_since(start).as_secs_f64() / over.as_secs_f64())
+                .clamp(0.0, 1.0);
             self.world.weather = Weather {
                 fog: from + (to - from) * frac,
                 ..self.world.weather
             };
         }
         if let Some((start, from, to, over)) = self.ambient_ramp {
-            let frac = (self.now.saturating_since(start).as_secs_f64()
-                / over.as_secs_f64())
-            .clamp(0.0, 1.0);
+            let frac = (self.now.saturating_since(start).as_secs_f64() / over.as_secs_f64())
+                .clamp(0.0, 1.0);
             self.platform.set_ambient_c(from + (to - from) * frac);
         }
     }
@@ -487,17 +470,12 @@ impl SelfAwareVehicle {
                 .last_radar()
                 .map(|r| (r.range_m * 100.0).clamp(0.0, 65_535.0) as u16)
                 .unwrap_or(u16::MAX);
-            CanFrame::data(
-                FrameId::Standard(0x120),
-                &range_cm.to_be_bytes(),
-            )
-            .expect("valid frame")
+            CanFrame::data(FrameId::Standard(0x120), &range_cm.to_be_bytes()).expect("valid frame")
         };
         let virt = self.bus.virtualized_mut(self.virt_node);
         let _ = virt.vf_send(VfId(0), radar_frame, self.now);
         // Brake command frame from the control VM.
-        let brake_frame =
-            CanFrame::data(FrameId::Standard(0x110), &[0, 0]).expect("valid frame");
+        let brake_frame = CanFrame::data(FrameId::Standard(0x110), &[0, 0]).expect("valid frame");
         let _ = virt.vf_send(VfId(1), brake_frame, self.now);
         // The compromised rear-brake component floods spurious brake frames
         // and hammers services it has no capability for.
@@ -563,8 +541,7 @@ impl SelfAwareVehicle {
         // target" is a valid answer); only missing detections of a target
         // that *should* be visible count as dropouts. The heartbeat models
         // the radar's status frames: present unless the sensor is dead.
-        let expected_visible =
-            self.world.gap_m() <= self.world.radar.max_range_m() * 0.9;
+        let expected_visible = self.world.gap_m() <= self.world.radar.max_range_m() * 0.9;
         if self.world.radar.fault() != SensorFault::Dead {
             self.radar_heartbeat.beat(self.now);
         }
@@ -645,11 +622,8 @@ impl SelfAwareVehicle {
                     120.0,
                     10.0,
                 );
-                self.tracer.action(
-                    self.now,
-                    "communication",
-                    "VF quota imposed on flooding VM",
-                );
+                self.tracer
+                    .action(self.now, "communication", "VF quota imposed on flooding VM");
                 if single {
                     Containment::Resolved {
                         action: "vf quota".into(),
@@ -695,12 +669,11 @@ impl SelfAwareVehicle {
                 self.abilities.propagate();
                 let root = self.abilities.root_level();
                 if root >= 0.3 {
-                    if let crate::layer::Posting::Rejected { .. } = self.board.post(
-                        Layer::Ability,
-                        "vehicle",
-                        Directive::SpeedCap(15.0),
-                    ) {
-                        return Containment::CannotHandle
+                    if let crate::layer::Posting::Rejected { .. } =
+                        self.board
+                            .post(Layer::Ability, "vehicle", Directive::SpeedCap(15.0))
+                    {
+                        return Containment::CannotHandle;
                     }
                     self.world.allocator.set_speed_cap(Some(15.0));
                     self.world.allocator.prefer_regen = true;
@@ -743,10 +716,8 @@ impl SelfAwareVehicle {
                             .expect("valid task");
                         self.exec_mon
                             .set_contract("acc_ctl_lowrate", Duration::from_millis(3));
-                        self.exec_mon.set_contract(
-                            "perception_lowrate",
-                            Duration::from_micros(2_500),
-                        );
+                        self.exec_mon
+                            .set_contract("perception_lowrate", Duration::from_micros(2_500));
                         self.acc_reconfigured = true;
                         self.thermal_mitigated = true;
                         action.push_str(" + control rate halved");
@@ -758,7 +729,8 @@ impl SelfAwareVehicle {
                 }
             }
             (Layer::Objective, _) => {
-                self.board.post(Layer::Objective, "vehicle", Directive::SafeStop);
+                self.board
+                    .post(Layer::Objective, "vehicle", Directive::SafeStop);
                 self.world.command_safe_stop();
                 self.mode.commit_safe_stop();
                 self.tracer
@@ -822,17 +794,12 @@ impl SelfAwareVehicle {
             for anomaly in anomalies {
                 if first_detection.is_none() {
                     first_detection = Some(v.now);
-                    v.tracer.fault(
-                        v.now,
-                        "monitor",
-                        format!("first anomaly: {anomaly}"),
-                    );
+                    v.tracer
+                        .fault(v.now, "monitor", format!("first anomaly: {anomaly}"));
                 }
                 let (origin, kind) = v.anomaly_to_problem(&anomaly);
                 let subject = anomaly.subject.clone();
-                let problem = v
-                    .coordinator
-                    .detect(v.now, origin, subject.clone(), kind);
+                let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
                 // Split borrows: the coordinator routes, `contain` acts.
                 let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
                 {
@@ -861,8 +828,7 @@ impl SelfAwareVehicle {
                     .iter()
                     .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
                 for (_, o) in &outcomes {
-                    if let Containment::Resolved { action } | Containment::Mitigated { action } =
-                        o
+                    if let Containment::Resolved { action } | Containment::Mitigated { action } = o
                     {
                         if !actions.contains(action) {
                             actions.push(action.clone());
@@ -903,8 +869,7 @@ impl SelfAwareVehicle {
                 speed_factor_series.push(v.now, v.platform.pe(PeId(0)).speed_factor());
                 misses_window = 0;
                 jobs_window = 0;
-                v.metrics
-                    .publish(v.now, "assembly", "root_ability", root);
+                v.metrics.publish(v.now, "assembly", "root_ability", root);
                 v.metrics.publish(
                     v.now,
                     "assembly",
@@ -953,10 +918,7 @@ mod tests {
 
     #[test]
     fn intrusion_cross_layer_keeps_driving_capped() {
-        let out = SelfAwareVehicle::run(Scenario::intrusion(
-            ResponseStrategy::CrossLayer,
-            42,
-        ));
+        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
         assert!(!out.collision, "min gap {}", out.min_gap_m);
         assert!(out.first_detection.is_some(), "attack must be detected");
         assert!(out.mitigated_at.is_some());
@@ -965,22 +927,21 @@ mod tests {
         // … under the ability layer's speed cap.
         let final_speed = out.speed.last().unwrap();
         assert!(final_speed <= 15.5, "final speed {final_speed}");
-        assert!(out
-            .actions
-            .iter()
-            .any(|a| a.contains("quarantine")), "{:?}", out.actions);
-        assert!(out
-            .actions
-            .iter()
-            .any(|a| a.contains("speed cap")), "{:?}", out.actions);
+        assert!(
+            out.actions.iter().any(|a| a.contains("quarantine")),
+            "{:?}",
+            out.actions
+        );
+        assert!(
+            out.actions.iter().any(|a| a.contains("speed cap")),
+            "{:?}",
+            out.actions
+        );
     }
 
     #[test]
     fn intrusion_objective_stop_halts_vehicle() {
-        let out = SelfAwareVehicle::run(Scenario::intrusion(
-            ResponseStrategy::ObjectiveStop,
-            42,
-        ));
+        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::ObjectiveStop, 42));
         assert!(!out.collision);
         let final_speed = out.speed.last().unwrap();
         assert!(final_speed < 0.5, "should be stopped, at {final_speed}");
@@ -989,14 +950,8 @@ mod tests {
 
     #[test]
     fn intrusion_single_layer_preserves_speed_but_less_margin() {
-        let cross = SelfAwareVehicle::run(Scenario::intrusion(
-            ResponseStrategy::CrossLayer,
-            42,
-        ));
-        let single = SelfAwareVehicle::run(Scenario::intrusion(
-            ResponseStrategy::SingleLayer,
-            42,
-        ));
+        let cross = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
+        let single = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::SingleLayer, 42));
         // Single-layer never caps speed, so it drives further …
         assert!(single.distance_m > cross.distance_m);
         // … but with a worse worst-case safety margin during the lead's
@@ -1011,11 +966,7 @@ mod tests {
 
     #[test]
     fn thermal_cross_layer_recovers_deadlines() {
-        let out = SelfAwareVehicle::run(Scenario::thermal(
-            75.0,
-            ResponseStrategy::CrossLayer,
-            7,
-        ));
+        let out = SelfAwareVehicle::run(Scenario::thermal(75.0, ResponseStrategy::CrossLayer, 7));
         // Misses appear mid-run, then the reconfiguration clears them.
         let peak = out.miss_rate.max().unwrap();
         let tail = out

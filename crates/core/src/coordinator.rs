@@ -186,7 +186,11 @@ impl Coordinator {
 
     /// The longest propagation chain observed.
     pub fn max_hops(&self) -> usize {
-        self.traces.iter().map(ResolutionTrace::hops).max().unwrap_or(0)
+        self.traces
+            .iter()
+            .map(ResolutionTrace::hops)
+            .max()
+            .unwrap_or(0)
     }
 }
 

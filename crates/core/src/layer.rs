@@ -201,7 +201,12 @@ impl DirectiveBoard {
     }
 
     /// Posts a directive for `subject` from `layer`.
-    pub fn post(&mut self, layer: Layer, subject: impl Into<String>, directive: Directive) -> Posting {
+    pub fn post(
+        &mut self,
+        layer: Layer,
+        subject: impl Into<String>,
+        directive: Directive,
+    ) -> Posting {
         let subject = subject.into();
         // Find a conflicting active directive on the same subject.
         if let Some(pos) = self
@@ -291,11 +296,23 @@ mod tests {
         );
         // Safety layer demands shutdown: overrides.
         let posting = board.post(Layer::Safety, "brake_rear", Directive::Shutdown);
-        assert!(matches!(posting, Posting::Overrode { from: Layer::Ability, .. }));
+        assert!(matches!(
+            posting,
+            Posting::Overrode {
+                from: Layer::Ability,
+                ..
+            }
+        ));
         assert_eq!(board.conflicts_detected(), 1);
         // Ability retries keep-alive: rejected.
         let posting = board.post(Layer::Ability, "brake_rear", Directive::KeepAlive);
-        assert!(matches!(posting, Posting::Rejected { held_by: Layer::Safety, .. }));
+        assert!(matches!(
+            posting,
+            Posting::Rejected {
+                held_by: Layer::Safety,
+                ..
+            }
+        ));
         assert_eq!(board.conflicts_detected(), 2);
         let active: Vec<&Directive> = board.directives_for("brake_rear").collect();
         assert_eq!(active, vec![&Directive::Shutdown]);

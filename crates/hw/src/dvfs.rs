@@ -24,7 +24,10 @@ impl OperatingPoint {
     pub fn new(freq_mhz: f64, voltage_v: f64) -> Self {
         assert!(freq_mhz > 0.0, "frequency must be positive");
         assert!(voltage_v > 0.0, "voltage must be positive");
-        OperatingPoint { freq_mhz, voltage_v }
+        OperatingPoint {
+            freq_mhz,
+            voltage_v,
+        }
     }
 }
 

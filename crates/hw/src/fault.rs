@@ -142,9 +142,8 @@ impl FaultInjector {
             });
             if now >= next {
                 self.apply(FaultKind::Transient, now);
-                self.next_random = Some(
-                    now + Duration::from_secs_f64(rng.exponential(1.0 / mtbf.as_secs_f64())),
-                );
+                self.next_random =
+                    Some(now + Duration::from_secs_f64(rng.exponential(1.0 / mtbf.as_secs_f64())));
             }
         }
         self.health
@@ -198,10 +197,7 @@ mod tests {
             .script(Time::from_secs(2), FaultKind::Transient);
         let mut r = rng();
         assert_eq!(inj.step(Time::from_secs(2), &mut r), Health::Failed);
-        assert_eq!(
-            inj.step(Time::from_millis(2_500), &mut r),
-            Health::Failed
-        );
+        assert_eq!(inj.step(Time::from_millis(2_500), &mut r), Health::Failed);
         assert_eq!(inj.step(Time::from_secs(3), &mut r), Health::Ok);
     }
 

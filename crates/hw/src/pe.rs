@@ -188,18 +188,21 @@ impl ProcessingElement {
         let health = self.faults.step(now, rng);
         let active = health.is_operational() && !self.thermally_shutdown;
         let util = if active { self.utilization } else { 0.0 };
-        let p = self
-            .power
-            .power_w(self.dvfs.point(self.level), util, self.thermal.temperature_c());
+        let p = self.power.power_w(
+            self.dvfs.point(self.level),
+            util,
+            self.thermal.temperature_c(),
+        );
         let p = if active { p } else { 0.0 };
         self.thermal.step(p, ambient_c, dt);
         if active {
             let settled_down = now.saturating_since(self.last_level_change) >= self.settle_down;
             let settled_up = now.saturating_since(self.last_level_change) >= self.settle_up;
-            match self
-                .governor
-                .evaluate(self.thermal.temperature_c(), self.level, self.dvfs.top_level())
-            {
+            match self.governor.evaluate(
+                self.thermal.temperature_c(),
+                self.level,
+                self.dvfs.top_level(),
+            ) {
                 GovernorDecision::StepDown if settled_down => {
                     self.level -= 1;
                     self.throttle_events += 1;
@@ -251,7 +254,11 @@ mod tests {
         pe.set_utilization(1.0);
         let mut rng = SimRng::seed_from(3);
         step_for(&mut pe, 600, 75.0, &mut rng);
-        assert!(pe.level() < 3, "should have throttled, level={}", pe.level());
+        assert!(
+            pe.level() < 3,
+            "should have throttled, level={}",
+            pe.level()
+        );
         assert!(pe.speed_factor() > 1.0);
         assert!(pe.throttle_events() > 0);
         assert!(pe.health().is_operational());

@@ -146,14 +146,16 @@ impl Platform {
     /// Overall platform health: `Failed` if all PEs failed, `Degraded` if any
     /// PE is degraded/failed/throttled, else `Ok`.
     pub fn health(&self) -> Health {
-        let operational = self.pes.iter().filter(|p| p.health().is_operational()).count();
+        let operational = self
+            .pes
+            .iter()
+            .filter(|p| p.health().is_operational())
+            .count();
         if operational == 0 {
             return Health::Failed;
         }
         let any_issue = self.pes.iter().any(|p| {
-            !p.health().is_operational()
-                || p.health() == Health::Degraded
-                || p.speed_factor() > 1.0
+            !p.health().is_operational() || p.health() == Health::Degraded || p.speed_factor() > 1.0
         });
         if any_issue {
             Health::Degraded

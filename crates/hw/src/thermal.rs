@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn hotter_ambient_shifts_equilibrium() {
         let m = ThermalModel::embedded_soc();
-        assert_eq!(m.steady_state_c(3.0, 45.0) - m.steady_state_c(3.0, 25.0), 20.0);
+        assert_eq!(
+            m.steady_state_c(3.0, 45.0) - m.steady_state_c(3.0, 25.0),
+            20.0
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ fn parse_duration(tok: &str, line: usize) -> Result<Duration, ParseError> {
         line,
         message: format!("invalid duration `{tok}` (expected e.g. 10ms, 500us, 1s)"),
     };
-    let (num, unit) = tok.split_at(tok.find(|c: char| c.is_ascii_alphabetic()).ok_or_else(err)?);
+    let (num, unit) = tok.split_at(
+        tok.find(|c: char| c.is_ascii_alphabetic())
+            .ok_or_else(err)?,
+    );
     let value: u64 = num.parse().map_err(|_| err())?;
     match unit {
         "ns" => Ok(Duration::from_nanos(value)),
@@ -276,10 +279,13 @@ pub fn parse_contracts(input: &str) -> Result<Vec<Contract>, ParseError> {
                 })
             }
             ("asil", Some(c)) => {
-                let level = tokens.get(1).and_then(|t| Asil::parse(t)).ok_or(ParseError {
-                    line: line_no,
-                    message: "expected `asil QM|A|B|C|D`".into(),
-                })?;
+                let level = tokens
+                    .get(1)
+                    .and_then(|t| Asil::parse(t))
+                    .ok_or(ParseError {
+                        line: line_no,
+                        message: "expected `asil QM|A|B|C|D`".into(),
+                    })?;
                 c.asil = Some(level);
             }
             ("domain", Some(c)) => {
@@ -295,10 +301,7 @@ pub fn parse_contracts(input: &str) -> Result<Vec<Contract>, ParseError> {
                 };
             }
             ("memory", Some(c)) => {
-                c.memory_kib = parse_u32(
-                    tokens.get(1).copied().unwrap_or(""),
-                    line_no,
-                )?;
+                c.memory_kib = parse_u32(tokens.get(1).copied().unwrap_or(""), line_no)?;
             }
             ("provides", Some(c)) => {
                 let name = tokens.get(1).copied().ok_or(ParseError {
@@ -513,8 +516,7 @@ component infotainment {
 
     #[test]
     fn bad_duration_rejected() {
-        let err =
-            parse_contracts("component x {\n task t { period 10 wcet 1ms }\n}").unwrap_err();
+        let err = parse_contracts("component x {\n task t { period 10 wcet 1ms }\n}").unwrap_err();
         assert!(err.message.contains("duration"));
     }
 

@@ -198,9 +198,7 @@ impl DependencyGraph {
     pub fn single_points_of_failure(&self) -> Vec<ElementId> {
         self.fmea()
             .into_iter()
-            .filter(|(id, affected)| {
-                !affected.is_empty() && self.layer(*id) != LayerTag::Function
-            })
+            .filter(|(id, affected)| !affected.is_empty() && self.layer(*id) != LayerTag::Function)
             .map(|(id, _)| id)
             .collect()
     }

@@ -58,7 +58,11 @@ impl fmt::Display for IntegrationReport {
             f,
             "update `{}`: {}",
             self.label,
-            if self.accepted { "ACCEPTED" } else { "REJECTED" }
+            if self.accepted {
+                "ACCEPTED"
+            } else {
+                "REJECTED"
+            }
         )?;
         for v in &self.verdicts {
             writeln!(
@@ -169,8 +173,7 @@ impl Mcc {
             .map(|t| t.wcet.as_secs_f64() / t.period.as_secs_f64())
             .sum();
         for (idx, pe) in self.platform.pes.iter().enumerate() {
-            let mem_ok =
-                candidate.pe_memory_kib(idx) + contract.memory_kib <= pe.memory_kib;
+            let mem_ok = candidate.pe_memory_kib(idx) + contract.memory_kib <= pe.memory_kib;
             let util_ok = candidate.pe_utilization(idx) + util <= pe.max_utilization;
             if mem_ok && util_ok {
                 return Some((idx, pe.name.clone()));
@@ -236,7 +239,8 @@ impl Mcc {
             .collect();
         let accepted = verdicts.iter().all(|v| v.passed);
         if accepted {
-            self.history.push(std::mem::replace(&mut self.current, candidate));
+            self.history
+                .push(std::mem::replace(&mut self.current, candidate));
             log.push("configuration committed".into());
         } else {
             log.push("configuration discarded".into());

@@ -98,11 +98,9 @@ impl CandidateConfig {
 
     /// Whether a service is marked critical by any provider.
     pub fn is_critical_service(&self, service: &str) -> bool {
-        self.components.iter().any(|c| {
-            c.provides
-                .iter()
-                .any(|p| p.name == service && p.critical)
-        })
+        self.components
+            .iter()
+            .any(|c| c.provides.iter().any(|p| p.name == service && p.critical))
     }
 
     /// Planned utilization of a PE (sum of task utilizations mapped to it).

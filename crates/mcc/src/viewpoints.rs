@@ -218,10 +218,7 @@ impl Viewpoint for SecurityViewpoint {
                 let provider = candidate.component(current).expect("known component");
                 for service in &provider.provides {
                     for consumer in &candidate.components {
-                        let consumes = consumer
-                            .requires
-                            .iter()
-                            .any(|r| r.name == service.name);
+                        let consumes = consumer.requires.iter().any(|r| r.name == service.name);
                         if consumes && !influenced.contains(&consumer.name.as_str()) {
                             influenced.push(&consumer.name);
                             frontier.push(&consumer.name);

@@ -114,10 +114,7 @@ impl AccessMonitor {
                     obs.at,
                     obs.client.clone(),
                     AnomalyKind::RateAnomaly,
-                    format!(
-                        "`{}` at {rate:.1}/s vs nominal {nominal:.1}/s",
-                        obs.service
-                    ),
+                    format!("`{}` at {rate:.1}/s vs nominal {nominal:.1}/s", obs.service),
                 ));
             }
         }
@@ -157,7 +154,9 @@ mod tests {
         m.set_nominal_rate("acc", "actuator.brake", 100.0);
         // 100 msgs over 1 s: exactly nominal.
         for i in 0..100 {
-            assert!(m.observe(&allowed(i * 10, "acc", "actuator.brake")).is_empty());
+            assert!(m
+                .observe(&allowed(i * 10, "acc", "actuator.brake"))
+                .is_empty());
         }
     }
 

@@ -76,7 +76,11 @@ impl Anomaly {
 
 impl fmt::Display for Anomaly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}: {} ({})", self.at, self.subject, self.kind, self.detail)
+        write!(
+            f,
+            "[{}] {}: {} ({})",
+            self.at, self.subject, self.kind, self.detail
+        )
     }
 }
 

@@ -163,10 +163,7 @@ mod tests {
     fn wcet_refinement_applies_margin() {
         let mut m = ExecutionMonitor::new();
         m.observe(&obs("t", 4, 5, true));
-        assert_eq!(
-            m.suggest_wcet("t", 1.25),
-            Some(Duration::from_millis(5))
-        );
+        assert_eq!(m.suggest_wcet("t", 1.25), Some(Duration::from_millis(5)));
         // Margin below 1 is clamped: never suggest less than the observation.
         assert_eq!(m.suggest_wcet("t", 0.5), Some(Duration::from_millis(4)));
         assert_eq!(m.suggest_wcet("unknown", 1.2), None);

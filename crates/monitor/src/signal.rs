@@ -147,7 +147,7 @@ impl PlausibilityMonitor {
             window_len: 50,
             stuck_band: 1e-9,
             expect_variation: false,
-        last: None,
+            last: None,
         }
     }
 
@@ -308,8 +308,7 @@ impl QualityMonitor {
         let noise = if valid_vals.len() < 2 {
             self.nominal_noise
         } else {
-            (valid_vals.iter().map(|v| v * v).sum::<f64>() / valid_vals.len() as f64)
-                .sqrt()
+            (valid_vals.iter().map(|v| v * v).sum::<f64>() / valid_vals.len() as f64).sqrt()
         };
         let noise_margin = 1.0
             - ((noise - self.nominal_noise) / (self.max_noise - self.nominal_noise))
@@ -367,8 +366,8 @@ mod tests {
 
     #[test]
     fn plausibility_detects_stuck_signal() {
-        let mut m = PlausibilityMonitor::new("wheel", 0.0, 100.0, 1000.0)
-            .expect_variation(0.001, 10);
+        let mut m =
+            PlausibilityMonitor::new("wheel", 0.0, 100.0, 1000.0).expect_variation(0.001, 10);
         let mut anomalies = Vec::new();
         for i in 0..10 {
             anomalies.extend(m.observe(Time::from_millis(i * 10), 42.0));
@@ -379,8 +378,8 @@ mod tests {
 
     #[test]
     fn varying_signal_not_stuck() {
-        let mut m = PlausibilityMonitor::new("wheel", 0.0, 100.0, 1000.0)
-            .expect_variation(0.001, 10);
+        let mut m =
+            PlausibilityMonitor::new("wheel", 0.0, 100.0, 1000.0).expect_variation(0.001, 10);
         for i in 0..50 {
             let v = 42.0 + (i as f64 * 0.1);
             assert!(m.observe(Time::from_millis(i * 10), v).is_empty());
@@ -398,8 +397,7 @@ mod tests {
         // Half the samples drop out: quality sinks, anomaly fires once.
         let mut fired = 0;
         for i in 50..150 {
-            if m
-                .observe(Time::from_millis(i * 10), i % 2 == 0, 0.0)
+            if m.observe(Time::from_millis(i * 10), i % 2 == 0, 0.0)
                 .is_some()
             {
                 fired += 1;

@@ -51,7 +51,11 @@ pub struct AgreementResult {
 impl AgreementResult {
     /// Spread among honest members after the run.
     pub fn spread(&self) -> f64 {
-        let lo = self.honest_values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let lo = self
+            .honest_values
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let hi = self
             .honest_values
             .iter()
@@ -230,7 +234,11 @@ mod tests {
         let r = trimmed_mean_agreement(&initial, &behaviors, 2, 0.01, 200);
         assert!(r.converged);
         // All honest started at 20; the selfish member's pushes are trimmed.
-        assert!((r.agreed_value() - 20.0).abs() < 0.5, "{}", r.agreed_value());
+        assert!(
+            (r.agreed_value() - 20.0).abs() < 0.5,
+            "{}",
+            r.agreed_value()
+        );
     }
 
     #[test]

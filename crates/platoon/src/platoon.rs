@@ -129,16 +129,9 @@ impl Platoon {
                 Behavior::SelfishOffset(d) => self.members[i].safe_speed_mps + d,
             })
             .collect();
-        let behaviors: Vec<Behavior> =
-            active.iter().map(|&i| self.members[i].behavior).collect();
+        let behaviors: Vec<Behavior> = active.iter().map(|&i| self.members[i].behavior).collect();
         let speed = robust_min(&reports, self.max_faults);
-        let agreement = trimmed_mean_agreement(
-            &reports,
-            &behaviors,
-            self.max_faults,
-            0.01,
-            200,
-        );
+        let agreement = trimmed_mean_agreement(&reports, &behaviors, self.max_faults, 0.01, 200);
         // Trust update: deviation of each member's report from the robust
         // minimum's neighborhood, using the honest spread as tolerance.
         let tolerance = (agreement.spread() + 1.0).max(5.0);

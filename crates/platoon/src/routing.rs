@@ -11,8 +11,8 @@
 //! time plus a risk penalty for potential degradation; a naive planner sees
 //! only base times. Shortest paths via Dijkstra.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Node index in a road graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -271,17 +271,9 @@ mod tests {
     #[test]
     fn forecast_update_changes_plan() {
         let (mut g, s, t) = alpine_scenario(0.0);
-        assert!(g
-            .plan(s, t, risk())
-            .unwrap()
-            .nodes
-            .contains(&RoadNode(1)));
+        assert!(g.plan(s, t, risk()).unwrap().nodes.contains(&RoadNode(1)));
         g.set_forecast(s, RoadNode(1), 0.9);
         g.set_forecast(RoadNode(1), t, 0.9);
-        assert!(g
-            .plan(s, t, risk())
-            .unwrap()
-            .nodes
-            .contains(&RoadNode(2)));
+        assert!(g.plan(s, t, risk()).unwrap().nodes.contains(&RoadNode(2)));
     }
 }

@@ -240,10 +240,7 @@ impl Scheduler {
             let spec = &t.spec;
             if t.next_release < self.now {
                 let elapsed = self.now.saturating_since(Time::ZERO + spec.offset);
-                let periods = elapsed
-                    .checked_div_duration(spec.period)
-                    .unwrap_or(0)
-                    + 1;
+                let periods = elapsed.checked_div_duration(spec.period).unwrap_or(0) + 1;
                 t.next_release = Time::ZERO + spec.offset + spec.period * periods;
             }
         }
@@ -533,9 +530,7 @@ mod tests {
     #[test]
     fn budget_truncation_contains_overrun() {
         let mut s = Scheduler::new(1);
-        let hog = s.add_task(
-            spec("hog", 10, 2, 0).with_budget(ms(3)),
-        );
+        let hog = s.add_task(spec("hog", 10, 2, 0).with_budget(ms(3)));
         let victim = s.add_task(spec("victim", 10, 5, 1));
         // The hog misbehaves: executes 5x its WCET for 5 jobs.
         s.inject_overrun(hog, 5.0, 5);

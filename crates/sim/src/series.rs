@@ -61,16 +61,14 @@ impl Series {
 
     /// Smallest value, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Largest value, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Sample standard deviation, or `None` with fewer than two samples.
@@ -79,10 +77,7 @@ impl Series {
             return None;
         }
         let mean = self.mean()?;
-        let var = self
-            .values()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.values().map(|v| (v - mean).powi(2)).sum::<f64>()
             / (self.samples.len() - 1) as f64;
         Some(var.sqrt())
     }
@@ -214,8 +209,7 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let frac = (value - self.lo) / (self.hi - self.lo);
-            let idx = ((frac * self.counts.len() as f64) as usize)
-                .min(self.counts.len() - 1);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
             self.counts[idx] += 1;
         }
     }
@@ -275,9 +269,7 @@ mod tests {
 
     #[test]
     fn basic_statistics() {
-        let s: Series = (0..5)
-            .map(|i| (secs(i), i as f64))
-            .collect();
+        let s: Series = (0..5).map(|i| (secs(i), i as f64)).collect();
         assert_eq!(s.mean(), Some(2.0));
         assert_eq!(s.min(), Some(0.0));
         assert_eq!(s.max(), Some(4.0));
@@ -309,9 +301,7 @@ mod tests {
 
     #[test]
     fn fraction_and_first_time() {
-        let s: Series = (0..10)
-            .map(|i| (secs(i), i as f64))
-            .collect();
+        let s: Series = (0..10).map(|i| (secs(i), i as f64)).collect();
         assert_eq!(s.fraction_where(|v| v >= 5.0), Some(0.5));
         assert_eq!(s.first_time_where(|v| v >= 7.0), Some(secs(7)));
         assert_eq!(s.first_time_where(|v| v > 100.0), None);

@@ -368,8 +368,7 @@ mod tests {
             Duration::from_millis(5)
         );
         assert_eq!(
-            Duration::from_millis(9)
-                .checked_div_duration(Duration::from_millis(2)),
+            Duration::from_millis(9).checked_div_duration(Duration::from_millis(2)),
             Some(4)
         );
         assert_eq!(
@@ -389,8 +388,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration =
-            [1u64, 2, 3].iter().map(|&n| Duration::from_micros(n)).sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_micros(n)).sum();
         assert_eq!(total, Duration::from_micros(6));
     }
 

@@ -131,7 +131,9 @@ impl Tracer {
 
     /// Entries whose source starts with `prefix`.
     pub fn from_source<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
-        self.entries.iter().filter(move |e| e.source.starts_with(prefix))
+        self.entries
+            .iter()
+            .filter(move |e| e.source.starts_with(prefix))
     }
 
     /// First entry matching a predicate.

@@ -190,8 +190,7 @@ impl AbilityGraph {
             let new_level = if children.is_empty() {
                 self.measured[node.0] * self.local_health[node.0]
             } else {
-                let child_levels: Vec<f64> =
-                    children.iter().map(|c| self.level[c.0]).collect();
+                let child_levels: Vec<f64> = children.iter().map(|c| self.level[c.0]).collect();
                 self.op.combine(&child_levels) * self.local_health[node.0]
             };
             let new_level = new_level.clamp(0.0, 1.0);
@@ -264,8 +263,9 @@ mod tests {
         // Intent estimation path untouched.
         assert_eq!(a.level(n.estimate_driver_intent), 1.0);
         // Change list includes the root.
-        assert!(changes.iter().any(|c| c.node == n.acc_driving
-            && c.to == AbilityStatus::Degraded));
+        assert!(changes
+            .iter()
+            .any(|c| c.node == n.acc_driving && c.to == AbilityStatus::Degraded));
     }
 
     #[test]

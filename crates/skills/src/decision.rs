@@ -54,9 +54,7 @@ impl ModePolicy {
     /// `hysteresis >= 0`.
     pub fn new(reduced_below: f64, stop_below: f64, hysteresis: f64, reduced_cap_mps: f64) -> Self {
         assert!(
-            (0.0..=1.0).contains(&reduced_below)
-                && stop_below >= 0.0
-                && stop_below < reduced_below,
+            (0.0..=1.0).contains(&reduced_below) && stop_below >= 0.0 && stop_below < reduced_below,
             "thresholds must satisfy 0 <= stop < reduced <= 1"
         );
         assert!(hysteresis >= 0.0);
@@ -151,7 +149,7 @@ mod tests {
     fn hysteresis_prevents_flapping() {
         let mut p = ModePolicy::with_defaults();
         p.update(0.75); // Reduced
-        // 0.81 is above reduced_below but inside the hysteresis band.
+                        // 0.81 is above reduced_below but inside the hysteresis band.
         assert!(matches!(p.update(0.81), DrivingMode::Reduced { .. }));
         // 0.86 clears the band.
         assert_eq!(p.update(0.86), DrivingMode::Normal);

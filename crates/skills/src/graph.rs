@@ -254,10 +254,7 @@ impl SkillGraph {
     /// (root first, leaves last). `None` if a cycle exists.
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let mut in_deg: Vec<usize> = self.nodes.iter().map(|n| n.parents.len()).collect();
-        let mut queue: Vec<NodeId> = self
-            .ids()
-            .filter(|id| in_deg[id.0] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = self.ids().filter(|id| in_deg[id.0] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = queue.pop() {
             order.push(n);
@@ -409,10 +406,7 @@ mod tests {
         let s = g.add_source("s").unwrap();
         g.depend(a, s).unwrap();
         g.depend(b, s).unwrap();
-        assert!(matches!(
-            g.validate(),
-            Err(GraphError::NoUniqueRoot { .. })
-        ));
+        assert!(matches!(g.validate(), Err(GraphError::NoUniqueRoot { .. })));
     }
 
     #[test]

@@ -231,10 +231,7 @@ mod tests {
         let mut b = bus();
         b.add_frame(stream("a", 600, 1_000, 0));
         b.add_frame(stream("b", 600, 1_000, 1));
-        assert!(matches!(
-            b.analyze(),
-            Err(AnalysisError::Overload { .. })
-        ));
+        assert!(matches!(b.analyze(), Err(AnalysisError::Overload { .. })));
     }
 
     #[test]

@@ -182,8 +182,7 @@ impl SystemModel {
     pub fn analyze(&self) -> Result<SystemAnalysis, AnalysisError> {
         const MAX_OUTER: usize = 100;
         // Current input event model per task.
-        let mut inputs: Vec<EventModel> =
-            self.tasks.iter().map(|t| t.task.events).collect();
+        let mut inputs: Vec<EventModel> = self.tasks.iter().map(|t| t.task.events).collect();
         // Chained tasks start from their own declared model's period but
         // inherit the source period (periods must agree along a chain).
         for (i, st) in self.tasks.iter().enumerate() {
@@ -220,9 +219,7 @@ impl SystemModel {
                         .get(&src)
                         .ok_or_else(|| AnalysisError::UnknownTask(st.task.name.clone()))?;
                     let src_in = inputs[src.0];
-                    let response_jitter = src_resp
-                        .wcrt
-                        .saturating_sub(self.tasks[src.0].task.bcet);
+                    let response_jitter = src_resp.wcrt.saturating_sub(self.tasks[src.0].task.bcet);
                     let new_model = src_in.with_added_jitter(response_jitter);
                     if new_model != inputs[i] {
                         inputs[i] = new_model;

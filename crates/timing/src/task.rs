@@ -163,22 +163,40 @@ mod tests {
 
     #[test]
     fn utilization_is_wcet_times_rate() {
-        let t = Task::new("t", ms(2), Priority(1), EventModel::periodic(ms(10)), ms(10));
+        let t = Task::new(
+            "t",
+            ms(2),
+            Priority(1),
+            EventModel::periodic(ms(10)),
+            ms(10),
+        );
         assert!((t.utilization() - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn bcet_validation() {
-        let t = Task::new("t", ms(2), Priority(1), EventModel::periodic(ms(10)), ms(10))
-            .with_bcet(ms(1));
+        let t = Task::new(
+            "t",
+            ms(2),
+            Priority(1),
+            EventModel::periodic(ms(10)),
+            ms(10),
+        )
+        .with_bcet(ms(1));
         assert_eq!(t.bcet, ms(1));
     }
 
     #[test]
     #[should_panic(expected = "BCET")]
     fn bcet_above_wcet_rejected() {
-        let _ = Task::new("t", ms(2), Priority(1), EventModel::periodic(ms(10)), ms(10))
-            .with_bcet(ms(3));
+        let _ = Task::new(
+            "t",
+            ms(2),
+            Priority(1),
+            EventModel::periodic(ms(10)),
+            ms(10),
+        )
+        .with_bcet(ms(3));
     }
 
     #[test]

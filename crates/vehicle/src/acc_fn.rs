@@ -120,7 +120,7 @@ impl AccController {
         let target = self
             .last_target
             .filter(|r| now.saturating_since(r.at) <= self.params.target_timeout);
-        
+
         match target {
             Some(r) => {
                 let desired = self.desired_gap_m(ego_speed_mps, hmi);

@@ -18,7 +18,10 @@ struct Lag {
 
 impl Lag {
     fn new(tau_s: f64) -> Self {
-        Lag { tau_s, current: 0.0 }
+        Lag {
+            tau_s,
+            current: 0.0,
+        }
     }
 
     fn step(&mut self, target: f64, dt: Duration) -> f64 {

@@ -38,7 +38,9 @@ pub mod sensors;
 pub mod traffic;
 pub mod world;
 
-pub use acc_fn::{AccController, AccParams, AccelCommand, ActuatorCommands, Allocator, ControlBranch};
+pub use acc_fn::{
+    AccController, AccParams, AccelCommand, ActuatorCommands, Allocator, ControlBranch,
+};
 pub use actuators::{BrakeCircuit, BrakeSystem, Powertrain};
 pub use dynamics::{Longitudinal, VehicleParams};
 pub use sensors::{HmiInput, RadarReading, RadarSensor, SensorFault, Weather, WheelSpeedSensor};

@@ -125,7 +125,11 @@ impl RadarSensor {
 
     /// Measurement noise standard deviation under the given weather.
     pub fn noise_std_m(&self, weather: Weather) -> f64 {
-        let fault_factor = if self.fault == SensorFault::Noisy { 8.0 } else { 1.0 };
+        let fault_factor = if self.fault == SensorFault::Noisy {
+            8.0
+        } else {
+            1.0
+        };
         self.base_noise_m * (1.0 + 4.0 * weather.fog) * fault_factor
     }
 
@@ -146,10 +150,12 @@ impl RadarSensor {
     ) -> Option<RadarReading> {
         match self.fault {
             SensorFault::Dead => return None,
-            SensorFault::StuckAt => return self.last.map(|mut r| {
-                r.at = at;
-                r
-            }),
+            SensorFault::StuckAt => {
+                return self.last.map(|mut r| {
+                    r.at = at;
+                    r
+                })
+            }
             SensorFault::None | SensorFault::Noisy => {}
         }
         if true_range_m > self.effective_range_m(weather) {
@@ -243,9 +249,7 @@ mod tests {
         let mut rng = rng();
         let w = Weather::default();
         let ok = (0..1000)
-            .filter(|_| {
-                r.measure(Time::ZERO, 50.0, -2.0, w, &mut rng).is_some()
-            })
+            .filter(|_| r.measure(Time::ZERO, 50.0, -2.0, w, &mut rng).is_some())
             .count();
         assert!(ok > 980, "ok {ok}");
     }

@@ -121,13 +121,8 @@ mod tests {
 
     #[test]
     fn brake_event_ramps_down() {
-        let mut lead = LeadVehicle::brake_event(
-            60.0,
-            25.0,
-            Time::from_secs(5),
-            10.0,
-            Duration::from_secs(3),
-        );
+        let mut lead =
+            LeadVehicle::brake_event(60.0, 25.0, Time::from_secs(5), 10.0, Duration::from_secs(3));
         // Before the event.
         for _ in 0..40 {
             lead.step(Duration::from_millis(100));
@@ -137,7 +132,11 @@ mod tests {
         for _ in 0..25 {
             lead.step(Duration::from_millis(100));
         }
-        assert!((lead.speed_mps() - 17.5).abs() < 0.3, "{}", lead.speed_mps());
+        assert!(
+            (lead.speed_mps() - 17.5).abs() < 0.3,
+            "{}",
+            lead.speed_mps()
+        );
         // After the ramp: holds 10.
         for _ in 0..50 {
             lead.step(Duration::from_millis(100));

@@ -137,13 +137,9 @@ impl VehicleWorld {
         self.lead.step(dt);
         let true_gap = self.gap_m();
         let true_rate = self.lead.speed_mps() - self.ego.speed_mps();
-        let radar = self.radar.measure(
-            self.now,
-            true_gap,
-            true_rate,
-            self.weather,
-            &mut self.rng,
-        );
+        let radar = self
+            .radar
+            .measure(self.now, true_gap, true_rate, self.weather, &mut self.rng);
         self.last_radar = radar;
         let measured_speed = self
             .wheel_speed
@@ -218,7 +214,11 @@ mod tests {
         run(&mut w, 60);
         // Proportional speed control has a small droop against drag
         // (~0.7 m/s at 25 m/s), as in simple production controllers.
-        assert!((w.ego.speed_mps() - 25.0).abs() < 1.0, "{}", w.ego.speed_mps());
+        assert!(
+            (w.ego.speed_mps() - 25.0).abs() < 1.0,
+            "{}",
+            w.ego.speed_mps()
+        );
     }
 
     #[test]
@@ -226,13 +226,7 @@ mod tests {
         let mut w = VehicleWorld::new(
             3,
             25.0,
-            LeadVehicle::brake_event(
-                55.0,
-                25.0,
-                Time::from_secs(10),
-                5.0,
-                Duration::from_secs(4),
-            ),
+            LeadVehicle::brake_event(55.0, 25.0, Time::from_secs(10), 5.0, Duration::from_secs(4)),
         );
         w.hmi.set_speed_mps = 25.0;
         run(&mut w, 60);
@@ -255,13 +249,7 @@ mod tests {
         let mut w = VehicleWorld::new(
             5,
             25.0,
-            LeadVehicle::brake_event(
-                60.0,
-                25.0,
-                Time::from_secs(5),
-                10.0,
-                Duration::from_secs(4),
-            ),
+            LeadVehicle::brake_event(60.0, 25.0, Time::from_secs(5), 10.0, Duration::from_secs(4)),
         );
         w.brakes.rear.set_enabled(false);
         w.allocator.prefer_regen = true;

@@ -19,8 +19,7 @@ use saav::vehicle::world::VehicleWorld;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut world = VehicleWorld::new(7, 22.0, LeadVehicle::cruising(60.0, 22.0));
     let (graph, nodes) = build_acc_graph()?;
-    let mut abilities =
-        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())?;
+    let mut abilities = AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())?;
     let mut quality = QualityMonitor::new("radar", 0.5, 5.0, 0.7);
     let mut heartbeat = HeartbeatMonitor::new("radar", Duration::from_millis(10), 5.0);
     let boundary = BoundaryMonitor::new("radar.range", 0.0, 200.0);

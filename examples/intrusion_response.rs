@@ -29,7 +29,10 @@ fn main() {
                 .map(|t| format!("{:.2}s", t.as_secs_f64()))
                 .unwrap_or_else(|| "-".into()),
         );
-        println!("  distance: {:.0} m (availability proxy)", outcome.distance_m);
+        println!(
+            "  distance: {:.0} m (availability proxy)",
+            outcome.distance_m
+        );
         println!(
             "  min TTC : {}",
             if outcome.min_ttc_s.is_finite() {

@@ -58,7 +58,9 @@ fn main() {
     println!("forecast p(bad)  naive     risk-aware");
     for p in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let (graph, start, goal) = alpine_scenario(p);
-        let naive = graph.plan(start, goal, CostModel::Naive).expect("reachable");
+        let naive = graph
+            .plan(start, goal, CostModel::Naive)
+            .expect("reachable");
         let smart = graph.plan(start, goal, risk).expect("reachable");
         let name = |r: &saav::platoon::routing::Route| {
             if r.nodes.contains(&RoadNode(1)) {

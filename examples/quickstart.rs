@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Instantiate it as an ability graph and degrade the radar.
-    let mut abilities =
-        AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())?;
+    let mut abilities = AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())?;
     abilities.set_measured(nodes.env_sensors, 0.55); // fog!
     let changes = abilities.propagate();
     println!("\nfog degrades the radar to 0.55:");
@@ -33,15 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The decision policy maps the root ability to a driving mode.
     let mut policy = ModePolicy::with_defaults();
     let mode = policy.update(abilities.root_level());
-    println!("\nroot ability {:.2} => mode: {mode}", abilities.root_level());
+    println!(
+        "\nroot ability {:.2} => mode: {mode}",
+        abilities.root_level()
+    );
 
     // 4. A full closed-loop scenario: the paper's rear-brake intrusion with
     //    cross-layer response.
     println!("\nrunning the intrusion scenario (cross-layer response)...");
-    let outcome = SelfAwareVehicle::run(Scenario::intrusion(
-        ResponseStrategy::CrossLayer,
-        42,
-    ));
+    let outcome = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
     println!("  first detection : {:?}", outcome.first_detection);
     println!("  actions taken   : {:?}", outcome.actions);
     println!("  distance driven : {:.0} m", outcome.distance_m);

@@ -51,8 +51,8 @@ component acc_controller {
                 .components
                 .iter()
                 .map(|c| {
-                    let mut spec = ComponentSpec::new(&c.name, VmId(0))
-                        .with_memory_kib(c.memory_kib);
+                    let mut spec =
+                        ComponentSpec::new(&c.name, VmId(0)).with_memory_kib(c.memory_kib);
                     for p in &c.provides {
                         spec = spec.provides(p.name.as_str());
                     }

@@ -35,6 +35,8 @@
 //! See `examples/` for scenario walkthroughs and
 //! `cargo run -p saav-bench --bin repro -- all` for every reproduced table.
 
+#![warn(missing_docs)]
+
 pub use saav_can as can;
 pub use saav_core as core;
 pub use saav_hw as hw;

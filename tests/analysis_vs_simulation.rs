@@ -27,7 +27,12 @@ fn cpu_analysis_bounds_simulated_responses() {
     let sets: Vec<Vec<(&str, u64, u64, u32)>> = vec![
         vec![("a", 1, 4, 0), ("b", 2, 6, 1), ("c", 3, 12, 2)],
         vec![("x", 2, 10, 0), ("y", 5, 25, 1), ("z", 9, 50, 2)],
-        vec![("p", 1, 5, 0), ("q", 1, 7, 1), ("r", 2, 11, 2), ("s", 3, 23, 3)],
+        vec![
+            ("p", 1, 5, 0),
+            ("q", 1, 7, 1),
+            ("r", 2, 11, 2),
+            ("s", 3, 23, 3),
+        ],
     ];
     for set in sets {
         let mut analysis = CpuAnalysis::new();
@@ -44,15 +49,9 @@ fn cpu_analysis_bounds_simulated_responses() {
             refs.push((
                 name,
                 sched.add_task(
-                    TaskSpec::periodic(
-                        name,
-                        ComponentId(0),
-                        ms(p),
-                        ms(c),
-                        RtePriority(prio),
-                    )
-                    // Execute at full WCET: the worst case the analysis bounds.
-                    .with_exec_fraction(1.0, 1.0),
+                    TaskSpec::periodic(name, ComponentId(0), ms(p), ms(c), RtePriority(prio))
+                        // Execute at full WCET: the worst case the analysis bounds.
+                        .with_exec_fraction(1.0, 1.0),
                 ),
             ));
         }
@@ -61,7 +60,9 @@ fn cpu_analysis_bounds_simulated_responses() {
         let mut max_response: std::collections::HashMap<String, Duration> =
             std::collections::HashMap::new();
         for rec in sched.take_records() {
-            let e = max_response.entry(rec.name.clone()).or_insert(Duration::ZERO);
+            let e = max_response
+                .entry(rec.name.clone())
+                .or_insert(Duration::ZERO);
             *e = (*e).max(rec.response);
         }
         for &(name, ..) in &set {
@@ -142,8 +143,7 @@ fn can_analysis_bounds_simulated_latency() {
     for &(id, period) in &streams {
         let mut t = Time::ZERO;
         while t < Time::from_millis(40) {
-            let frame =
-                CanFrame::data(FrameId::standard(id).unwrap(), &[0xFF; 8]).unwrap();
+            let frame = CanFrame::data(FrameId::standard(id).unwrap(), &[0xFF; 8]).unwrap();
             sent.push((t, frame));
             t += ms(period);
         }
@@ -177,8 +177,7 @@ fn can_analysis_bounds_simulated_latency() {
             .map(|&(_, t)| t)
             .collect();
         assert_eq!(sends.len(), recvs.len(), "stream {id:x} lost frames");
-        let bound = bounds.response(&format!("f{id:x}")).unwrap().wcrt
-            + Duration::from_micros(10); // receive-poll quantization
+        let bound = bounds.response(&format!("f{id:x}")).unwrap().wcrt + Duration::from_micros(10); // receive-poll quantization
         for (s, r) in sends.iter().zip(&recvs) {
             let latency = r.saturating_since(*s);
             assert!(

@@ -1,0 +1,98 @@
+//! Smoke tests over the `saav-bench` experiment harness: every experiment
+//! entry point the `repro` binary dispatches to (E1–E10 plus the A1–A3
+//! ablations) must complete on its fixed internal seed and produce a
+//! non-empty, renderable table.
+
+use saav_bench::{
+    exp_can, exp_mcc, exp_monitor, exp_platoon, exp_propagation, exp_scenarios, exp_skills,
+};
+use saav_sim::report::Table;
+
+/// Asserts the experiment produced data rows and a renderable table.
+fn assert_populated(id: &str, table: &Table) {
+    assert!(!table.is_empty(), "{id}: table has no data rows");
+    let rendered = table.render();
+    assert!(!rendered.trim().is_empty(), "{id}: rendered table is empty");
+    assert!(
+        rendered.lines().count() > table.len(),
+        "{id}: rendered table is missing its header"
+    );
+}
+
+#[test]
+fn e1_can_round_trip_completes() {
+    assert_populated("e1", &exp_can::e1_table());
+    assert_populated("e1b", &exp_can::e1_throughput_table());
+    let (lo, hi) = exp_can::e1_added_range_us();
+    assert!(lo > 0.0 && hi >= lo, "e1: added-latency range [{lo}, {hi}]");
+}
+
+#[test]
+fn e2_fpga_break_even_completes() {
+    assert_populated("e2", &exp_can::e2_table());
+}
+
+#[test]
+fn e3_monitor_interference_completes() {
+    assert_populated("e3", &exp_monitor::e3_table());
+}
+
+#[test]
+fn e4_mcc_acceptance_completes() {
+    assert_populated("e4", &exp_mcc::e4_table());
+}
+
+#[test]
+fn e5_ability_detection_completes() {
+    assert_populated("e5", &exp_skills::e5_table());
+}
+
+#[test]
+fn e6_intrusion_strategies_completes() {
+    assert_populated("e6", &exp_scenarios::e6_table());
+}
+
+#[test]
+fn e7_thermal_stress_completes() {
+    assert_populated("e7", &exp_scenarios::e7_table());
+}
+
+#[test]
+fn e8_platoon_agreement_completes() {
+    assert_populated("e8", &exp_platoon::e8_table());
+    assert_populated("e8b", &exp_platoon::e8b_table());
+}
+
+#[test]
+fn e9_risk_aware_routing_completes() {
+    assert_populated("e9", &exp_platoon::e9_table());
+}
+
+#[test]
+fn e10_propagation_completes() {
+    assert_populated("e10", &exp_propagation::e10_table());
+    assert_populated("e10b", &exp_propagation::e10b_fmea_table());
+}
+
+#[test]
+fn ablations_complete() {
+    assert_populated("a1", &exp_skills::a1_table());
+    assert_populated("a2", &exp_propagation::a2_table());
+    assert_populated("a3", &exp_monitor::a3_table());
+}
+
+/// The experiments are seeded internally, so rerunning one must reproduce
+/// the identical table — this is what makes the repro harness a repro.
+#[test]
+fn experiments_are_deterministic() {
+    assert_eq!(
+        exp_can::e1_table().render(),
+        exp_can::e1_table().render(),
+        "e1 is not deterministic across runs"
+    );
+    assert_eq!(
+        exp_propagation::e10_table().render(),
+        exp_propagation::e10_table().render(),
+        "e10 is not deterministic across runs"
+    );
+}

@@ -23,12 +23,14 @@ fn no_strategy_ever_collides_in_the_intrusion_scenario() {
 #[test]
 fn cross_layer_keeps_the_mission_objective_stop_aborts_it() {
     for seed in [1, 42] {
-        let cross =
-            SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, seed));
+        let cross = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, seed));
         let stop =
             SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::ObjectiveStop, seed));
         assert!(cross.distance_m > stop.distance_m, "seed {seed}");
-        assert!(matches!(stop.final_mode, DrivingMode::SafeStop), "seed {seed}");
+        assert!(
+            matches!(stop.final_mode, DrivingMode::SafeStop),
+            "seed {seed}"
+        );
         assert!(
             !matches!(cross.final_mode, DrivingMode::SafeStop),
             "seed {seed}: cross-layer should keep driving"
@@ -62,7 +64,11 @@ fn propagation_chains_bounded_in_every_run() {
 #[test]
 fn baseline_runs_are_quiet() {
     let out = SelfAwareVehicle::run(Scenario::baseline(9));
-    assert!(out.actions.is_empty(), "unexpected actions: {:?}", out.actions);
+    assert!(
+        out.actions.is_empty(),
+        "unexpected actions: {:?}",
+        out.actions
+    );
     assert!(matches!(out.final_mode, DrivingMode::Normal));
     assert_eq!(out.conflicts, 0);
     assert!(out.ability.min().unwrap_or(1.0) > 0.9);

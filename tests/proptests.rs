@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use saav::can::bitstream::{frame_bits_exact, frame_bits_with_ifs, frame_bits_worst_case, stuff, stuffable_bits};
+use saav::can::bitstream::{
+    frame_bits_exact, frame_bits_with_ifs, frame_bits_worst_case, stuff, stuffable_bits,
+};
 use saav::can::controller::TxQueue;
 use saav::can::frame::{CanFrame, FrameId};
 use saav::core::coordinator::{Coordinator, EscalationPolicy};

@@ -1,0 +1,219 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace's property tests.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! path dependency stands in for the real crate. It keeps the same
+//! programming model — the [`proptest!`] macro with `arg in strategy`
+//! bindings, range/`any`/`collection::vec`/`option::of` strategies, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros — but
+//! with a fixed-seed random search (no shrinking). Each test runs 256
+//! accepted cases drawn from a stream seeded by the test's name, so failures
+//! are reproducible run-to-run.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.uniform_usize(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option` (`of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Creates a strategy that yields `None` about a quarter of the time and
+    /// `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{Rejected, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over 256 sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                const CASES: u32 = 256;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= CASES * 16,
+                        "prop_assume rejected too many cases ({} accepted of {} attempts)",
+                        accepted,
+                        attempts,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let case = || -> ::core::result::Result<(), $crate::test_runner::Rejected> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome = case();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u16..10, y in 0.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in crate::collection::vec(any::<u8>(), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(o in crate::option::of(0u8..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic case generation for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Marker returned by `prop_assume!` when a sampled case is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// A small deterministic RNG (the vendored [`SmallRng`] seeded from the test
+/// name) that drives strategy sampling. Equal names give equal case streams,
+/// so a failing case reproduces on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates an RNG whose stream is a pure function of `name`.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name; SmallRng spreads the state from there.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range");
+        let span = ((hi - lo) as u64).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64() as usize;
+        }
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + (v % span) as usize;
+            }
+        }
+    }
+}
