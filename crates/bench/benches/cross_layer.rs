@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use saav_bench::exp_propagation::campaign;
-use saav_core::assembly::{ResponseStrategy, Scenario, SelfAwareVehicle};
 use saav_core::coordinator::EscalationPolicy;
+use saav_core::scenario::Scenario;
+use saav_core::vehicle::SelfAwareVehicle;
 use saav_sim::time::Duration;
-use saav_vehicle::traffic::LeadVehicle;
 
 fn bench_campaign(c: &mut Criterion) {
     c.bench_function("cross_layer/100_problem_campaign", |b| {
@@ -24,15 +24,10 @@ fn bench_assembly_step(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("baseline", |b| {
         b.iter(|| {
-            let scenario = Scenario {
-                label: "bench".into(),
-                events: Vec::new(),
-                duration: Duration::from_secs(10),
-                strategy: ResponseStrategy::CrossLayer,
-                seed: 1,
-                ego_speed_mps: 22.0,
-                lead: LeadVehicle::cruising(60.0, 22.0),
-            };
+            let scenario = Scenario::builder("bench")
+                .seed(1)
+                .duration(Duration::from_secs(10))
+                .build();
             SelfAwareVehicle::run(scenario)
         })
     });

@@ -1,0 +1,47 @@
+//! Criterion bench for the fleet runner: scenarios/second on one worker
+//! thread vs all available workers.
+//!
+//! The job list is the full scenario library at a trimmed 10 s duration so
+//! one iteration stays cheap; the comparison isolates the thread-scaling of
+//! the batch machinery. On a single-core host the two groups converge —
+//! the speedup shows wherever `available_parallelism > 1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use saav_core::fleet::FleetRunner;
+use saav_core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav_sim::time::Duration;
+
+/// The scenario library at 10 s per run — the per-iteration workload.
+fn jobs() -> Vec<Scenario> {
+    ScenarioFamily::ALL
+        .iter()
+        .map(|&family| {
+            let mut s = family.build(ResponseStrategy::CrossLayer, 0);
+            s.duration = Duration::from_secs(10);
+            s
+        })
+        .collect()
+}
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput/9_scenarios_10s");
+    group.sample_size(10);
+    group.bench_function("1_thread", |b| {
+        let fleet = FleetRunner::new(7).with_threads(1);
+        b.iter(|| fleet.run_scenarios(jobs()))
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if workers > 1 {
+        group.bench_function(format!("{workers}_threads"), |b| {
+            let fleet = FleetRunner::new(7).with_threads(workers);
+            b.iter(|| fleet.run_scenarios(jobs()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_throughput);
+criterion_main!(benches);

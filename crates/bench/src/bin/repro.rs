@@ -1,6 +1,6 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 a2 a3 | all]`
+//! Usage: `repro [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 a1 a2 a3 | all]`
 
 use saav_bench::*;
 
@@ -8,7 +8,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -33,6 +33,11 @@ fn main() {
             "e10" => {
                 println!("{}", exp_propagation::e10_table().render());
                 println!("{}", exp_propagation::e10b_fmea_table().render());
+            }
+            "e11" => {
+                let fleet = exp_fleet::e11_sweep();
+                println!("{}", exp_fleet::e11_runs_table(&fleet).render());
+                println!("{}", exp_fleet::e11_summary_table(&fleet).render());
             }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),

@@ -11,26 +11,22 @@
 //! E7 reproduces the thermal chain: ambient heat → DVFS throttling →
 //! deadline misses → (cross-layer only) function adaptation that restores
 //! timing correctness.
+//!
+//! The fleet-scale sweep over the whole scenario library is E11 in
+//! [`crate::exp_fleet`].
 
-use saav_core::assembly::{Outcome, ResponseStrategy, Scenario, SelfAwareVehicle};
+use saav_core::outcome::Outcome;
+use saav_core::scenario::{ResponseStrategy, Scenario};
+use saav_core::vehicle::SelfAwareVehicle;
 use saav_sim::report::{fmt_f64, Table};
 use saav_sim::time::Time;
 
-fn fmt_opt_time(t: Option<Time>) -> String {
-    t.map(|t| format!("{:.1}s", t.as_secs_f64()))
-        .unwrap_or_else(|| "-".into())
-}
-
 /// Runs E6 for all three strategies.
 pub fn e6_outcomes(seed: u64) -> Vec<Outcome> {
-    [
-        ResponseStrategy::SingleLayer,
-        ResponseStrategy::CrossLayer,
-        ResponseStrategy::ObjectiveStop,
-    ]
-    .into_iter()
-    .map(|s| SelfAwareVehicle::run(Scenario::intrusion(s, seed)))
-    .collect()
+    ResponseStrategy::ALL
+        .into_iter()
+        .map(|s| SelfAwareVehicle::run(Scenario::intrusion(s, seed)))
+        .collect()
 }
 
 /// E6 as a printable table.
@@ -46,18 +42,16 @@ pub fn e6_table() -> Table {
     ])
     .with_title("E6: rear-brake intrusion at t=30s — response strategies (lead brakes at t=60s)");
     for out in e6_outcomes(42) {
+        let s = out.summary();
+        let (detected, mitigated) = s.fmt_detection();
         t.row([
-            out.label.clone(),
-            fmt_opt_time(out.first_detection),
-            fmt_opt_time(out.mitigated_at),
-            format!("{:.0} m", out.distance_m),
-            if out.min_ttc_s.is_finite() {
-                format!("{:.1} s", out.min_ttc_s)
-            } else {
-                "inf".into()
-            },
-            out.final_mode.to_string(),
-            out.collision.to_string(),
+            s.label.clone(),
+            detected,
+            mitigated,
+            format!("{:.0} m", s.distance_m),
+            s.fmt_min_ttc(),
+            s.final_mode.to_string(),
+            s.collision.to_string(),
         ]);
     }
     t

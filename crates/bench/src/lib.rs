@@ -14,6 +14,7 @@
 //! | E7 | [`exp_scenarios`] | thermal chain; cross-layer handling restores deadlines |
 //! | E8/E9 | [`exp_platoon`] | Byzantine platoon agreement; risk-aware routing |
 //! | E10 | [`exp_propagation`] | propagation terminates; layer distribution |
+//! | E11 | [`exp_fleet`] | fleet sweep: scenario library x strategies, fleet statistics |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_can;
+pub mod exp_fleet;
 pub mod exp_mcc;
 pub mod exp_monitor;
 pub mod exp_platoon;

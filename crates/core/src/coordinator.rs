@@ -94,6 +94,25 @@ impl Coordinator {
         self.policy
     }
 
+    /// The layer sequence a problem detected at `origin` is offered to,
+    /// under the active policy.
+    ///
+    /// This is the *single* routing implementation: [`Coordinator::resolve`]
+    /// and the assembly's stepping loop both iterate exactly this sequence.
+    /// Under [`EscalationPolicy::LocalFirst`] it is the origin layer and then
+    /// strictly upward; under [`EscalationPolicy::BroadcastUp`] it is every
+    /// layer bottom-up regardless of origin.
+    pub fn route(&self, origin: Layer) -> impl Iterator<Item = Layer> {
+        let start = match self.policy {
+            EscalationPolicy::LocalFirst => Layer::ALL
+                .iter()
+                .position(|&l| l == origin)
+                .expect("origin is in Layer::ALL"),
+            EscalationPolicy::BroadcastUp => 0,
+        };
+        Layer::ALL[start..].iter().copied()
+    }
+
     /// Creates a new problem record.
     pub fn detect(
         &mut self,
@@ -124,20 +143,7 @@ impl Coordinator {
     {
         let mut attempts = Vec::new();
         let mut resolved_by = None;
-        let layers: Vec<Layer> = match self.policy {
-            EscalationPolicy::LocalFirst => {
-                // Origin layer, then strictly upward.
-                let mut ls = Vec::new();
-                let mut cur = Some(problem.origin);
-                while let Some(l) = cur {
-                    ls.push(l);
-                    cur = l.above();
-                }
-                ls
-            }
-            EscalationPolicy::BroadcastUp => Layer::ALL.to_vec(),
-        };
-        for layer in layers {
+        for layer in self.route(problem.origin).collect::<Vec<_>>() {
             let outcome = handler(layer, &problem);
             let is_resolved = matches!(outcome, Containment::Resolved { .. });
             attempts.push(Attempt { layer, outcome });
@@ -301,6 +307,38 @@ mod tests {
             1
         );
         assert_eq!(c.traces().len(), 2);
+    }
+
+    /// `route` and `resolve` must visit identical layer sequences — the
+    /// assembly loop and the coordinator share one routing implementation.
+    #[test]
+    fn route_and_resolve_visit_identical_sequences() {
+        for policy in [EscalationPolicy::LocalFirst, EscalationPolicy::BroadcastUp] {
+            for &origin in &Layer::ALL {
+                let mut c = Coordinator::new(policy);
+                let routed: Vec<Layer> = c.route(origin).collect();
+                let p = problem(&mut c, origin);
+                // A never-resolving handler forces the full sequence.
+                let trace = c.resolve(p, |_, _| Containment::CannotHandle);
+                let visited: Vec<Layer> = trace.attempts.iter().map(|a| a.layer).collect();
+                assert_eq!(routed, visited, "{policy:?} from {origin:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_first_route_is_origin_then_strictly_upward() {
+        let c = Coordinator::new(EscalationPolicy::LocalFirst);
+        let routed: Vec<Layer> = c.route(Layer::Safety).collect();
+        assert_eq!(
+            routed,
+            vec![Layer::Safety, Layer::Ability, Layer::Objective]
+        );
+        let mut expected = vec![Layer::Safety];
+        while let Some(l) = expected.last().unwrap().above() {
+            expected.push(l);
+        }
+        assert_eq!(routed, expected);
     }
 
     #[test]

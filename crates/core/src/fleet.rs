@@ -1,0 +1,422 @@
+//! The fleet runner: batch execution of many scenarios across worker
+//! threads with deterministic seeding and fleet-level statistics.
+//!
+//! [`FleetRunner`] turns the single-vehicle demo into a batch evaluation
+//! engine: it expands a `families × strategies × seeds` grid (or any
+//! explicit scenario list) into jobs, derives each job's RNG seed from one
+//! master seed via [`saav_sim::rng::derive_seed`], executes the jobs on
+//! `std::thread::scope` workers, and aggregates the per-run [`Summary`]s
+//! into [`FleetStats`] — collision rate, the detection-latency
+//! distribution, and distance/availability per strategy.
+//!
+//! Determinism is by construction: job order, per-job seeds and the
+//! result slots are all fixed before any worker starts, so the aggregate
+//! statistics are bit-identical whether the fleet runs on 1 thread or N
+//! (property-tested in `tests/proptests.rs`).
+//!
+//! ```
+//! use saav_core::fleet::FleetRunner;
+//! use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
+//!
+//! let fleet = FleetRunner::new(2024).with_threads(2);
+//! let outcome = fleet.sweep(
+//!     &[ScenarioFamily::Baseline],
+//!     &[ResponseStrategy::CrossLayer],
+//!     1,
+//! );
+//! assert_eq!(outcome.stats.runs, 1);
+//! assert_eq!(outcome.stats.collision_rate, 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use saav_sim::rng::derive_seed;
+use saav_sim::series::percentile_sorted;
+use saav_sim::time::Time;
+
+use crate::outcome::Summary;
+use crate::runner;
+use crate::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+
+/// One completed fleet run: the job's grid coordinates plus its summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRecord {
+    /// Strategy the run was executed under.
+    pub strategy: ResponseStrategy,
+    /// The derived per-run seed.
+    pub seed: u64,
+    /// When the scenario's first scripted disturbance fired, if any.
+    pub injected_at: Option<Time>,
+    /// The run's compact outcome.
+    pub summary: Summary,
+}
+
+impl FleetRecord {
+    /// Detection latency in seconds: first detection relative to the first
+    /// scripted disturbance (relative to run start when the scenario has
+    /// none). `None` when nothing was detected.
+    pub fn detection_latency_s(&self) -> Option<f64> {
+        self.summary.first_detection.map(|det| {
+            let injected = self.injected_at.unwrap_or(Time::ZERO);
+            det.saturating_since(injected).as_secs_f64()
+        })
+    }
+}
+
+/// Aggregate detection-latency distribution over the detected runs.
+///
+/// Latency is measured from each run's first scripted disturbance to its
+/// first detection, so the distribution compares monitor reaction — not the
+/// scenarios' injection schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of runs in which any problem was detected.
+    pub detected: usize,
+    /// Mean detection latency (s) over detected runs.
+    pub mean_s: f64,
+    /// Median detection latency (s).
+    pub p50_s: f64,
+    /// 95th-percentile detection latency (s).
+    pub p95_s: f64,
+}
+
+/// Per-strategy aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStats {
+    /// The strategy these rows aggregate.
+    pub strategy: ResponseStrategy,
+    /// Number of runs under this strategy.
+    pub runs: usize,
+    /// Fraction of runs that collided.
+    pub collision_rate: f64,
+    /// Mean distance travelled (m) — the availability proxy.
+    pub mean_distance_m: f64,
+    /// Fraction of runs that did *not* end in a minimal-risk stop.
+    pub availability: f64,
+}
+
+/// Fleet-level statistics over one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Total runs executed.
+    pub runs: usize,
+    /// Runs that ended in a collision.
+    pub collisions: usize,
+    /// `collisions / runs`.
+    pub collision_rate: f64,
+    /// Detection-latency distribution over runs that detected anything.
+    pub detection: LatencyStats,
+    /// Aggregates per strategy, in first-appearance order.
+    pub per_strategy: Vec<StrategyStats>,
+}
+
+impl FleetStats {
+    /// Aggregates a batch of records (in their deterministic job order).
+    pub fn from_records(records: &[FleetRecord]) -> Self {
+        let runs = records.len();
+        let collisions = records.iter().filter(|r| r.summary.collision).count();
+        let mut latencies: Vec<f64> = records
+            .iter()
+            .filter_map(FleetRecord::detection_latency_s)
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let detection = LatencyStats {
+            detected: latencies.len(),
+            mean_s: mean(&latencies),
+            p50_s: percentile_sorted(&latencies, 0.5).unwrap_or(0.0),
+            p95_s: percentile_sorted(&latencies, 0.95).unwrap_or(0.0),
+        };
+        let mut per_strategy: Vec<StrategyStats> = Vec::new();
+        for rec in records {
+            if !per_strategy.iter().any(|s| s.strategy == rec.strategy) {
+                let group: Vec<&FleetRecord> = records
+                    .iter()
+                    .filter(|r| r.strategy == rec.strategy)
+                    .collect();
+                let n = group.len();
+                let collided = group.iter().filter(|r| r.summary.collision).count();
+                let stopped = group
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            r.summary.final_mode,
+                            saav_skills::decision::DrivingMode::SafeStop
+                        )
+                    })
+                    .count();
+                let dist: f64 = group.iter().map(|r| r.summary.distance_m).sum();
+                per_strategy.push(StrategyStats {
+                    strategy: rec.strategy,
+                    runs: n,
+                    collision_rate: collided as f64 / n as f64,
+                    mean_distance_m: dist / n as f64,
+                    availability: (n - stopped) as f64 / n as f64,
+                });
+            }
+        }
+        FleetStats {
+            runs,
+            collisions,
+            collision_rate: if runs == 0 {
+                0.0
+            } else {
+                collisions as f64 / runs as f64
+            },
+            detection,
+            per_strategy,
+        }
+    }
+}
+
+fn mean(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    }
+}
+
+/// A completed fleet batch: the per-run records (in deterministic job
+/// order) and their aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// One record per job, in job order.
+    pub records: Vec<FleetRecord>,
+    /// Aggregates over all records.
+    pub stats: FleetStats,
+}
+
+/// Executes batches of scenarios across worker threads.
+///
+/// The runner owns seeding: every job's scenario seed is replaced by
+/// `derive_seed(master_seed, job_index)`, so a batch is reproducible from
+/// the master seed alone and independent of thread count.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    master_seed: u64,
+    threads: usize,
+}
+
+impl FleetRunner {
+    /// Creates a fleet runner with as many workers as the host exposes.
+    pub fn new(master_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        FleetRunner {
+            master_seed,
+            threads,
+        }
+    }
+
+    /// Overrides the worker-thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The master seed all per-run seeds derive from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Expands the `families × strategies × seeds_per_cell` grid and runs
+    /// every cell.
+    pub fn sweep(
+        &self,
+        families: &[ScenarioFamily],
+        strategies: &[ResponseStrategy],
+        seeds_per_cell: usize,
+    ) -> FleetOutcome {
+        let mut jobs = Vec::with_capacity(families.len() * strategies.len() * seeds_per_cell);
+        for &family in families {
+            for &strategy in strategies {
+                for _ in 0..seeds_per_cell {
+                    // The real per-run seed is derived in `run_scenarios`
+                    // from the job index; 0 here is a placeholder.
+                    jobs.push(family.build(strategy, 0));
+                }
+            }
+        }
+        self.run_scenarios(jobs)
+    }
+
+    /// Runs an explicit scenario list. Each scenario's seed is overridden
+    /// with `derive_seed(master_seed, job_index)`.
+    pub fn run_scenarios(&self, mut scenarios: Vec<Scenario>) -> FleetOutcome {
+        for (i, s) in scenarios.iter_mut().enumerate() {
+            s.seed = derive_seed(self.master_seed, i as u64);
+        }
+        let workers = self.threads.min(scenarios.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FleetRecord>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= scenarios.len() {
+                        break;
+                    }
+                    let scenario = scenarios[i].clone();
+                    let strategy = scenario.strategy;
+                    let seed = scenario.seed;
+                    let injected_at = scenario.events.iter().map(|&(t, _)| t).min();
+                    let summary = runner::run(scenario).summary();
+                    *slots[i].lock().expect("worker never panics holding lock") =
+                        Some(FleetRecord {
+                            strategy,
+                            seed,
+                            injected_at,
+                            summary,
+                        });
+                });
+            }
+        });
+        let records: Vec<FleetRecord> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("lock not poisoned")
+                    .expect("every job slot filled")
+            })
+            .collect();
+        let stats = FleetStats::from_records(&records);
+        FleetOutcome { records, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saav_sim::time::{Duration, Time};
+
+    /// Short scenarios so the batch machinery is exercised without paying
+    /// for full 120 s runs.
+    fn short_jobs() -> Vec<Scenario> {
+        ResponseStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                Scenario::builder(format!("short/{strategy:?}"))
+                    .strategy(strategy)
+                    .duration(Duration::from_secs(8))
+                    .at(
+                        Time::from_secs(2),
+                        crate::scenario::ScenarioEvent::CompromiseRearBrake,
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let one = FleetRunner::new(99)
+            .with_threads(1)
+            .run_scenarios(short_jobs());
+        let four = FleetRunner::new(99)
+            .with_threads(4)
+            .run_scenarios(short_jobs());
+        assert_eq!(one.records, four.records);
+        assert_eq!(one.stats, four.stats);
+    }
+
+    #[test]
+    fn seeds_derive_from_master_and_job_index() {
+        let out = FleetRunner::new(7)
+            .with_threads(2)
+            .run_scenarios(short_jobs());
+        for (i, rec) in out.records.iter().enumerate() {
+            assert_eq!(rec.seed, derive_seed(7, i as u64));
+        }
+        // A different master seed re-seeds every run.
+        let other = FleetRunner::new(8)
+            .with_threads(2)
+            .run_scenarios(short_jobs());
+        assert!(out
+            .records
+            .iter()
+            .zip(&other.records)
+            .all(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn sweep_expands_the_full_grid() {
+        let fleet = FleetRunner::new(1).with_threads(2);
+        let families = [ScenarioFamily::Baseline, ScenarioFamily::StopAndGo];
+        let strategies = [ResponseStrategy::CrossLayer, ResponseStrategy::SingleLayer];
+        // Trim durations by running the grid through explicit scenarios.
+        let jobs: Vec<Scenario> = families
+            .iter()
+            .flat_map(|&f| {
+                strategies.iter().map(move |&s| {
+                    let mut sc = f.build(s, 0);
+                    sc.duration = Duration::from_secs(6);
+                    sc
+                })
+            })
+            .collect();
+        let out = fleet.run_scenarios(jobs);
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.stats.runs, 4);
+        assert_eq!(out.stats.per_strategy.len(), 2);
+        for s in &out.stats.per_strategy {
+            assert_eq!(s.runs, 2);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_collisions_and_latency() {
+        use crate::outcome::Summary;
+        use saav_skills::decision::DrivingMode;
+        let mk = |collision: bool, det: Option<u64>, mode: DrivingMode, dist: f64| FleetRecord {
+            strategy: ResponseStrategy::CrossLayer,
+            seed: 0,
+            injected_at: None,
+            summary: Summary {
+                label: "x".into(),
+                collision,
+                distance_m: dist,
+                min_ttc_s: 10.0,
+                first_detection: det.map(Time::from_secs),
+                mitigated_at: None,
+                final_mode: mode,
+            },
+        };
+        let records = vec![
+            mk(false, Some(10), DrivingMode::Normal, 1000.0),
+            mk(true, Some(20), DrivingMode::SafeStop, 500.0),
+            mk(false, None, DrivingMode::Normal, 1500.0),
+        ];
+        let stats = FleetStats::from_records(&records);
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.collisions, 1);
+        // With an injection time, latency is measured from the disturbance.
+        let mut rec = records[0].clone();
+        rec.injected_at = Some(Time::from_secs(4));
+        assert_eq!(rec.detection_latency_s(), Some(6.0));
+        assert!((stats.collision_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.detection.detected, 2);
+        assert!((stats.detection.mean_s - 15.0).abs() < 1e-12);
+        assert_eq!(stats.detection.p50_s, 10.0);
+        assert_eq!(stats.detection.p95_s, 20.0);
+        let s = &stats.per_strategy[0];
+        assert_eq!(s.runs, 3);
+        assert!((s.mean_distance_m - 1000.0).abs() < 1e-12);
+        assert!((s.availability - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let out = FleetRunner::new(0).run_scenarios(Vec::new());
+        assert_eq!(out.stats.runs, 0);
+        assert_eq!(out.stats.collision_rate, 0.0);
+        assert!(out.stats.per_strategy.is_empty());
+    }
+}

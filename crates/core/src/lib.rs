@@ -11,10 +11,22 @@
 //! * [`coordinator`] — routing of detected problems through the layers with
 //!   structurally guaranteed termination (strictly upward escalation over a
 //!   finite lattice — the paper's "no forwarding ad infinitum").
-//! * [`assembly`] — the full vehicle: hardware platform, CAN, RTE,
-//!   monitors, ability graph, mode policy and the coordinator wired into a
-//!   closed loop, plus the paper's scenarios (intrusion in the rear-brake
-//!   component, thermal stress, fog) under three response strategies.
+//!   [`coordinator::Coordinator::route`] is the single routing
+//!   implementation shared by `resolve` and the scenario runner.
+//! * [`scenario`] — composable scenario descriptions: a builder DSL, the
+//!   named [`scenario::ScenarioFamily`] library (baseline, intrusion,
+//!   thermal, fog, fog+intrusion, thermal+fog, radar-dropout, radar-noise,
+//!   stop-and-go) and the event-queue-driven runtime
+//!   [`scenario::ScenarioState`].
+//! * [`vehicle`] — the full vehicle: hardware platform, CAN, RTE, monitors,
+//!   ability graph, mode policy and the coordinator wired into one machine,
+//!   with each layer's concrete containment actions.
+//! * [`runner`] — the closed-loop stepping engine that drives one vehicle
+//!   through one scenario.
+//! * [`outcome`] — the measured [`outcome::Outcome`] and its compact
+//!   [`outcome::Summary`].
+//! * [`fleet`] — the [`fleet::FleetRunner`]: N scenarios across worker
+//!   threads with deterministic seed derivation and fleet-level statistics.
 //!
 //! ```
 //! use saav_core::coordinator::{Coordinator, EscalationPolicy};
@@ -34,10 +46,29 @@
 
 #![warn(missing_docs)]
 
-pub mod assembly;
 pub mod coordinator;
+pub mod fleet;
 pub mod layer;
+pub mod outcome;
+pub mod runner;
+pub mod scenario;
+pub mod vehicle;
 
-pub use assembly::{Outcome, ResponseStrategy, Scenario, ScenarioEvent, SelfAwareVehicle};
+/// Backward-compatible façade over the modules the old `assembly` monolith
+/// was split into ([`scenario`], [`vehicle`], [`runner`], [`outcome`]).
+pub mod assembly {
+    pub use crate::outcome::{Outcome, Summary};
+    pub use crate::scenario::{
+        ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent, ScenarioFamily,
+    };
+    pub use crate::vehicle::SelfAwareVehicle;
+}
+
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
+pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
+pub use outcome::{Outcome, Summary};
+pub use scenario::{
+    ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent, ScenarioFamily, ScenarioState,
+};
+pub use vehicle::SelfAwareVehicle;

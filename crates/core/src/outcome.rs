@@ -1,0 +1,127 @@
+//! Measured results of a scenario run: the full [`Outcome`] record and the
+//! compact [`Summary`] used by fleet aggregation and the repro tables.
+
+use saav_sim::series::Series;
+use saav_sim::time::Time;
+use saav_sim::trace::Tracer;
+use saav_skills::decision::DrivingMode;
+
+/// Measured outcome of a scenario run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Scenario label.
+    pub label: String,
+    /// Speed over time.
+    pub speed: Series,
+    /// Root ability level over time.
+    pub ability: Series,
+    /// Deadline-miss ratio per second of the ACC task.
+    pub miss_rate: Series,
+    /// Die temperature of PE0 over time (°C).
+    pub temp_c: Series,
+    /// Execution speed factor of PE0 over time (1 = nominal).
+    pub speed_factor: Series,
+    /// Final driving mode.
+    pub final_mode: DrivingMode,
+    /// Safety metrics from the plant.
+    pub min_gap_m: f64,
+    /// Minimum time-to-collision observed.
+    pub min_ttc_s: f64,
+    /// Whether a collision occurred.
+    pub collision: bool,
+    /// Distance travelled (m) — availability proxy.
+    pub distance_m: f64,
+    /// Detection time of the first problem, if any.
+    pub first_detection: Option<Time>,
+    /// Time the last containment action completed, if any.
+    pub mitigated_at: Option<Time>,
+    /// All containment actions taken.
+    pub actions: Vec<String>,
+    /// Directive conflicts detected (and arbitrated) on the board.
+    pub conflicts: u64,
+    /// Longest problem propagation chain.
+    pub max_hops: usize,
+    /// Problems resolved / total.
+    pub resolution_rate: Option<f64>,
+    /// Full event trace.
+    pub trace: Tracer,
+}
+
+impl Outcome {
+    /// The compact per-run record used by fleet statistics and tables.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            label: self.label.clone(),
+            collision: self.collision,
+            distance_m: self.distance_m,
+            min_ttc_s: self.min_ttc_s,
+            first_detection: self.first_detection,
+            mitigated_at: self.mitigated_at,
+            final_mode: self.final_mode,
+        }
+    }
+}
+
+/// The compact, cheaply clonable essence of an [`Outcome`] — what fleet
+/// aggregation and the repro tables consume, so call sites stop
+/// hand-picking fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Scenario label.
+    pub label: String,
+    /// Whether a collision occurred.
+    pub collision: bool,
+    /// Distance travelled (m) — availability proxy.
+    pub distance_m: f64,
+    /// Minimum time-to-collision observed.
+    pub min_ttc_s: f64,
+    /// Detection time of the first problem, if any.
+    pub first_detection: Option<Time>,
+    /// Time the last containment action completed, if any.
+    pub mitigated_at: Option<Time>,
+    /// Final driving mode.
+    pub final_mode: DrivingMode,
+}
+
+impl Summary {
+    /// `first_detection` / `mitigated_at` formatted for tables (`-` when
+    /// absent).
+    pub fn fmt_detection(&self) -> (String, String) {
+        let fmt = |t: Option<Time>| {
+            t.map(|t| format!("{:.1}s", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        (fmt(self.first_detection), fmt(self.mitigated_at))
+    }
+
+    /// Minimum TTC formatted for tables (`inf` when no target was close).
+    pub fn fmt_min_ttc(&self) -> String {
+        if self.min_ttc_s.is_finite() {
+            format!("{:.1} s", self.min_ttc_s)
+        } else {
+            "inf".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_formats_missing_fields() {
+        let s = Summary {
+            label: "x".into(),
+            collision: false,
+            distance_m: 10.0,
+            min_ttc_s: f64::INFINITY,
+            first_detection: None,
+            mitigated_at: Some(Time::from_secs(30)),
+            final_mode: DrivingMode::Normal,
+        };
+        let (det, mit) = s.fmt_detection();
+        assert_eq!(det, "-");
+        assert_eq!(mit, "30.0s");
+        assert_eq!(s.fmt_min_ttc(), "inf");
+    }
+}

@@ -1,0 +1,278 @@
+//! The scenario runner: steps a [`SelfAwareVehicle`] through a
+//! [`Scenario`]'s timeline and records the [`Outcome`].
+//!
+//! One run is a fixed-step closed loop: scripted events pop from the
+//! deterministic [`crate::scenario::ScenarioState`] queue, the platform /
+//! execution / plant / communication layers advance, monitors raise
+//! anomalies, and each anomaly is routed through the layers by
+//! [`Coordinator::route`] — the same routing the coordinator itself uses,
+//! so escalation exists exactly once.
+//!
+//! [`Coordinator::route`]: crate::coordinator::Coordinator::route
+
+use saav_hw::pe::PeId;
+use saav_monitor::anomaly::AnomalyKind;
+use saav_sim::series::Series;
+use saav_sim::time::Time;
+use saav_skills::decision::DrivingMode;
+
+use crate::layer::{Containment, Layer};
+use crate::outcome::Outcome;
+use crate::scenario::{Scenario, ScenarioState};
+use crate::vehicle::{SelfAwareVehicle, CONTROL_PERIOD};
+
+/// Runs a scenario to completion.
+pub fn run(scenario: Scenario) -> Outcome {
+    let mut v = SelfAwareVehicle::new(&scenario);
+    let mut state = ScenarioState::new(&scenario);
+    let mut speed = Series::new();
+    let mut ability = Series::new();
+    let mut miss_rate = Series::new();
+    let mut temp_c = Series::new();
+    let mut speed_factor_series = Series::new();
+    let mut first_detection: Option<Time> = None;
+    let mut mitigated_at: Option<Time> = None;
+    let mut actions: Vec<String> = Vec::new();
+    let mut misses_window = 0u64;
+    let mut jobs_window = 0u64;
+    let end = Time::ZERO + scenario.duration;
+
+    while v.now < end {
+        v.now += CONTROL_PERIOD;
+        // 1. scripted events + environmental ramps
+        while let Some(ev) = state.pop_due(v.now) {
+            v.apply_event(&mut state, ev);
+        }
+        v.update_ramps(&state);
+        // 2. platform
+        v.platform.step(CONTROL_PERIOD);
+        let speed_factor = v.platform.pe(PeId(0)).speed_factor();
+        // 3. execution domain
+        v.rte.advance(v.now, speed_factor.min(1_000.0));
+        v.platform
+            .pe_mut(PeId(0))
+            .set_utilization(v.rte.take_utilization().max(0.35));
+        // 4. plant + function
+        v.world.step(CONTROL_PERIOD);
+        // 5. communication traffic
+        v.pump_can_traffic(&state);
+        // 6. monitors → anomalies → problems → cross-layer resolution
+        let anomalies = v.collect_anomalies();
+        for anomaly in &anomalies {
+            if matches!(anomaly.kind, AnomalyKind::DeadlineMiss) {
+                misses_window += 1;
+            }
+        }
+        jobs_window += 1;
+        for anomaly in anomalies {
+            if first_detection.is_none() {
+                first_detection = Some(v.now);
+                v.tracer
+                    .fault(v.now, "monitor", format!("first anomaly: {anomaly}"));
+            }
+            let (origin, kind) = v.anomaly_to_problem(&state, &anomaly);
+            let subject = anomaly.subject.clone();
+            let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
+            // Split borrows: the coordinator routes, `contain` acts.
+            let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
+            for layer in v.coordinator.route(origin).collect::<Vec<_>>() {
+                let outcome = v.contain(&mut state, layer, kind, &subject);
+                let resolved = matches!(outcome, Containment::Resolved { .. });
+                outcomes.push((layer, outcome));
+                if resolved {
+                    break;
+                }
+            }
+            let resolved_now = outcomes
+                .iter()
+                .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
+            for (_, o) in &outcomes {
+                if let Containment::Resolved { action } | Containment::Mitigated { action } = o {
+                    if !actions.contains(action) {
+                        actions.push(action.clone());
+                    }
+                }
+            }
+            if resolved_now {
+                mitigated_at = Some(v.now);
+            }
+            // Record via the coordinator for trace statistics.
+            let mut iter = outcomes.into_iter();
+            v.coordinator.resolve(problem, move |_, _| {
+                iter.next()
+                    .map(|(_, o)| o)
+                    .unwrap_or(Containment::CannotHandle)
+            });
+        }
+        // 7. ability propagation from sensor quality + mode decision
+        let q = v.radar_quality.quality();
+        v.abilities.set_measured(v.nodes.env_sensors, q);
+        v.abilities.propagate();
+        let root = v.abilities.root_level();
+        let mode = v.mode.update(root);
+        if matches!(mode, DrivingMode::SafeStop) && !v.world.is_stopped() {
+            v.world.command_safe_stop();
+        }
+        // 8. metrics + series (1 Hz)
+        if v.now.as_millis().is_multiple_of(1_000) {
+            speed.push(v.now, v.world.ego.speed_mps());
+            ability.push(v.now, root);
+            let mr = if jobs_window > 0 {
+                misses_window as f64 / jobs_window as f64
+            } else {
+                0.0
+            };
+            miss_rate.push(v.now, mr);
+            temp_c.push(v.now, v.platform.pe(PeId(0)).temperature_c());
+            speed_factor_series.push(v.now, v.platform.pe(PeId(0)).speed_factor());
+            misses_window = 0;
+            jobs_window = 0;
+            v.metrics.publish(v.now, "assembly", "root_ability", root);
+            v.metrics.publish(
+                v.now,
+                "assembly",
+                "pe0_temp_c",
+                v.platform.pe(PeId(0)).temperature_c(),
+            );
+        }
+    }
+
+    let m = v.world.metrics();
+    Outcome {
+        label: scenario.label,
+        speed,
+        ability,
+        miss_rate,
+        temp_c,
+        speed_factor: speed_factor_series,
+        final_mode: v.mode.mode(),
+        min_gap_m: m.min_gap_m,
+        min_ttc_s: m.min_ttc_s,
+        collision: m.collision,
+        distance_m: v.world.ego.position_m(),
+        first_detection,
+        mitigated_at,
+        actions,
+        conflicts: v.board.conflicts_detected(),
+        max_hops: v.coordinator.max_hops(),
+        resolution_rate: v.coordinator.resolution_rate(),
+        trace: v.tracer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ResponseStrategy;
+
+    #[test]
+    fn baseline_runs_clean() {
+        let out = SelfAwareVehicle::run(Scenario::baseline(42));
+        assert!(!out.collision);
+        assert!(out.distance_m > 2_000.0, "distance {}", out.distance_m);
+        assert!(matches!(out.final_mode, DrivingMode::Normal));
+        assert!(out.conflicts == 0);
+    }
+
+    #[test]
+    fn intrusion_cross_layer_keeps_driving_capped() {
+        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
+        assert!(!out.collision, "min gap {}", out.min_gap_m);
+        assert!(out.first_detection.is_some(), "attack must be detected");
+        assert!(out.mitigated_at.is_some());
+        // The vehicle keeps moving (availability) …
+        assert!(out.distance_m > 1_500.0, "distance {}", out.distance_m);
+        // … under the ability layer's speed cap.
+        let final_speed = out.speed.last().unwrap();
+        assert!(final_speed <= 15.5, "final speed {final_speed}");
+        assert!(
+            out.actions.iter().any(|a| a.contains("quarantine")),
+            "{:?}",
+            out.actions
+        );
+        assert!(
+            out.actions.iter().any(|a| a.contains("speed cap")),
+            "{:?}",
+            out.actions
+        );
+    }
+
+    #[test]
+    fn intrusion_objective_stop_halts_vehicle() {
+        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::ObjectiveStop, 42));
+        assert!(!out.collision);
+        let final_speed = out.speed.last().unwrap();
+        assert!(final_speed < 0.5, "should be stopped, at {final_speed}");
+        assert!(out.distance_m < 2_000.0, "mission aborted early");
+    }
+
+    #[test]
+    fn intrusion_single_layer_preserves_speed_but_less_margin() {
+        let cross = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
+        let single = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::SingleLayer, 42));
+        // Single-layer never caps speed, so it drives further …
+        assert!(single.distance_m > cross.distance_m);
+        // … but with a worse worst-case safety margin during the lead's
+        // braking manoeuvre (full speed on front-only brakes).
+        assert!(
+            single.min_ttc_s <= cross.min_ttc_s + 1e-9,
+            "single {} vs cross {}",
+            single.min_ttc_s,
+            cross.min_ttc_s
+        );
+    }
+
+    #[test]
+    fn thermal_cross_layer_recovers_deadlines() {
+        let out = SelfAwareVehicle::run(Scenario::thermal(75.0, ResponseStrategy::CrossLayer, 7));
+        // Misses appear mid-run, then the reconfiguration clears them.
+        let peak = out.miss_rate.max().unwrap();
+        let tail = out
+            .miss_rate
+            .iter()
+            .filter(|(t, _)| *t > Time::from_secs(200))
+            .map(|(_, v)| v)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.0, "no misses ever appeared");
+        assert!(tail <= peak, "tail {tail} vs peak {peak}");
+        assert!(out.actions.iter().any(|a| a.contains("dvfs")));
+    }
+
+    #[test]
+    fn propagation_bounded_in_all_scenarios() {
+        for strategy in ResponseStrategy::ALL {
+            let out = SelfAwareVehicle::run(Scenario::intrusion(strategy, 3));
+            assert!(out.max_hops <= Layer::ALL.len(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn composed_fog_intrusion_scenario_runs() {
+        use crate::scenario::{ScenarioEvent, ScenarioFamily};
+        let out = SelfAwareVehicle::run(
+            ScenarioFamily::FogIntrusion.build(ResponseStrategy::CrossLayer, 5),
+        );
+        assert!(out.first_detection.is_some());
+        assert!(!out.actions.is_empty());
+        // The DSL composes the same events the family declares.
+        let s = ScenarioFamily::FogIntrusion.build(ResponseStrategy::CrossLayer, 5);
+        assert!(s
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, ScenarioEvent::CompromiseRearBrake)));
+        assert!(s
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, ScenarioEvent::FogRamp { .. })));
+    }
+
+    #[test]
+    fn radar_dropout_is_detected_and_contained() {
+        use crate::scenario::ScenarioFamily;
+        let out = SelfAwareVehicle::run(
+            ScenarioFamily::RadarDropout.build(ResponseStrategy::CrossLayer, 3),
+        );
+        assert!(out.first_detection.is_some(), "dropout must be detected");
+        assert!(!out.collision);
+    }
+}

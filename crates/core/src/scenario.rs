@@ -1,0 +1,647 @@
+//! Composable scenario descriptions: events, a builder DSL, the named
+//! scenario library, and the runtime [`ScenarioState`].
+//!
+//! A [`Scenario`] is pure data — a label, a list of timed
+//! [`ScenarioEvent`]s, a lead-vehicle profile, a [`ResponseStrategy`] and a
+//! duration. Any combination composes through [`ScenarioBuilder`], so new
+//! operating conditions (fog *and* an intrusion, heat *and* stop-and-go
+//! traffic, …) are one expression instead of a new hand-written function.
+//! [`ScenarioFamily`] names the library of stock scenarios the fleet
+//! experiments sweep over.
+//!
+//! At run time the scripted events live in a [`ScenarioState`]: a
+//! [`saav_sim::event::EventQueue`] plus the injection flags (compromise,
+//! quarantine, ramps) that the vehicle's containment logic consults. The
+//! state is owned by the runner, not by the vehicle — the vehicle reacts to
+//! it but does not know how scenarios are scripted.
+
+use saav_sim::event::EventQueue;
+use saav_sim::time::{Duration, Time};
+use saav_vehicle::sensors::SensorFault;
+use saav_vehicle::traffic::{LeadVehicle, ProfileSegment};
+
+/// How the vehicle responds to detected problems (compared in E6/E7/E11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseStrategy {
+    /// Handle every problem only at its origin layer, declaring it resolved
+    /// there — the single-layer blindness the paper warns against.
+    SingleLayer,
+    /// Full cross-layer escalation (the paper's proposal).
+    CrossLayer,
+    /// Escalate straight to the objective layer: minimal-risk stop.
+    ObjectiveStop,
+}
+
+impl ResponseStrategy {
+    /// All strategies, in the order the experiment tables report them.
+    pub const ALL: [ResponseStrategy; 3] = [
+        ResponseStrategy::SingleLayer,
+        ResponseStrategy::CrossLayer,
+        ResponseStrategy::ObjectiveStop,
+    ];
+}
+
+/// A scripted disturbance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// The rear-brake software component is compromised: it floods the bus
+    /// and oversteps its execution contract until contained.
+    CompromiseRearBrake,
+    /// Fog builds up to the given density over the given time.
+    FogRamp {
+        /// Final fog density (`[0,1]`).
+        to: f64,
+        /// Ramp duration.
+        over: Duration,
+    },
+    /// Ambient temperature ramps to the given value.
+    AmbientRamp {
+        /// Final ambient temperature (°C).
+        to_c: f64,
+        /// Ramp duration.
+        over: Duration,
+    },
+    /// A radar hardware fault.
+    RadarFault(SensorFault),
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label for reports.
+    pub label: String,
+    /// Scripted events.
+    pub events: Vec<(Time, ScenarioEvent)>,
+    /// Total simulated time.
+    pub duration: Duration,
+    /// Response strategy under test.
+    pub strategy: ResponseStrategy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial/lead traffic: `(ego speed, lead)`.
+    pub ego_speed_mps: f64,
+    /// The lead vehicle profile.
+    pub lead: LeadVehicle,
+}
+
+impl Scenario {
+    /// Starts a builder for a scenario with the given report label.
+    pub fn builder(label: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder::new(label)
+    }
+
+    /// A 120 s highway following scenario with no disturbances.
+    pub fn baseline(seed: u64) -> Self {
+        Scenario::builder("baseline").seed(seed).build()
+    }
+
+    /// The paper's intrusion scenario: rear-brake compromise at t = 30 s
+    /// while following a lead vehicle that brakes hard at t = 60 s, holds
+    /// low speed, then recovers to cruise — so availability differences
+    /// between the response strategies show in the distance travelled.
+    pub fn intrusion(strategy: ResponseStrategy, seed: u64) -> Self {
+        Scenario::builder(format!("intrusion/{strategy:?}"))
+            .strategy(strategy)
+            .seed(seed)
+            .at(Time::from_secs(30), ScenarioEvent::CompromiseRearBrake)
+            .lead(lead_brake_and_recover())
+            .build()
+    }
+
+    /// The thermal scenario: ambient ramps from 25 °C to the target over
+    /// 60 s starting immediately.
+    pub fn thermal(to_c: f64, strategy: ResponseStrategy, seed: u64) -> Self {
+        Scenario::builder(format!("thermal/{strategy:?}"))
+            .strategy(strategy)
+            .seed(seed)
+            .duration(Duration::from_secs(240))
+            .at(
+                Time::from_secs(10),
+                ScenarioEvent::AmbientRamp {
+                    to_c,
+                    over: Duration::from_secs(60),
+                },
+            )
+            .build()
+    }
+
+    /// The fog scenario for ability monitoring (E5).
+    pub fn fog(to: f64, seed: u64) -> Self {
+        Scenario::builder("fog")
+            .seed(seed)
+            .at(
+                Time::from_secs(20),
+                ScenarioEvent::FogRamp {
+                    to,
+                    over: Duration::from_secs(40),
+                },
+            )
+            .build()
+    }
+}
+
+/// Builder-style DSL for [`Scenario`]s.
+///
+/// Defaults: 120 s duration, [`ResponseStrategy::CrossLayer`], seed 0, ego
+/// at 22 m/s behind a lead cruising at 22 m/s with a 60 m gap. Any number
+/// of timed events composes:
+///
+/// ```
+/// use saav_core::scenario::{Scenario, ScenarioEvent};
+/// use saav_sim::time::{Duration, Time};
+///
+/// let s = Scenario::builder("fog+intrusion")
+///     .seed(7)
+///     .at(Time::from_secs(15), ScenarioEvent::FogRamp {
+///         to: 0.6,
+///         over: Duration::from_secs(30),
+///     })
+///     .at(Time::from_secs(45), ScenarioEvent::CompromiseRearBrake)
+///     .build();
+/// assert_eq!(s.events.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    label: String,
+    events: Vec<(Time, ScenarioEvent)>,
+    duration: Duration,
+    strategy: ResponseStrategy,
+    seed: u64,
+    ego_speed_mps: f64,
+    lead: LeadVehicle,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with the library defaults (see type docs).
+    pub fn new(label: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            label: label.into(),
+            events: Vec::new(),
+            duration: Duration::from_secs(120),
+            strategy: ResponseStrategy::CrossLayer,
+            seed: 0,
+            ego_speed_mps: 22.0,
+            lead: LeadVehicle::cruising(60.0, 22.0),
+        }
+    }
+
+    /// Schedules `event` at absolute time `t`.
+    pub fn at(mut self, t: Time, event: ScenarioEvent) -> Self {
+        self.events.push((t, event));
+        self
+    }
+
+    /// Sets the total simulated time.
+    pub fn duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the response strategy under test.
+    pub fn strategy(mut self, strategy: ResponseStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initial ego speed.
+    pub fn ego_speed(mut self, mps: f64) -> Self {
+        self.ego_speed_mps = mps;
+        self
+    }
+
+    /// Sets the lead-vehicle profile.
+    pub fn lead(mut self, lead: LeadVehicle) -> Self {
+        self.lead = lead;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            label: self.label,
+            events: self.events,
+            duration: self.duration,
+            strategy: self.strategy,
+            seed: self.seed,
+            ego_speed_mps: self.ego_speed_mps,
+            lead: self.lead,
+        }
+    }
+}
+
+/// The lead profile of the intrusion scenarios: cruise, brake hard at
+/// t = 60 s, crawl, recover to cruise.
+fn lead_brake_and_recover() -> LeadVehicle {
+    LeadVehicle::new(
+        60.0,
+        22.0,
+        vec![
+            ProfileSegment {
+                duration: Duration::from_secs(60),
+                end_speed_mps: 22.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(4),
+                end_speed_mps: 6.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(10),
+                end_speed_mps: 6.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(6),
+                end_speed_mps: 22.0,
+            },
+        ],
+    )
+}
+
+/// Stop-and-go traffic: two brake-to-crawl / re-accelerate cycles.
+fn lead_stop_and_go() -> LeadVehicle {
+    let mut segments = vec![ProfileSegment {
+        duration: Duration::from_secs(20),
+        end_speed_mps: 22.0,
+    }];
+    for _ in 0..2 {
+        segments.extend([
+            ProfileSegment {
+                duration: Duration::from_secs(6),
+                end_speed_mps: 3.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(12),
+                end_speed_mps: 3.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(10),
+                end_speed_mps: 22.0,
+            },
+            ProfileSegment {
+                duration: Duration::from_secs(12),
+                end_speed_mps: 22.0,
+            },
+        ]);
+    }
+    LeadVehicle::new(60.0, 22.0, segments)
+}
+
+/// The named scenario library the fleet experiments sweep over.
+///
+/// Every family composes stock events through the [`ScenarioBuilder`] DSL
+/// and is parameterized by strategy and seed, so `families × strategies ×
+/// seeds` spans the E11 evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// Undisturbed highway following.
+    Baseline,
+    /// Rear-brake compromise during a lead braking manoeuvre.
+    Intrusion,
+    /// Ambient-temperature ramp to 75 °C.
+    Thermal,
+    /// Fog ramp to 0.85 density.
+    Fog,
+    /// Fog building up while the rear brake is compromised.
+    FogIntrusion,
+    /// Heat and fog at once — platform and ability stress combined.
+    ThermalFog,
+    /// The radar dies outright (heartbeat loss).
+    RadarDropout,
+    /// The radar turns noisy (quality degradation without dropout).
+    RadarNoise,
+    /// Stop-and-go traffic: repeated hard braking by the lead.
+    StopAndGo,
+}
+
+impl ScenarioFamily {
+    /// All families, in report order.
+    pub const ALL: [ScenarioFamily; 9] = [
+        ScenarioFamily::Baseline,
+        ScenarioFamily::Intrusion,
+        ScenarioFamily::Thermal,
+        ScenarioFamily::Fog,
+        ScenarioFamily::FogIntrusion,
+        ScenarioFamily::ThermalFog,
+        ScenarioFamily::RadarDropout,
+        ScenarioFamily::RadarNoise,
+        ScenarioFamily::StopAndGo,
+    ];
+
+    /// The family's report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::Baseline => "baseline",
+            ScenarioFamily::Intrusion => "intrusion",
+            ScenarioFamily::Thermal => "thermal",
+            ScenarioFamily::Fog => "fog",
+            ScenarioFamily::FogIntrusion => "fog+intrusion",
+            ScenarioFamily::ThermalFog => "thermal+fog",
+            ScenarioFamily::RadarDropout => "radar-dropout",
+            ScenarioFamily::RadarNoise => "radar-noise",
+            ScenarioFamily::StopAndGo => "stop-and-go",
+        }
+    }
+
+    /// Builds the family's scenario for a strategy and seed.
+    ///
+    /// The four legacy families delegate to the corresponding
+    /// [`Scenario`] constructor so each scenario is defined exactly once;
+    /// the label and strategy are then normalized to the family grid.
+    pub fn build(self, strategy: ResponseStrategy, seed: u64) -> Scenario {
+        let builder = || Scenario::builder("");
+        let mut s = match self {
+            ScenarioFamily::Baseline => Scenario::baseline(seed),
+            ScenarioFamily::Intrusion => Scenario::intrusion(strategy, seed),
+            ScenarioFamily::Thermal => Scenario::thermal(75.0, strategy, seed),
+            ScenarioFamily::Fog => Scenario::fog(0.85, seed),
+            ScenarioFamily::FogIntrusion => builder()
+                .at(
+                    Time::from_secs(15),
+                    ScenarioEvent::FogRamp {
+                        to: 0.6,
+                        over: Duration::from_secs(30),
+                    },
+                )
+                .at(Time::from_secs(45), ScenarioEvent::CompromiseRearBrake)
+                .lead(lead_brake_and_recover())
+                .build(),
+            ScenarioFamily::ThermalFog => builder()
+                .duration(Duration::from_secs(180))
+                .at(
+                    Time::from_secs(10),
+                    ScenarioEvent::AmbientRamp {
+                        to_c: 80.0,
+                        over: Duration::from_secs(60),
+                    },
+                )
+                .at(
+                    Time::from_secs(80),
+                    ScenarioEvent::FogRamp {
+                        to: 0.5,
+                        over: Duration::from_secs(40),
+                    },
+                )
+                .build(),
+            ScenarioFamily::RadarDropout => builder()
+                .at(
+                    Time::from_secs(40),
+                    ScenarioEvent::RadarFault(SensorFault::Dead),
+                )
+                .build(),
+            ScenarioFamily::RadarNoise => builder()
+                .at(
+                    Time::from_secs(30),
+                    ScenarioEvent::RadarFault(SensorFault::Noisy),
+                )
+                .build(),
+            ScenarioFamily::StopAndGo => builder().lead(lead_stop_and_go()).build(),
+        };
+        s.label = format!("{}/{strategy:?}", self.name());
+        s.strategy = strategy;
+        s.seed = seed;
+        s
+    }
+}
+
+impl std::fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A linear ramp of some environmental quantity.
+#[derive(Debug, Clone, Copy)]
+struct Ramp {
+    start: Time,
+    from: f64,
+    to: f64,
+    over: Duration,
+}
+
+impl Ramp {
+    fn value_at(&self, now: Time) -> f64 {
+        // A zero-duration ramp is an instantaneous step (0/0 would be NaN).
+        let frac = if self.over.is_zero() {
+            1.0
+        } else {
+            (now.saturating_since(self.start).as_secs_f64() / self.over.as_secs_f64())
+                .clamp(0.0, 1.0)
+        };
+        self.from + (self.to - self.from) * frac
+    }
+}
+
+/// Runtime scenario-injection state, owned by the runner.
+///
+/// Scripted events wait in a deterministic [`EventQueue`] (time order, FIFO
+/// ties) instead of a sorted `Vec` popped from the front; the flags record
+/// what the script and the containment actions have done so far, so the
+/// vehicle's layers can consult them without owning any scripting logic.
+#[derive(Debug)]
+pub struct ScenarioState {
+    queue: EventQueue<ScenarioEvent>,
+    /// Whether the rear-brake component is currently compromised.
+    pub compromised: bool,
+    /// Whether the safety layer has quarantined the rear-brake component.
+    pub brake_rear_quarantined: bool,
+    /// Whether the ability layer already swapped in the low-rate tasks.
+    pub acc_reconfigured: bool,
+    fog_ramp: Option<Ramp>,
+    ambient_ramp: Option<Ramp>,
+}
+
+impl ScenarioState {
+    /// Schedules every scripted event of `scenario` into the queue.
+    pub fn new(scenario: &Scenario) -> Self {
+        let mut queue = EventQueue::new();
+        for &(t, ev) in &scenario.events {
+            queue.schedule(t, ev);
+        }
+        ScenarioState {
+            queue,
+            compromised: false,
+            brake_rear_quarantined: false,
+            acc_reconfigured: false,
+            fog_ramp: None,
+            ambient_ramp: None,
+        }
+    }
+
+    /// Pops the next scripted event due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: Time) -> Option<ScenarioEvent> {
+        self.queue.pop_due(now).map(|(_, ev)| ev)
+    }
+
+    /// Number of scripted events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Starts a fog ramp from the current density.
+    pub fn begin_fog_ramp(&mut self, now: Time, from: f64, to: f64, over: Duration) {
+        self.fog_ramp = Some(Ramp {
+            start: now,
+            from,
+            to,
+            over,
+        });
+    }
+
+    /// Starts an ambient-temperature ramp from the current temperature.
+    pub fn begin_ambient_ramp(&mut self, now: Time, from_c: f64, to_c: f64, over: Duration) {
+        self.ambient_ramp = Some(Ramp {
+            start: now,
+            from: from_c,
+            to: to_c,
+            over,
+        });
+    }
+
+    /// The commanded fog density at `now`, if a fog ramp is active.
+    pub fn fog_at(&self, now: Time) -> Option<f64> {
+        self.fog_ramp.map(|r| r.value_at(now))
+    }
+
+    /// The commanded ambient temperature at `now`, if a ramp is active.
+    pub fn ambient_at(&self, now: Time) -> Option<f64> {
+        self.ambient_ramp.map(|r| r.value_at(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_baseline() {
+        let s = Scenario::baseline(42);
+        assert_eq!(s.label, "baseline");
+        assert_eq!(s.duration, Duration::from_secs(120));
+        assert_eq!(s.strategy, ResponseStrategy::CrossLayer);
+        assert_eq!(s.seed, 42);
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn builder_composes_arbitrary_events() {
+        let s = Scenario::builder("combo")
+            .at(Time::from_secs(5), ScenarioEvent::CompromiseRearBrake)
+            .at(
+                Time::from_secs(1),
+                ScenarioEvent::FogRamp {
+                    to: 0.4,
+                    over: Duration::from_secs(10),
+                },
+            )
+            .duration(Duration::from_secs(30))
+            .build();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.duration, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn state_pops_events_in_time_order_fifo_ties() {
+        let t = Time::from_secs(10);
+        let s = Scenario::builder("order")
+            .at(t, ScenarioEvent::CompromiseRearBrake)
+            .at(
+                Time::from_secs(2),
+                ScenarioEvent::RadarFault(SensorFault::Dead),
+            )
+            .at(
+                t,
+                ScenarioEvent::FogRamp {
+                    to: 0.5,
+                    over: Duration::from_secs(5),
+                },
+            )
+            .build();
+        let mut state = ScenarioState::new(&s);
+        assert_eq!(state.pending_events(), 3);
+        assert_eq!(
+            state.pop_due(Time::from_secs(120)),
+            Some(ScenarioEvent::RadarFault(SensorFault::Dead))
+        );
+        assert_eq!(
+            state.pop_due(Time::from_secs(120)),
+            Some(ScenarioEvent::CompromiseRearBrake)
+        );
+        assert!(matches!(
+            state.pop_due(Time::from_secs(120)),
+            Some(ScenarioEvent::FogRamp { .. })
+        ));
+        assert_eq!(state.pop_due(Time::from_secs(120)), None);
+    }
+
+    #[test]
+    fn state_respects_due_deadline() {
+        let s = Scenario::builder("due")
+            .at(Time::from_secs(30), ScenarioEvent::CompromiseRearBrake)
+            .build();
+        let mut state = ScenarioState::new(&s);
+        assert_eq!(state.pop_due(Time::from_secs(29)), None);
+        assert_eq!(
+            state.pop_due(Time::from_secs(30)),
+            Some(ScenarioEvent::CompromiseRearBrake)
+        );
+    }
+
+    #[test]
+    fn ramps_interpolate_and_clamp() {
+        let mut state = ScenarioState::new(&Scenario::baseline(0));
+        state.begin_fog_ramp(Time::from_secs(10), 0.0, 1.0, Duration::from_secs(10));
+        assert_eq!(state.fog_at(Time::from_secs(10)), Some(0.0));
+        assert!((state.fog_at(Time::from_secs(15)).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(state.fog_at(Time::from_secs(30)), Some(1.0));
+        // Before the start the ramp clamps to its starting value.
+        assert_eq!(state.fog_at(Time::from_secs(5)), Some(0.0));
+        assert_eq!(state.ambient_at(Time::from_secs(5)), None);
+    }
+
+    #[test]
+    fn zero_duration_ramp_is_an_instant_step() {
+        let mut state = ScenarioState::new(&Scenario::baseline(0));
+        state.begin_ambient_ramp(Time::from_secs(10), 25.0, 80.0, Duration::ZERO);
+        // Evaluated on the very tick it starts — must be the target, not NaN.
+        assert_eq!(state.ambient_at(Time::from_secs(10)), Some(80.0));
+        assert_eq!(state.ambient_at(Time::from_secs(11)), Some(80.0));
+    }
+
+    #[test]
+    fn every_family_builds_for_every_strategy() {
+        for family in ScenarioFamily::ALL {
+            for strategy in ResponseStrategy::ALL {
+                let s = family.build(strategy, 1);
+                assert!(s.label.starts_with(family.name()), "{}", s.label);
+                assert_eq!(s.strategy, strategy);
+                assert!(s.duration > Duration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_families_delegate_to_legacy_constructors() {
+        let strategy = ResponseStrategy::CrossLayer;
+        let pairs = [
+            (Scenario::baseline(42), ScenarioFamily::Baseline),
+            (Scenario::intrusion(strategy, 42), ScenarioFamily::Intrusion),
+            (
+                Scenario::thermal(75.0, strategy, 42),
+                ScenarioFamily::Thermal,
+            ),
+            (Scenario::fog(0.85, 42), ScenarioFamily::Fog),
+        ];
+        for (legacy, family) in pairs {
+            let built = family.build(strategy, 42);
+            assert_eq!(legacy.events, built.events, "{family}");
+            assert_eq!(legacy.duration, built.duration, "{family}");
+            assert_eq!(built.strategy, strategy, "{family}");
+            assert!(built.label.starts_with(family.name()), "{family}");
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The self-aware vehicle: all layers assembled into one closed loop.
+//! The self-aware vehicle: all layers assembled into one machine.
 //!
 //! This is the integration the paper argues for in Sec. V: platform
 //! ([`saav_hw`]), communication ([`saav_can`]), execution domain
@@ -6,16 +6,11 @@
 //! ([`saav_skills`] over [`saav_vehicle`]) and the model domain
 //! ([`saav_mcc`]), coordinated by the cross-layer [`Coordinator`].
 //!
-//! Control runs closed-loop inside [`VehicleWorld`]; the CAN substrate
-//! carries the corresponding sensor/actuator traffic (radar status from the
-//! sensor VM's VF, brake commands from the control VM's VF) so that the
-//! communication layer sees — and its monitors can react to — the real
-//! message flows, including the flooding of a compromised component.
-//!
-//! Scenarios inject the paper's three headline disturbances — a security
-//! breach in the rear-brake component, an ambient-temperature ramp, and
-//! sensor-degrading fog — and the assembly records how each response
-//! strategy (single-layer, cross-layer, objective-stop) fares.
+//! The vehicle owns construction and the *per-layer containment logic*;
+//! it does not script disturbances or drive time. Scenario injection lives
+//! in [`ScenarioState`] (owned by the [`crate::runner`]) and the vehicle's
+//! layers consult and update it — e.g. the safety layer records a
+//! quarantine there so the communication pump stops flooding.
 
 use saav_can::bus::{CanBus, NodeId};
 use saav_can::controller::ControllerConfig;
@@ -31,243 +26,49 @@ use saav_monitor::signal::{HeartbeatMonitor, QualityMonitor};
 use saav_rte::component::{ComponentSpec, VmId};
 use saav_rte::rte::Rte;
 use saav_rte::sched::{Priority, TaskRef, TaskSpec};
-use saav_sim::series::Series;
 use saav_sim::time::{Duration, Time};
 use saav_sim::trace::Tracer;
 use saav_skills::ability::{AbilityGraph, AggregateOp, Thresholds};
 use saav_skills::acc::{build_acc_graph, AccNodes};
-use saav_skills::decision::{DrivingMode, ModePolicy};
+use saav_skills::decision::ModePolicy;
 use saav_vehicle::sensors::{SensorFault, Weather};
-use saav_vehicle::traffic::LeadVehicle;
 use saav_vehicle::world::VehicleWorld;
 
 use crate::coordinator::{Coordinator, EscalationPolicy};
 use crate::layer::{Containment, Directive, DirectiveBoard, Layer, ProblemKind};
+use crate::outcome::Outcome;
+use crate::scenario::{ResponseStrategy, Scenario, ScenarioEvent, ScenarioState};
 
-/// How the vehicle responds to detected problems (compared in E6/E7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ResponseStrategy {
-    /// Handle every problem only at its origin layer, declaring it resolved
-    /// there — the single-layer blindness the paper warns against.
-    SingleLayer,
-    /// Full cross-layer escalation (the paper's proposal).
-    CrossLayer,
-    /// Escalate straight to the objective layer: minimal-risk stop.
-    ObjectiveStop,
-}
-
-/// A scripted disturbance.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ScenarioEvent {
-    /// The rear-brake software component is compromised: it floods the bus
-    /// and oversteps its execution contract until contained.
-    CompromiseRearBrake,
-    /// Fog builds up to the given density over the given time.
-    FogRamp {
-        /// Final fog density (`[0,1]`).
-        to: f64,
-        /// Ramp duration.
-        over: Duration,
-    },
-    /// Ambient temperature ramps to the given value.
-    AmbientRamp {
-        /// Final ambient temperature (°C).
-        to_c: f64,
-        /// Ramp duration.
-        over: Duration,
-    },
-    /// A radar hardware fault.
-    RadarFault(SensorFault),
-}
-
-/// A complete scenario description.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Label for reports.
-    pub label: String,
-    /// Scripted events.
-    pub events: Vec<(Time, ScenarioEvent)>,
-    /// Total simulated time.
-    pub duration: Duration,
-    /// Response strategy under test.
-    pub strategy: ResponseStrategy,
-    /// RNG seed.
-    pub seed: u64,
-    /// Initial/lead traffic: `(ego speed, lead)`.
-    pub ego_speed_mps: f64,
-    /// The lead vehicle profile.
-    pub lead: LeadVehicle,
-}
-
-impl Scenario {
-    /// A 120 s highway following scenario with no disturbances.
-    pub fn baseline(seed: u64) -> Self {
-        Scenario {
-            label: "baseline".into(),
-            events: Vec::new(),
-            duration: Duration::from_secs(120),
-            strategy: ResponseStrategy::CrossLayer,
-            seed,
-            ego_speed_mps: 22.0,
-            lead: LeadVehicle::cruising(60.0, 22.0),
-        }
-    }
-
-    /// The paper's intrusion scenario: rear-brake compromise at t = 30 s
-    /// while following a lead vehicle that brakes hard at t = 60 s, holds
-    /// low speed, then recovers to cruise — so availability differences
-    /// between the response strategies show in the distance travelled.
-    pub fn intrusion(strategy: ResponseStrategy, seed: u64) -> Self {
-        use saav_vehicle::traffic::ProfileSegment;
-        Scenario {
-            label: format!("intrusion/{strategy:?}"),
-            events: vec![(Time::from_secs(30), ScenarioEvent::CompromiseRearBrake)],
-            duration: Duration::from_secs(120),
-            strategy,
-            seed,
-            ego_speed_mps: 22.0,
-            lead: LeadVehicle::new(
-                60.0,
-                22.0,
-                vec![
-                    ProfileSegment {
-                        duration: Duration::from_secs(60),
-                        end_speed_mps: 22.0,
-                    },
-                    ProfileSegment {
-                        duration: Duration::from_secs(4),
-                        end_speed_mps: 6.0,
-                    },
-                    ProfileSegment {
-                        duration: Duration::from_secs(10),
-                        end_speed_mps: 6.0,
-                    },
-                    ProfileSegment {
-                        duration: Duration::from_secs(6),
-                        end_speed_mps: 22.0,
-                    },
-                ],
-            ),
-        }
-    }
-
-    /// The thermal scenario: ambient ramps from 25 °C to the target over
-    /// 60 s starting immediately.
-    pub fn thermal(to_c: f64, strategy: ResponseStrategy, seed: u64) -> Self {
-        Scenario {
-            label: format!("thermal/{strategy:?}"),
-            events: vec![(
-                Time::from_secs(10),
-                ScenarioEvent::AmbientRamp {
-                    to_c,
-                    over: Duration::from_secs(60),
-                },
-            )],
-            duration: Duration::from_secs(240),
-            strategy,
-            seed,
-            ego_speed_mps: 22.0,
-            lead: LeadVehicle::cruising(60.0, 22.0),
-        }
-    }
-
-    /// The fog scenario for ability monitoring (E5).
-    pub fn fog(to: f64, seed: u64) -> Self {
-        Scenario {
-            label: "fog".into(),
-            events: vec![(
-                Time::from_secs(20),
-                ScenarioEvent::FogRamp {
-                    to,
-                    over: Duration::from_secs(40),
-                },
-            )],
-            duration: Duration::from_secs(120),
-            strategy: ResponseStrategy::CrossLayer,
-            seed,
-            ego_speed_mps: 22.0,
-            lead: LeadVehicle::cruising(60.0, 22.0),
-        }
-    }
-}
-
-/// Measured outcome of a scenario run.
-#[derive(Debug)]
-pub struct Outcome {
-    /// Scenario label.
-    pub label: String,
-    /// Speed over time.
-    pub speed: Series,
-    /// Root ability level over time.
-    pub ability: Series,
-    /// Deadline-miss ratio per second of the ACC task.
-    pub miss_rate: Series,
-    /// Die temperature of PE0 over time (°C).
-    pub temp_c: Series,
-    /// Execution speed factor of PE0 over time (1 = nominal).
-    pub speed_factor: Series,
-    /// Final driving mode.
-    pub final_mode: DrivingMode,
-    /// Safety metrics from the plant.
-    pub min_gap_m: f64,
-    /// Minimum time-to-collision observed.
-    pub min_ttc_s: f64,
-    /// Whether a collision occurred.
-    pub collision: bool,
-    /// Distance travelled (m) — availability proxy.
-    pub distance_m: f64,
-    /// Detection time of the first problem, if any.
-    pub first_detection: Option<Time>,
-    /// Time the last containment action completed, if any.
-    pub mitigated_at: Option<Time>,
-    /// All containment actions taken.
-    pub actions: Vec<String>,
-    /// Directive conflicts detected (and arbitrated) on the board.
-    pub conflicts: u64,
-    /// Longest problem propagation chain.
-    pub max_hops: usize,
-    /// Problems resolved / total.
-    pub resolution_rate: Option<f64>,
-    /// Full event trace.
-    pub trace: Tracer,
-}
+/// The control/simulation step of the assembled vehicle.
+pub const CONTROL_PERIOD: Duration = Duration::from_millis(10);
 
 /// The assembled self-aware vehicle.
 pub struct SelfAwareVehicle {
-    platform: Platform,
-    rte: Rte,
+    pub(crate) platform: Platform,
+    pub(crate) rte: Rte,
     bus: CanBus,
     virt_node: NodeId,
     _actuator_node: NodeId,
     pf: PfToken,
-    world: VehicleWorld,
-    abilities: AbilityGraph,
-    nodes: AccNodes,
-    mode: ModePolicy,
+    pub(crate) world: VehicleWorld,
+    pub(crate) abilities: AbilityGraph,
+    pub(crate) nodes: AccNodes,
+    pub(crate) mode: ModePolicy,
     exec_mon: ExecutionMonitor,
     access_mon: AccessMonitor,
-    radar_quality: QualityMonitor,
+    pub(crate) radar_quality: QualityMonitor,
     radar_heartbeat: HeartbeatMonitor,
-    metrics: MetricBus,
-    coordinator: Coordinator,
-    board: DirectiveBoard,
-    tracer: Tracer,
+    pub(crate) metrics: MetricBus,
+    pub(crate) coordinator: Coordinator,
+    pub(crate) board: DirectiveBoard,
+    pub(crate) tracer: Tracer,
     strategy: ResponseStrategy,
     // component/task handles
     acc_task: TaskRef,
     perception_task: TaskRef,
     brake_rear_comp: saav_rte::component::ComponentId,
-    // scenario state
-    compromised: bool,
-    brake_rear_quarantined: bool,
-    fog_ramp: Option<(Time, f64, f64, Duration)>, // (start, from, to, over)
-    ambient_ramp: Option<(Time, f64, f64, Duration)>,
-    acc_reconfigured: bool,
-    thermal_mitigated: bool,
-    now: Time,
+    pub(crate) now: Time,
 }
-
-const CONTROL_PERIOD: Duration = Duration::from_millis(10);
 
 impl SelfAwareVehicle {
     /// Builds the reference vehicle for a scenario.
@@ -402,12 +203,6 @@ impl SelfAwareVehicle {
             acc_task,
             perception_task,
             brake_rear_comp,
-            compromised: false,
-            brake_rear_quarantined: false,
-            fog_ramp: None,
-            ambient_ramp: None,
-            acc_reconfigured: false,
-            thermal_mitigated: false,
             now: Time::ZERO,
         }
     }
@@ -417,10 +212,17 @@ impl SelfAwareVehicle {
         &self.tracer
     }
 
-    fn apply_event(&mut self, event: ScenarioEvent) {
+    /// The response strategy the vehicle was configured with.
+    pub fn strategy(&self) -> ResponseStrategy {
+        self.strategy
+    }
+
+    /// Applies one scripted disturbance to the affected layer, recording
+    /// ramp starts in the scenario state.
+    pub(crate) fn apply_event(&mut self, state: &mut ScenarioState, event: ScenarioEvent) {
         match event {
             ScenarioEvent::CompromiseRearBrake => {
-                self.compromised = true;
+                state.compromised = true;
                 self.tracer.fault(
                     self.now,
                     "scenario",
@@ -428,12 +230,12 @@ impl SelfAwareVehicle {
                 );
             }
             ScenarioEvent::FogRamp { to, over } => {
-                self.fog_ramp = Some((self.now, self.world.weather.fog, to, over));
+                state.begin_fog_ramp(self.now, self.world.weather.fog, to, over);
                 self.tracer
                     .info(self.now, "scenario", format!("fog ramp to {to}"));
             }
             ScenarioEvent::AmbientRamp { to_c, over } => {
-                self.ambient_ramp = Some((self.now, self.platform.ambient_c(), to_c, over));
+                state.begin_ambient_ramp(self.now, self.platform.ambient_c(), to_c, over);
                 self.tracer
                     .info(self.now, "scenario", format!("ambient ramp to {to_c} degC"));
             }
@@ -445,25 +247,22 @@ impl SelfAwareVehicle {
         }
     }
 
-    fn update_ramps(&mut self) {
-        if let Some((start, from, to, over)) = self.fog_ramp {
-            let frac = (self.now.saturating_since(start).as_secs_f64() / over.as_secs_f64())
-                .clamp(0.0, 1.0);
+    /// Applies the active environmental ramps for the current instant.
+    pub(crate) fn update_ramps(&mut self, state: &ScenarioState) {
+        if let Some(fog) = state.fog_at(self.now) {
             self.world.weather = Weather {
-                fog: from + (to - from) * frac,
+                fog,
                 ..self.world.weather
             };
         }
-        if let Some((start, from, to, over)) = self.ambient_ramp {
-            let frac = (self.now.saturating_since(start).as_secs_f64() / over.as_secs_f64())
-                .clamp(0.0, 1.0);
-            self.platform.set_ambient_c(from + (to - from) * frac);
+        if let Some(ambient_c) = state.ambient_at(self.now) {
+            self.platform.set_ambient_c(ambient_c);
         }
     }
 
     /// CAN traffic of one control cycle: radar status from VF0, brake
     /// command from VF1 (floods when compromised).
-    fn pump_can_traffic(&mut self) {
+    pub(crate) fn pump_can_traffic(&mut self, state: &ScenarioState) {
         let radar_frame = {
             let range_cm = self
                 .world
@@ -479,7 +278,7 @@ impl SelfAwareVehicle {
         let _ = virt.vf_send(VfId(1), brake_frame, self.now);
         // The compromised rear-brake component floods spurious brake frames
         // and hammers services it has no capability for.
-        if self.compromised && !self.brake_rear_quarantined {
+        if state.compromised && !state.brake_rear_quarantined {
             for i in 0..20u16 {
                 let f = CanFrame::data(
                     FrameId::Standard(0x10F), // higher priority than legit traffic
@@ -512,7 +311,8 @@ impl SelfAwareVehicle {
         self.bus.advance(self.now);
     }
 
-    fn collect_anomalies(&mut self) -> Vec<Anomaly> {
+    /// Drains all monitors for this cycle.
+    pub(crate) fn collect_anomalies(&mut self) -> Vec<Anomaly> {
         let mut anomalies = Vec::new();
         // Execution monitoring from RTE job records.
         for rec in self.rte.take_records() {
@@ -561,13 +361,19 @@ impl SelfAwareVehicle {
         anomalies
     }
 
-    fn anomaly_to_problem(&self, anomaly: &Anomaly) -> (Layer, ProblemKind) {
+    /// Maps a monitor anomaly to the layer whose self-awareness detected it
+    /// and the problem class it represents.
+    pub(crate) fn anomaly_to_problem(
+        &self,
+        state: &ScenarioState,
+        anomaly: &Anomaly,
+    ) -> (Layer, ProblemKind) {
         match anomaly.kind {
             AnomalyKind::ExecutionOverrun | AnomalyKind::DeadlineMiss => {
                 // Thermal stress shows up as timing violations on a hot PE.
                 if self.platform.pe(PeId(0)).temperature_c() > 80.0 {
                     (Layer::Platform, ProblemKind::ThermalStress)
-                } else if self.compromised && anomaly.subject.contains("brake_rear") {
+                } else if state.compromised && anomaly.subject.contains("brake_rear") {
                     (Layer::Safety, ProblemKind::SecurityBreach)
                 } else {
                     (Layer::Platform, ProblemKind::TimingViolation)
@@ -586,7 +392,13 @@ impl SelfAwareVehicle {
 
     /// One containment attempt by `layer` — the concrete countermeasures of
     /// each layer, honoring the response strategy.
-    fn contain(&mut self, layer: Layer, kind: ProblemKind, subject: &str) -> Containment {
+    pub(crate) fn contain(
+        &mut self,
+        state: &mut ScenarioState,
+        layer: Layer,
+        kind: ProblemKind,
+        subject: &str,
+    ) -> Containment {
         // Single-layer strategy: the origin layer always claims success.
         let single = self.strategy == ResponseStrategy::SingleLayer;
         match (layer, kind) {
@@ -635,12 +447,12 @@ impl SelfAwareVehicle {
                 }
             }
             (Layer::Safety, ProblemKind::SecurityBreach | ProblemKind::ComponentFailure) => {
-                if subject.contains("brake_rear") || self.compromised {
+                if subject.contains("brake_rear") || state.compromised {
                     self.board
                         .post(Layer::Safety, "brake_rear", Directive::Shutdown);
                     self.rte.quarantine(self.brake_rear_comp);
                     self.world.brakes.rear.set_enabled(false);
-                    self.brake_rear_quarantined = true;
+                    state.brake_rear_quarantined = true;
                     self.abilities.set_measured(self.nodes.brakes, 0.55);
                     self.tracer.action(
                         self.now,
@@ -678,7 +490,7 @@ impl SelfAwareVehicle {
                     self.world.allocator.set_speed_cap(Some(15.0));
                     self.world.allocator.prefer_regen = true;
                     let mut action = String::from("speed cap 15 m/s + regen braking");
-                    if kind == ProblemKind::ThermalStress && !self.acc_reconfigured {
+                    if kind == ProblemKind::ThermalStress && !state.acc_reconfigured {
                         // Relax the perception and control rates so the
                         // throttled PE can hold its deadlines again — at the
                         // capped speed the halved control rate is sufficient.
@@ -718,8 +530,7 @@ impl SelfAwareVehicle {
                             .set_contract("acc_ctl_lowrate", Duration::from_millis(3));
                         self.exec_mon
                             .set_contract("perception_lowrate", Duration::from_micros(2_500));
-                        self.acc_reconfigured = true;
-                        self.thermal_mitigated = true;
+                        state.acc_reconfigured = true;
                         action.push_str(" + control rate halved");
                     }
                     self.tracer.action(self.now, "ability", action.clone());
@@ -743,252 +554,8 @@ impl SelfAwareVehicle {
         }
     }
 
-    /// Runs a scenario to completion.
+    /// Runs a scenario to completion (delegates to [`crate::runner::run`]).
     pub fn run(scenario: Scenario) -> Outcome {
-        let mut v = SelfAwareVehicle::new(&scenario);
-        let mut events = scenario.events.clone();
-        events.sort_by_key(|(t, _)| *t);
-        let mut speed = Series::new();
-        let mut ability = Series::new();
-        let mut miss_rate = Series::new();
-        let mut temp_c = Series::new();
-        let mut speed_factor_series = Series::new();
-        let mut first_detection: Option<Time> = None;
-        let mut mitigated_at: Option<Time> = None;
-        let mut actions: Vec<String> = Vec::new();
-        let mut misses_window = 0u64;
-        let mut jobs_window = 0u64;
-        let end = Time::ZERO + scenario.duration;
-
-        while v.now < end {
-            v.now += CONTROL_PERIOD;
-            // 1. scripted events + environmental ramps
-            while let Some(&(t, ev)) = events.first() {
-                if t > v.now {
-                    break;
-                }
-                events.remove(0);
-                v.apply_event(ev);
-            }
-            v.update_ramps();
-            // 2. platform
-            v.platform.step(CONTROL_PERIOD);
-            let speed_factor = v.platform.pe(PeId(0)).speed_factor();
-            // 3. execution domain
-            v.rte.advance(v.now, speed_factor.min(1_000.0));
-            v.platform
-                .pe_mut(PeId(0))
-                .set_utilization(v.rte.take_utilization().max(0.35));
-            // 4. plant + function
-            v.world.step(CONTROL_PERIOD);
-            // 5. communication traffic
-            v.pump_can_traffic();
-            // 6. monitors → anomalies → problems → cross-layer resolution
-            let anomalies = v.collect_anomalies();
-            for rec_missed in &anomalies {
-                if matches!(rec_missed.kind, AnomalyKind::DeadlineMiss) {
-                    misses_window += 1;
-                }
-            }
-            jobs_window += 1;
-            for anomaly in anomalies {
-                if first_detection.is_none() {
-                    first_detection = Some(v.now);
-                    v.tracer
-                        .fault(v.now, "monitor", format!("first anomaly: {anomaly}"));
-                }
-                let (origin, kind) = v.anomaly_to_problem(&anomaly);
-                let subject = anomaly.subject.clone();
-                let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
-                // Split borrows: the coordinator routes, `contain` acts.
-                let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
-                {
-                    let strategy_layers: Vec<Layer> = match v.coordinator.policy() {
-                        EscalationPolicy::LocalFirst => {
-                            let mut ls = Vec::new();
-                            let mut cur = Some(origin);
-                            while let Some(l) = cur {
-                                ls.push(l);
-                                cur = l.above();
-                            }
-                            ls
-                        }
-                        EscalationPolicy::BroadcastUp => Layer::ALL.to_vec(),
-                    };
-                    for layer in strategy_layers {
-                        let outcome = v.contain(layer, kind, &subject);
-                        let resolved = matches!(outcome, Containment::Resolved { .. });
-                        outcomes.push((layer, outcome));
-                        if resolved {
-                            break;
-                        }
-                    }
-                }
-                let resolved_now = outcomes
-                    .iter()
-                    .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
-                for (_, o) in &outcomes {
-                    if let Containment::Resolved { action } | Containment::Mitigated { action } = o
-                    {
-                        if !actions.contains(action) {
-                            actions.push(action.clone());
-                        }
-                    }
-                }
-                if resolved_now {
-                    mitigated_at = Some(v.now);
-                }
-                // Record via the coordinator for trace statistics.
-                let mut iter = outcomes.into_iter();
-                v.coordinator.resolve(problem, move |_, _| {
-                    iter.next()
-                        .map(|(_, o)| o)
-                        .unwrap_or(Containment::CannotHandle)
-                });
-            }
-            // 7. ability propagation from sensor quality + mode decision
-            let q = v.radar_quality.quality();
-            v.abilities.set_measured(v.nodes.env_sensors, q);
-            v.abilities.propagate();
-            let root = v.abilities.root_level();
-            let mode = v.mode.update(root);
-            if matches!(mode, DrivingMode::SafeStop) && !v.world.is_stopped() {
-                v.world.command_safe_stop();
-            }
-            // 8. metrics + series (1 Hz)
-            if v.now.as_millis().is_multiple_of(1_000) {
-                speed.push(v.now, v.world.ego.speed_mps());
-                ability.push(v.now, root);
-                let mr = if jobs_window > 0 {
-                    misses_window as f64 / jobs_window as f64
-                } else {
-                    0.0
-                };
-                miss_rate.push(v.now, mr);
-                temp_c.push(v.now, v.platform.pe(PeId(0)).temperature_c());
-                speed_factor_series.push(v.now, v.platform.pe(PeId(0)).speed_factor());
-                misses_window = 0;
-                jobs_window = 0;
-                v.metrics.publish(v.now, "assembly", "root_ability", root);
-                v.metrics.publish(
-                    v.now,
-                    "assembly",
-                    "pe0_temp_c",
-                    v.platform.pe(PeId(0)).temperature_c(),
-                );
-            }
-        }
-
-        let m = v.world.metrics();
-        Outcome {
-            label: scenario.label,
-            speed,
-            ability,
-            miss_rate,
-            temp_c,
-            speed_factor: speed_factor_series,
-            final_mode: v.mode.mode(),
-            min_gap_m: m.min_gap_m,
-            min_ttc_s: m.min_ttc_s,
-            collision: m.collision,
-            distance_m: v.world.ego.position_m(),
-            first_detection,
-            mitigated_at,
-            actions,
-            conflicts: v.board.conflicts_detected(),
-            max_hops: v.coordinator.max_hops(),
-            resolution_rate: v.coordinator.resolution_rate(),
-            trace: v.tracer,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn baseline_runs_clean() {
-        let out = SelfAwareVehicle::run(Scenario::baseline(42));
-        assert!(!out.collision);
-        assert!(out.distance_m > 2_000.0, "distance {}", out.distance_m);
-        assert!(matches!(out.final_mode, DrivingMode::Normal));
-        assert!(out.conflicts == 0);
-    }
-
-    #[test]
-    fn intrusion_cross_layer_keeps_driving_capped() {
-        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
-        assert!(!out.collision, "min gap {}", out.min_gap_m);
-        assert!(out.first_detection.is_some(), "attack must be detected");
-        assert!(out.mitigated_at.is_some());
-        // The vehicle keeps moving (availability) …
-        assert!(out.distance_m > 1_500.0, "distance {}", out.distance_m);
-        // … under the ability layer's speed cap.
-        let final_speed = out.speed.last().unwrap();
-        assert!(final_speed <= 15.5, "final speed {final_speed}");
-        assert!(
-            out.actions.iter().any(|a| a.contains("quarantine")),
-            "{:?}",
-            out.actions
-        );
-        assert!(
-            out.actions.iter().any(|a| a.contains("speed cap")),
-            "{:?}",
-            out.actions
-        );
-    }
-
-    #[test]
-    fn intrusion_objective_stop_halts_vehicle() {
-        let out = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::ObjectiveStop, 42));
-        assert!(!out.collision);
-        let final_speed = out.speed.last().unwrap();
-        assert!(final_speed < 0.5, "should be stopped, at {final_speed}");
-        assert!(out.distance_m < 2_000.0, "mission aborted early");
-    }
-
-    #[test]
-    fn intrusion_single_layer_preserves_speed_but_less_margin() {
-        let cross = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 42));
-        let single = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::SingleLayer, 42));
-        // Single-layer never caps speed, so it drives further …
-        assert!(single.distance_m > cross.distance_m);
-        // … but with a worse worst-case safety margin during the lead's
-        // braking manoeuvre (full speed on front-only brakes).
-        assert!(
-            single.min_ttc_s <= cross.min_ttc_s + 1e-9,
-            "single {} vs cross {}",
-            single.min_ttc_s,
-            cross.min_ttc_s
-        );
-    }
-
-    #[test]
-    fn thermal_cross_layer_recovers_deadlines() {
-        let out = SelfAwareVehicle::run(Scenario::thermal(75.0, ResponseStrategy::CrossLayer, 7));
-        // Misses appear mid-run, then the reconfiguration clears them.
-        let peak = out.miss_rate.max().unwrap();
-        let tail = out
-            .miss_rate
-            .iter()
-            .filter(|(t, _)| *t > Time::from_secs(200))
-            .map(|(_, v)| v)
-            .fold(0.0f64, f64::max);
-        assert!(peak > 0.0, "no misses ever appeared");
-        assert!(tail <= peak, "tail {tail} vs peak {peak}");
-        assert!(out.actions.iter().any(|a| a.contains("dvfs")));
-    }
-
-    #[test]
-    fn propagation_bounded_in_all_scenarios() {
-        for strategy in [
-            ResponseStrategy::SingleLayer,
-            ResponseStrategy::CrossLayer,
-            ResponseStrategy::ObjectiveStop,
-        ] {
-            let out = SelfAwareVehicle::run(Scenario::intrusion(strategy, 3));
-            assert!(out.max_hops <= Layer::ALL.len(), "{strategy:?}");
-        }
+        crate::runner::run(scenario)
     }
 }

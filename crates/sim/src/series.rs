@@ -90,13 +90,9 @@ impl Series {
     /// Panics if `q` is outside `[0, 1]` or NaN.
     pub fn percentile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "percentile out of range");
-        if self.samples.is_empty() {
-            return None;
-        }
         let mut vals: Vec<f64> = self.values().collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN in series"));
-        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
-        Some(vals[rank - 1])
+        percentile_sorted(&vals, q)
     }
 
     /// Fraction of samples for which `pred` holds; `None` when empty.
@@ -169,6 +165,20 @@ impl Extend<(Time, f64)> for Series {
     fn extend<I: IntoIterator<Item = (Time, f64)>>(&mut self, iter: I) {
         self.samples.extend(iter);
     }
+}
+
+/// Nearest-rank percentile (`ceil(q·n)` convention) over an
+/// ascending-sorted slice; `q` in `[0, 1]`. Returns `None` when empty.
+///
+/// This is the one percentile definition every reported statistic in the
+/// workspace shares — [`Series::percentile`] and the fleet aggregates both
+/// delegate here.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
 }
 
 /// A fixed-width-bucket histogram over `[lo, hi)` with under/overflow bins.

@@ -16,7 +16,7 @@
 //! | [`skills`] | skill & ability graphs (Sec. IV), degradation tactics |
 //! | [`vehicle`] | longitudinal plant, degradable sensors, ACC function |
 //! | [`platoon`] | Byzantine agreement, trust, risk-aware routing |
-//! | [`core`] | cross-layer coordination and the vehicle assembly (Sec. V) |
+//! | [`core`] | cross-layer coordination, scenario engine, vehicle + fleet runner (Sec. V) |
 //!
 //! ## Quick start
 //!

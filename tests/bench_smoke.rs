@@ -4,7 +4,8 @@
 //! non-empty, renderable table.
 
 use saav_bench::{
-    exp_can, exp_mcc, exp_monitor, exp_platoon, exp_propagation, exp_scenarios, exp_skills,
+    exp_can, exp_fleet, exp_mcc, exp_monitor, exp_platoon, exp_propagation, exp_scenarios,
+    exp_skills,
 };
 use saav_sim::report::Table;
 
@@ -72,6 +73,22 @@ fn e9_risk_aware_routing_completes() {
 fn e10_propagation_completes() {
     assert_populated("e10", &exp_propagation::e10_table());
     assert_populated("e10b", &exp_propagation::e10b_fmea_table());
+}
+
+/// Smoke for the E11 entry point: a slice of the grid renders. The full
+/// ≥24-run sweep is asserted in `exp_fleet`'s own tests and exercised in
+/// release mode by CI's `repro -- e11` step.
+#[test]
+fn e11_fleet_sweep_completes() {
+    use saav_core::fleet::FleetRunner;
+    use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
+    let fleet = FleetRunner::new(exp_fleet::E11_MASTER_SEED).sweep(
+        &[ScenarioFamily::Baseline, ScenarioFamily::Intrusion],
+        &ResponseStrategy::ALL,
+        1,
+    );
+    assert_eq!(fleet.records.len(), 6);
+    assert_populated("e11", &exp_fleet::e11_runs_table(&fleet));
 }
 
 #[test]

@@ -128,6 +128,86 @@ fn losing_layer_cannot_override_by_retrying() {
     assert_eq!(active, vec![&Directive::Shutdown]);
 }
 
+/// Regression pin for the decomposition of the old `assembly` monolith into
+/// `scenario`/`vehicle`/`runner`/`outcome`: the four legacy scenarios must
+/// produce bit-identical outcomes to the pre-split implementation (values
+/// captured from the monolith at the same seeds).
+#[test]
+fn legacy_scenarios_match_pre_split_outcomes() {
+    struct Pin {
+        scenario: Scenario,
+        distance_m: f64,
+        min_ttc_s: f64,
+        first_detection: Option<Time>,
+        mitigated_at: Option<Time>,
+        max_hops: usize,
+    }
+    use saav::sim::time::Time;
+    let pins = [
+        Pin {
+            scenario: Scenario::baseline(42),
+            distance_m: 2655.5987078887974,
+            min_ttc_s: 22.706776278531862,
+            first_detection: None,
+            mitigated_at: None,
+            max_hops: 0,
+        },
+        Pin {
+            scenario: Scenario::intrusion(ResponseStrategy::CrossLayer, 42),
+            distance_m: 1986.045671846045,
+            min_ttc_s: 19.37930592291164,
+            first_detection: Some(Time::from_secs(30)),
+            mitigated_at: Some(Time::from_secs(30)),
+            max_hops: 3,
+        },
+        Pin {
+            scenario: Scenario::intrusion(ResponseStrategy::SingleLayer, 42),
+            distance_m: 2415.5982029119687,
+            min_ttc_s: 4.9973027014473335,
+            first_detection: Some(Time::from_secs(30)),
+            mitigated_at: Some(Time::from_secs(120)),
+            max_hops: 1,
+        },
+        Pin {
+            scenario: Scenario::intrusion(ResponseStrategy::ObjectiveStop, 42),
+            distance_m: 767.6873638396913,
+            min_ttc_s: 22.706776278531862,
+            first_detection: Some(Time::from_secs(30)),
+            mitigated_at: Some(Time::from_secs(30)),
+            max_hops: 4,
+        },
+        Pin {
+            scenario: Scenario::thermal(75.0, ResponseStrategy::CrossLayer, 7),
+            distance_m: 4489.997261188965,
+            min_ttc_s: 22.772310460328885,
+            first_detection: Some(Time::from_millis(132_670)),
+            mitigated_at: Some(Time::from_millis(132_670)),
+            max_hops: 4,
+        },
+        Pin {
+            scenario: Scenario::fog(0.85, 11),
+            distance_m: 1265.6772459548924,
+            min_ttc_s: 22.724742954105963,
+            first_detection: Some(Time::from_millis(45_990)),
+            mitigated_at: Some(Time::from_millis(54_250)),
+            max_hops: 1,
+        },
+    ];
+    for pin in pins {
+        let label = pin.scenario.label.clone();
+        let out = SelfAwareVehicle::run(pin.scenario);
+        assert_eq!(out.distance_m, pin.distance_m, "{label}: distance");
+        assert_eq!(out.min_ttc_s, pin.min_ttc_s, "{label}: min TTC");
+        assert_eq!(
+            out.first_detection, pin.first_detection,
+            "{label}: detection"
+        );
+        assert_eq!(out.mitigated_at, pin.mitigated_at, "{label}: mitigation");
+        assert_eq!(out.max_hops, pin.max_hops, "{label}: hops");
+        assert!(!out.collision, "{label}: collision");
+    }
+}
+
 #[test]
 fn determinism_same_seed_same_outcome() {
     let a = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 5));

@@ -4,13 +4,18 @@
 
 use proptest::prelude::*;
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use saav::can::bitstream::{
     frame_bits_exact, frame_bits_with_ifs, frame_bits_worst_case, stuff, stuffable_bits,
 };
 use saav::can::controller::TxQueue;
 use saav::can::frame::{CanFrame, FrameId};
 use saav::core::coordinator::{Coordinator, EscalationPolicy};
+use saav::core::fleet::{FleetRunner, FleetStats};
 use saav::core::layer::{Containment, Layer, ProblemKind};
+use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioEvent};
 use saav::platoon::agreement::{robust_min, trimmed_mean_agreement, Behavior};
 use saav::sim::series::Series;
 use saav::sim::time::{Duration, Time};
@@ -19,6 +24,39 @@ use saav::skills::acc::build_acc_graph;
 use saav::timing::event_model::EventModel;
 use saav::timing::task::{Priority, Task};
 use saav::timing::CpuAnalysis;
+
+/// A small, fast fleet batch: three short scenarios with a scripted
+/// disturbance each, across the three strategies.
+fn mini_fleet_jobs() -> Vec<Scenario> {
+    ResponseStrategy::ALL
+        .iter()
+        .map(|&strategy| {
+            Scenario::builder(format!("mini/{strategy:?}"))
+                .strategy(strategy)
+                .duration(Duration::from_secs(6))
+                .at(Time::from_secs(2), ScenarioEvent::CompromiseRearBrake)
+                .build()
+        })
+        .collect()
+}
+
+/// Memoized fleet statistics per `(master_seed, threads)`: the runs are
+/// deterministic, so each distinct input is computed once across all
+/// proptest cases.
+fn mini_fleet_stats(master_seed: u64, threads: usize) -> FleetStats {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), FleetStats>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("cache lock");
+    cache
+        .entry((master_seed, threads))
+        .or_insert_with(|| {
+            FleetRunner::new(master_seed)
+                .with_threads(threads)
+                .run_scenarios(mini_fleet_jobs())
+                .stats
+        })
+        .clone()
+}
 
 proptest! {
     /// CAN bit stuffing never leaves six equal consecutive bits, and the
@@ -215,6 +253,20 @@ proptest! {
                 prop_assert!(r >= origin, "resolution below origin layer");
             }
         }
+    }
+
+    /// Fleet determinism at scale: with the same master seed, the
+    /// aggregate statistics are bit-identical whether the batch runs on
+    /// one worker thread or N — job order, per-run seeds and result slots
+    /// are fixed before any worker starts.
+    #[test]
+    fn fleet_stats_identical_across_thread_counts(
+        master_seed in 0u64..3,
+        threads in 2usize..5,
+    ) {
+        let single = mini_fleet_stats(master_seed, 1);
+        let multi = mini_fleet_stats(master_seed, threads);
+        prop_assert_eq!(single, multi);
     }
 
     /// Series percentiles are order statistics: always inside [min, max]
