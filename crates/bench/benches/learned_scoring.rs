@@ -1,0 +1,103 @@
+//! Criterion bench for the learned monitor's online scoring hot path.
+//!
+//! Two questions: (1) raw scorer throughput — states scored per second
+//! when the quantize → encode → surprise pipeline is the only work; and
+//! (2) end-to-end overhead — a short fleet batch with the scorer mounted
+//! vs the identical batch without it. The scorer runs once per 1 Hz
+//! sample against a ≤64-state vocabulary, so its cost must vanish next to
+//! the 100 Hz control loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use saav_core::fleet::FleetRunner;
+use saav_core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav_learn::{LearnConfig, SelfAwarenessModel, SignalTrace};
+use saav_sim::rng::SimRng;
+use saav_sim::time::{Duration, Time};
+
+/// Synthetic nominal traces shaped like the runner's 5-signal recording.
+fn synthetic_traces() -> Vec<SignalTrace> {
+    let signals: Vec<String> = ["speed", "ability", "miss", "temp", "sf"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    (0..4u64)
+        .map(|seed| {
+            let mut rng = SimRng::seed_from(seed);
+            let samples = (0..200)
+                .map(|i| {
+                    let t = i as f64;
+                    vec![
+                        22.0 + rng.normal(0.0, 0.1),
+                        1.0 - 0.02 * (t * 0.3).cos(),
+                        0.0,
+                        45.0 + 10.0 * (t * 0.05).sin(),
+                        1.0,
+                    ]
+                })
+                .collect();
+            SignalTrace::new(signals.clone(), samples)
+        })
+        .collect()
+}
+
+fn bench_scoring_throughput(c: &mut Criterion) {
+    let model = SelfAwarenessModel::train(&synthetic_traces(), LearnConfig::default())
+        .expect("synthetic traces train");
+    let mut rng = SimRng::seed_from(99);
+    let stream: Vec<[f64; 5]> = (0..10_000)
+        .map(|i| {
+            let t = i as f64;
+            [
+                22.0 + rng.normal(0.0, 0.3),
+                1.0 - 0.02 * (t * 0.3).cos(),
+                0.0,
+                45.0 + 10.0 * (t * 0.05).sin(),
+                1.0,
+            ]
+        })
+        .collect();
+    let mut group = c.benchmark_group("learned_scoring");
+    group.sample_size(20);
+    // One iteration scores 10k samples: throughput = 10k / iteration time.
+    group.bench_function("ingest_10k_samples", |b| {
+        b.iter(|| {
+            let mut scorer = model.scorer();
+            let mut acc = 0.0;
+            for (i, s) in stream.iter().enumerate() {
+                acc += scorer.ingest(Time::from_secs(i as u64), s).score;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_fleet_overhead(c: &mut Criterion) {
+    // Train on short captured baselines so model signals match the runner.
+    let jobs = |n: usize| -> Vec<Scenario> {
+        (0..n)
+            .map(|_| {
+                let mut s = ScenarioFamily::Baseline.build(ResponseStrategy::CrossLayer, 0);
+                s.duration = Duration::from_secs(10);
+                s
+            })
+            .collect()
+    };
+    let plain = FleetRunner::new(7).with_threads(1);
+    let traces = plain.capture_traces(jobs(3));
+    let model =
+        SelfAwarenessModel::train(&traces, LearnConfig::default()).expect("captured traces train");
+    let scored = FleetRunner::new(7).with_threads(1).with_model(model);
+
+    let mut group = c.benchmark_group("learned_scoring/fleet_10s_baseline");
+    group.sample_size(10);
+    group.bench_function("without_scorer", |b| {
+        b.iter(|| plain.run_scenarios(jobs(3)))
+    });
+    group.bench_function("with_scorer", |b| b.iter(|| scored.run_scenarios(jobs(3))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring_throughput, bench_fleet_overhead);
+criterion_main!(benches);

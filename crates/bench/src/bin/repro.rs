@@ -1,14 +1,20 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 a1 a2 a3 | all]`
+//! Usage: `repro [--threads N] [e1 … e12 a1 a2 a3 | all]`
+//!
+//! `--threads N` pins the fleet worker count of the sweep experiments
+//! (E11/E12); without it the `SAAV_THREADS` environment variable applies,
+//! and failing that all available cores are used.
 
 use saav_bench::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = extract_threads(&mut args);
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2",
+            "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -35,14 +41,59 @@ fn main() {
                 println!("{}", exp_propagation::e10b_fmea_table().render());
             }
             "e11" => {
-                let fleet = exp_fleet::e11_sweep();
+                let fleet = exp_fleet::e11_sweep_with_threads(threads);
                 println!("{}", exp_fleet::e11_runs_table(&fleet).render());
                 println!("{}", exp_fleet::e11_summary_table(&fleet).render());
+            }
+            "e12" => {
+                let e12 = exp_learn::e12_sweep(threads);
+                println!("{}", exp_learn::e12_runs_table(&e12).render());
+                println!("{}", exp_learn::e12_summary_table(&e12).render());
             }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),
             "a3" => println!("{}", exp_monitor::a3_table().render()),
             other => eprintln!("unknown experiment `{other}`"),
+        }
+    }
+}
+
+/// Removes `--threads N` / `--threads=N` from the argument list and
+/// returns the parsed count, if present and valid.
+fn extract_threads(args: &mut Vec<String>) -> Option<usize> {
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            threads = parse_threads(v);
+            args.remove(i);
+        } else if args[i] == "--threads" {
+            // Consume the value only when it parses; otherwise leave it in
+            // place so `--threads e11` still runs e11 (with a warning)
+            // instead of silently falling back to the full suite.
+            let parsed = args.get(i + 1).and_then(|v| parse_threads(v));
+            if parsed.is_some() {
+                threads = parsed;
+                args.drain(i..i + 2);
+            } else {
+                if args.get(i + 1).is_none() {
+                    eprintln!("--threads requires a value");
+                }
+                args.remove(i);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    threads
+}
+
+fn parse_threads(v: &str) -> Option<usize> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("ignoring invalid --threads value `{v}`");
+            None
         }
     }
 }

@@ -17,7 +17,18 @@ pub const E11_MASTER_SEED: u64 = 2024;
 
 /// Runs the full E11 sweep: every family × every strategy.
 pub fn e11_sweep() -> FleetOutcome {
-    FleetRunner::new(E11_MASTER_SEED).sweep(&ScenarioFamily::ALL, &ResponseStrategy::ALL, 1)
+    e11_sweep_with_threads(None)
+}
+
+/// E11 with an explicit worker count (`None` = `SAAV_THREADS` env or all
+/// cores) — the results are identical either way, only scheduling differs.
+pub fn e11_sweep_with_threads(threads: Option<usize>) -> FleetOutcome {
+    let runner = FleetRunner::new(E11_MASTER_SEED);
+    let runner = match threads {
+        Some(t) => runner.with_threads(t),
+        None => runner,
+    };
+    runner.sweep(&ScenarioFamily::ALL, &ResponseStrategy::ALL, 1)
 }
 
 /// The per-run rows of a fleet outcome as a printable table.

@@ -14,13 +14,14 @@ use saav_sim::report::{fmt_f64, Table};
 use saav_sim::rng::SimRng;
 use saav_sim::time::Time;
 
-const KINDS: [ProblemKind; 6] = [
+const KINDS: [ProblemKind; 7] = [
     ProblemKind::SecurityBreach,
     ProblemKind::ComponentFailure,
     ProblemKind::ThermalStress,
     ProblemKind::TimingViolation,
     ProblemKind::SensorDegradation,
     ProblemKind::CommunicationFault,
+    ProblemKind::BehaviorDeviation,
 ];
 
 /// Probability that `layer` can fully contain `kind` (the campaign's model
@@ -34,6 +35,7 @@ fn containment_probability(layer: Layer, kind: ProblemKind) -> f64 {
         (Layer::Safety, ProblemKind::ComponentFailure) => 0.7,
         (Layer::Safety, ProblemKind::SecurityBreach) => 0.5,
         (Layer::Ability, ProblemKind::SensorDegradation) => 0.8,
+        (Layer::Ability, ProblemKind::BehaviorDeviation) => 0.7,
         (Layer::Ability, ProblemKind::TimingViolation) => 0.5,
         (Layer::Ability, _) => 0.4,
         (Layer::Objective, _) => 1.0, // safe stop always terminates a problem
@@ -46,7 +48,7 @@ fn origin_of(kind: ProblemKind) -> Layer {
         ProblemKind::ThermalStress | ProblemKind::TimingViolation => Layer::Platform,
         ProblemKind::CommunicationFault | ProblemKind::SecurityBreach => Layer::Communication,
         ProblemKind::ComponentFailure => Layer::Safety,
-        ProblemKind::SensorDegradation => Layer::Ability,
+        ProblemKind::SensorDegradation | ProblemKind::BehaviorDeviation => Layer::Ability,
     }
 }
 

@@ -15,14 +15,18 @@
 //! | E8/E9 | [`exp_platoon`] | Byzantine platoon agreement; risk-aware routing |
 //! | E10 | [`exp_propagation`] | propagation terminates; layer distribution |
 //! | E11 | [`exp_fleet`] | fleet sweep: scenario library x strategies, fleet statistics |
+//! | E12 | [`exp_learn`] | learned self-awareness: train on nominal fleet runs, score online, compare to contracts |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
+//! `--threads N` (or the `SAAV_THREADS` env var) pins the fleet worker
+//! count for the sweep experiments.
 
 #![warn(missing_docs)]
 
 pub mod exp_can;
 pub mod exp_fleet;
+pub mod exp_learn;
 pub mod exp_mcc;
 pub mod exp_monitor;
 pub mod exp_platoon;

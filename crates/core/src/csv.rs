@@ -1,0 +1,147 @@
+//! CSV export of fleet results, so sweeps are machine-consumable.
+//!
+//! Two writers cover the two levels of a fleet batch: one row per run
+//! (from the [`FleetRecord`]s / their [`crate::outcome::Summary`]s) and
+//! one row per strategy aggregate (from [`FleetStats`]). Output is plain RFC-4180-ish
+//! CSV: comma-separated, `\n` line endings, fields quoted only when they
+//! contain a comma, quote or newline.
+
+use std::fmt::Write as _;
+
+use crate::fleet::{FleetRecord, FleetStats};
+
+/// Header of the per-run CSV (one column per [`FleetRecord`] field the
+/// tables report).
+pub const RECORD_HEADER: &str = "scenario,strategy,seed,collision,distance_m,min_ttc_s,\
+detected_s,model_detected_s,mitigated_s,detection_latency_s,model_latency_s,final_mode";
+
+/// Header of the per-strategy aggregate CSV.
+pub const STRATEGY_HEADER: &str = "strategy,runs,collision_rate,availability,mean_distance_m";
+
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|v| format!("{v}")).unwrap_or_default()
+}
+
+/// One CSV row for a completed fleet run (no trailing newline).
+pub fn record_row(rec: &FleetRecord) -> String {
+    let s = &rec.summary;
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{},{:?},{:016x},{},{},{},{},{},{},{},{},{}",
+        quote(&s.label),
+        rec.strategy,
+        rec.seed,
+        s.collision,
+        s.distance_m,
+        s.min_ttc_s,
+        opt(s.first_detection.map(|t| t.as_secs_f64())),
+        opt(s.first_model_deviation.map(|t| t.as_secs_f64())),
+        opt(s.mitigated_at.map(|t| t.as_secs_f64())),
+        opt(rec.detection_latency_s()),
+        opt(rec.model_latency_s()),
+        s.final_mode,
+    );
+    row
+}
+
+/// The full per-run CSV document: header plus one row per record.
+pub fn records_csv(records: &[FleetRecord]) -> String {
+    let mut out = String::from(RECORD_HEADER);
+    out.push('\n');
+    for rec in records {
+        out.push_str(&record_row(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-strategy aggregate CSV document from fleet statistics.
+pub fn strategy_csv(stats: &FleetStats) -> String {
+    let mut out = String::from(STRATEGY_HEADER);
+    out.push('\n');
+    for s in &stats.per_strategy {
+        let _ = writeln!(
+            out,
+            "{:?},{},{},{},{}",
+            s.strategy, s.runs, s.collision_rate, s.availability, s.mean_distance_m
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Summary;
+    use crate::scenario::ResponseStrategy;
+    use saav_sim::time::Time;
+    use saav_skills::decision::DrivingMode;
+
+    fn record() -> FleetRecord {
+        FleetRecord {
+            strategy: ResponseStrategy::CrossLayer,
+            seed: 0xabcd,
+            injected_at: Some(Time::from_secs(30)),
+            summary: Summary {
+                label: "intrusion/CrossLayer".into(),
+                collision: false,
+                distance_m: 1986.5,
+                min_ttc_s: 19.4,
+                first_detection: Some(Time::from_secs(30)),
+                first_model_deviation: Some(Time::from_secs(31)),
+                mitigated_at: Some(Time::from_secs(30)),
+                final_mode: DrivingMode::Normal,
+            },
+        }
+    }
+
+    #[test]
+    fn rows_match_header_width() {
+        let csv = records_csv(&[record()]);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("intrusion/CrossLayer,CrossLayer,000000000000abcd,false"));
+        // Latencies are relative to the 30 s injection.
+        assert!(row.contains(",0,1,"), "{row}");
+    }
+
+    #[test]
+    fn missing_detections_are_empty_fields() {
+        let mut rec = record();
+        rec.summary.first_detection = None;
+        rec.summary.first_model_deviation = None;
+        rec.summary.mitigated_at = None;
+        let row = record_row(&rec);
+        assert!(row.contains(",,,,"), "{row}");
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let mut rec = record();
+        rec.summary.label = "a,b".into();
+        assert!(record_row(&rec).starts_with("\"a,b\","));
+    }
+
+    #[test]
+    fn strategy_csv_renders_per_strategy_rows() {
+        let stats = FleetStats::from_records(&[record()]);
+        let csv = strategy_csv(&stats);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("CrossLayer,1,0,1,1986.5"));
+    }
+}

@@ -29,8 +29,9 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use saav_learn::{SelfAwarenessModel, SignalTrace};
 use saav_sim::rng::derive_seed;
 use saav_sim::series::percentile_sorted;
 use saav_sim::time::Time;
@@ -38,6 +39,25 @@ use saav_sim::time::Time;
 use crate::outcome::Summary;
 use crate::runner;
 use crate::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+
+/// Environment variable overriding the default fleet worker count, so CI
+/// smoke runs are schedulable without touching call sites. An explicit
+/// [`FleetRunner::with_threads`] still wins.
+pub const THREADS_ENV: &str = "SAAV_THREADS";
+
+/// The default worker count: [`THREADS_ENV`] when set to a positive
+/// integer, otherwise all available cores.
+pub fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 /// One completed fleet run: the job's grid coordinates plus its summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +77,18 @@ impl FleetRecord {
     /// scripted disturbance (relative to run start when the scenario has
     /// none). `None` when nothing was detected.
     pub fn detection_latency_s(&self) -> Option<f64> {
-        self.summary.first_detection.map(|det| {
+        self.latency_of(self.summary.first_detection)
+    }
+
+    /// Detection latency of the *learned* monitor, measured like
+    /// [`Self::detection_latency_s`]. `None` when no learned model was
+    /// mounted or it never fired.
+    pub fn model_latency_s(&self) -> Option<f64> {
+        self.latency_of(self.summary.first_model_deviation)
+    }
+
+    fn latency_of(&self, detected: Option<Time>) -> Option<f64> {
+        detected.map(|det| {
             let injected = self.injected_at.unwrap_or(Time::ZERO);
             det.saturating_since(injected).as_secs_f64()
         })
@@ -105,8 +136,12 @@ pub struct FleetStats {
     pub collisions: usize,
     /// `collisions / runs`.
     pub collision_rate: f64,
-    /// Detection-latency distribution over runs that detected anything.
+    /// Detection-latency distribution over runs that detected anything
+    /// (hand-written contract monitors).
     pub detection: LatencyStats,
+    /// Detection-latency distribution of the learned monitor (empty when
+    /// no model was mounted for the batch).
+    pub model_detection: LatencyStats,
     /// Aggregates per strategy, in first-appearance order.
     pub per_strategy: Vec<StrategyStats>,
 }
@@ -116,17 +151,18 @@ impl FleetStats {
     pub fn from_records(records: &[FleetRecord]) -> Self {
         let runs = records.len();
         let collisions = records.iter().filter(|r| r.summary.collision).count();
-        let mut latencies: Vec<f64> = records
-            .iter()
-            .filter_map(FleetRecord::detection_latency_s)
-            .collect();
-        latencies.sort_by(f64::total_cmp);
-        let detection = LatencyStats {
-            detected: latencies.len(),
-            mean_s: mean(&latencies),
-            p50_s: percentile_sorted(&latencies, 0.5).unwrap_or(0.0),
-            p95_s: percentile_sorted(&latencies, 0.95).unwrap_or(0.0),
+        let latency_stats = |latency: fn(&FleetRecord) -> Option<f64>| {
+            let mut latencies: Vec<f64> = records.iter().filter_map(latency).collect();
+            latencies.sort_by(f64::total_cmp);
+            LatencyStats {
+                detected: latencies.len(),
+                mean_s: mean(&latencies),
+                p50_s: percentile_sorted(&latencies, 0.5).unwrap_or(0.0),
+                p95_s: percentile_sorted(&latencies, 0.95).unwrap_or(0.0),
+            }
         };
+        let detection = latency_stats(FleetRecord::detection_latency_s);
+        let model_detection = latency_stats(FleetRecord::model_latency_s);
         let mut per_strategy: Vec<StrategyStats> = Vec::new();
         for rec in records {
             if !per_strategy.iter().any(|s| s.strategy == rec.strategy) {
@@ -164,6 +200,7 @@ impl FleetStats {
                 collisions as f64 / runs as f64
             },
             detection,
+            model_detection,
             per_strategy,
         }
     }
@@ -196,17 +233,17 @@ pub struct FleetOutcome {
 pub struct FleetRunner {
     master_seed: u64,
     threads: usize,
+    model: Option<Arc<SelfAwarenessModel>>,
 }
 
 impl FleetRunner {
-    /// Creates a fleet runner with as many workers as the host exposes.
+    /// Creates a fleet runner with [`default_threads`] workers (the
+    /// `SAAV_THREADS` environment override, else all available cores).
     pub fn new(master_seed: u64) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         FleetRunner {
             master_seed,
-            threads,
+            threads: default_threads(),
+            model: None,
         }
     }
 
@@ -216,9 +253,21 @@ impl FleetRunner {
         self
     }
 
+    /// Mounts a learned self-awareness monitor on every vehicle of every
+    /// batch this runner executes.
+    pub fn with_model(mut self, model: SelfAwarenessModel) -> Self {
+        self.model = Some(Arc::new(model));
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The mounted learned model, if any.
+    pub fn model(&self) -> Option<&SelfAwarenessModel> {
+        self.model.as_deref()
     }
 
     /// The master seed all per-run seeds derive from.
@@ -249,14 +298,46 @@ impl FleetRunner {
 
     /// Runs an explicit scenario list. Each scenario's seed is overridden
     /// with `derive_seed(master_seed, job_index)`.
-    pub fn run_scenarios(&self, mut scenarios: Vec<Scenario>) -> FleetOutcome {
+    pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> FleetOutcome {
+        let model = self.model.clone();
+        let records = self.execute(scenarios, move |scenario| {
+            let strategy = scenario.strategy;
+            let seed = scenario.seed;
+            let injected_at = scenario.events.iter().map(|&(t, _)| t).min();
+            let summary = runner::run_with_model(scenario, model.as_deref()).summary();
+            FleetRecord {
+                strategy,
+                seed,
+                injected_at,
+                summary,
+            }
+        });
+        let stats = FleetStats::from_records(&records);
+        FleetOutcome { records, stats }
+    }
+
+    /// Runs a scenario list (seeded exactly like [`Self::run_scenarios`])
+    /// and captures each run's 1 Hz [`SignalTrace`] — the trace-capture
+    /// hook that feeds [`SelfAwarenessModel::train`] with nominal data.
+    /// The learned model, if any, is *not* mounted for capture runs.
+    pub fn capture_traces(&self, scenarios: Vec<Scenario>) -> Vec<SignalTrace> {
+        self.execute(scenarios, |scenario| runner::run(scenario).signal_trace())
+    }
+
+    /// The shared batch engine: seeds the jobs deterministically from the
+    /// master seed and job index, executes them across workers, and
+    /// returns one result per job in job order.
+    fn execute<T, F>(&self, mut scenarios: Vec<Scenario>, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Scenario) -> T + Sync,
+    {
         for (i, s) in scenarios.iter_mut().enumerate() {
             s.seed = derive_seed(self.master_seed, i as u64);
         }
         let workers = self.threads.min(scenarios.len()).max(1);
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<FleetRecord>>> =
-            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -264,31 +345,19 @@ impl FleetRunner {
                     if i >= scenarios.len() {
                         break;
                     }
-                    let scenario = scenarios[i].clone();
-                    let strategy = scenario.strategy;
-                    let seed = scenario.seed;
-                    let injected_at = scenario.events.iter().map(|&(t, _)| t).min();
-                    let summary = runner::run(scenario).summary();
                     *slots[i].lock().expect("worker never panics holding lock") =
-                        Some(FleetRecord {
-                            strategy,
-                            seed,
-                            injected_at,
-                            summary,
-                        });
+                        Some(job(scenarios[i].clone()));
                 });
             }
         });
-        let records: Vec<FleetRecord> = slots
+        slots
             .into_iter()
             .map(|m| {
                 m.into_inner()
                     .expect("lock not poisoned")
                     .expect("every job slot filled")
             })
-            .collect();
-        let stats = FleetStats::from_records(&records);
-        FleetOutcome { records, stats }
+            .collect()
     }
 }
 
@@ -385,6 +454,7 @@ mod tests {
                 distance_m: dist,
                 min_ttc_s: 10.0,
                 first_detection: det.map(Time::from_secs),
+                first_model_deviation: None,
                 mitigated_at: None,
                 final_mode: mode,
             },

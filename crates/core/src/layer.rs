@@ -87,6 +87,9 @@ pub enum ProblemKind {
     SensorDegradation,
     /// Bus or controller fault.
     CommunicationFault,
+    /// Behaviour deviates from a learned model of nominal operation
+    /// (raised by the learned self-awareness monitor).
+    BehaviorDeviation,
 }
 
 impl fmt::Display for ProblemKind {
@@ -98,6 +101,7 @@ impl fmt::Display for ProblemKind {
             ProblemKind::TimingViolation => "timing violation",
             ProblemKind::SensorDegradation => "sensor degradation",
             ProblemKind::CommunicationFault => "communication fault",
+            ProblemKind::BehaviorDeviation => "behavior deviation",
         };
         f.write_str(s)
     }

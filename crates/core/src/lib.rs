@@ -26,7 +26,11 @@
 //! * [`outcome`] — the measured [`outcome::Outcome`] and its compact
 //!   [`outcome::Summary`].
 //! * [`fleet`] — the [`fleet::FleetRunner`]: N scenarios across worker
-//!   threads with deterministic seed derivation and fleet-level statistics.
+//!   threads with deterministic seed derivation and fleet-level
+//!   statistics, plus the trace-capture hook feeding `saav_learn`
+//!   training and the option to mount a learned monitor fleet-wide.
+//! * [`csv`] — machine-consumable CSV export of fleet records and
+//!   aggregates.
 //!
 //! ```
 //! use saav_core::coordinator::{Coordinator, EscalationPolicy};
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod csv;
 pub mod fleet;
 pub mod layer;
 pub mod outcome;
@@ -67,7 +72,7 @@ pub mod assembly {
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
 pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
-pub use outcome::{Outcome, Summary};
+pub use outcome::{Outcome, Summary, LEARNED_SIGNALS};
 pub use scenario::{
     ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent, ScenarioFamily, ScenarioState,
 };

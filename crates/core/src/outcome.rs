@@ -1,10 +1,21 @@
 //! Measured results of a scenario run: the full [`Outcome`] record and the
 //! compact [`Summary`] used by fleet aggregation and the repro tables.
 
+use saav_learn::SignalTrace;
 use saav_sim::series::Series;
 use saav_sim::time::Time;
 use saav_sim::trace::Tracer;
 use saav_skills::decision::DrivingMode;
+
+/// The signals (in ingestion order) the learned self-awareness model is
+/// trained on and scored against — the 1 Hz series every run records.
+pub const LEARNED_SIGNALS: [&str; 5] = [
+    "speed_mps",
+    "root_ability",
+    "miss_rate",
+    "pe0_temp_c",
+    "pe0_speed_factor",
+];
 
 /// Measured outcome of a scenario run.
 #[derive(Debug)]
@@ -21,6 +32,9 @@ pub struct Outcome {
     pub temp_c: Series,
     /// Execution speed factor of PE0 over time (1 = nominal).
     pub speed_factor: Series,
+    /// Windowed abnormality score of the learned monitor over time (empty
+    /// when no learned model was mounted).
+    pub model_score: Series,
     /// Final driving mode.
     pub final_mode: DrivingMode,
     /// Safety metrics from the plant.
@@ -31,8 +45,12 @@ pub struct Outcome {
     pub collision: bool,
     /// Distance travelled (m) — availability proxy.
     pub distance_m: f64,
-    /// Detection time of the first problem, if any.
+    /// Detection time of the first problem (by the hand-written contract
+    /// monitors), if any.
     pub first_detection: Option<Time>,
+    /// First detection by the learned self-awareness monitor, if mounted
+    /// and fired.
+    pub first_model_deviation: Option<Time>,
     /// Time the last containment action completed, if any.
     pub mitigated_at: Option<Time>,
     /// All containment actions taken.
@@ -56,9 +74,23 @@ impl Outcome {
             distance_m: self.distance_m,
             min_ttc_s: self.min_ttc_s,
             first_detection: self.first_detection,
+            first_model_deviation: self.first_model_deviation,
             mitigated_at: self.mitigated_at,
             final_mode: self.final_mode,
         }
+    }
+
+    /// The run's 1 Hz signal recording as a [`SignalTrace`] — the training
+    /// and scoring input of the learned self-awareness models, in
+    /// [`LEARNED_SIGNALS`] order.
+    pub fn signal_trace(&self) -> SignalTrace {
+        SignalTrace::from_series(&[
+            (LEARNED_SIGNALS[0], &self.speed),
+            (LEARNED_SIGNALS[1], &self.ability),
+            (LEARNED_SIGNALS[2], &self.miss_rate),
+            (LEARNED_SIGNALS[3], &self.temp_c),
+            (LEARNED_SIGNALS[4], &self.speed_factor),
+        ])
     }
 }
 
@@ -75,8 +107,10 @@ pub struct Summary {
     pub distance_m: f64,
     /// Minimum time-to-collision observed.
     pub min_ttc_s: f64,
-    /// Detection time of the first problem, if any.
+    /// Detection time of the first problem (contract monitors), if any.
     pub first_detection: Option<Time>,
+    /// First detection by the learned monitor, if mounted and fired.
+    pub first_model_deviation: Option<Time>,
     /// Time the last containment action completed, if any.
     pub mitigated_at: Option<Time>,
     /// Final driving mode.
@@ -116,6 +150,7 @@ mod tests {
             distance_m: 10.0,
             min_ttc_s: f64::INFINITY,
             first_detection: None,
+            first_model_deviation: None,
             mitigated_at: Some(Time::from_secs(30)),
             final_mode: DrivingMode::Normal,
         };

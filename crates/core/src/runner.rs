@@ -11,7 +11,8 @@
 //! [`Coordinator::route`]: crate::coordinator::Coordinator::route
 
 use saav_hw::pe::PeId;
-use saav_monitor::anomaly::AnomalyKind;
+use saav_learn::SelfAwarenessModel;
+use saav_monitor::anomaly::{Anomaly, AnomalyKind};
 use saav_sim::series::Series;
 use saav_sim::time::Time;
 use saav_skills::decision::DrivingMode;
@@ -21,18 +22,100 @@ use crate::outcome::Outcome;
 use crate::scenario::{Scenario, ScenarioState};
 use crate::vehicle::{SelfAwareVehicle, CONTROL_PERIOD};
 
-/// Runs a scenario to completion.
+/// What the run has detected and done so far — threaded through the
+/// anomaly handling shared by the contract monitors and the learned
+/// monitor.
+#[derive(Default)]
+struct DetectionLog {
+    first_detection: Option<Time>,
+    first_model_deviation: Option<Time>,
+    mitigated_at: Option<Time>,
+    actions: Vec<String>,
+}
+
+/// Routes one anomaly through the layers and applies containment — the
+/// single escalation path both the hand-written monitors and the learned
+/// monitor feed into.
+fn handle_anomaly(
+    v: &mut SelfAwareVehicle,
+    state: &mut ScenarioState,
+    log: &mut DetectionLog,
+    anomaly: Anomaly,
+) {
+    let learned = matches!(anomaly.kind, AnomalyKind::ModelDeviation);
+    let slot = if learned {
+        &mut log.first_model_deviation
+    } else {
+        &mut log.first_detection
+    };
+    if slot.is_none() {
+        *slot = Some(v.now);
+        let source = if learned {
+            "monitor.learned"
+        } else {
+            "monitor"
+        };
+        v.tracer
+            .fault(v.now, source, format!("first anomaly: {anomaly}"));
+    }
+    let (origin, kind) = v.anomaly_to_problem(state, &anomaly);
+    let subject = anomaly.subject.clone();
+    let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
+    // Split borrows: the coordinator routes, `contain` acts.
+    let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
+    for layer in v.coordinator.route(origin).collect::<Vec<_>>() {
+        let outcome = v.contain(state, layer, kind, &subject);
+        let resolved = matches!(outcome, Containment::Resolved { .. });
+        outcomes.push((layer, outcome));
+        if resolved {
+            break;
+        }
+    }
+    let resolved_now = outcomes
+        .iter()
+        .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
+    for (_, o) in &outcomes {
+        if let Containment::Resolved { action } | Containment::Mitigated { action } = o {
+            if !log.actions.contains(action) {
+                log.actions.push(action.clone());
+            }
+        }
+    }
+    if resolved_now {
+        log.mitigated_at = Some(v.now);
+    }
+    // Record via the coordinator for trace statistics.
+    let mut iter = outcomes.into_iter();
+    v.coordinator.resolve(problem, move |_, _| {
+        iter.next()
+            .map(|(_, o)| o)
+            .unwrap_or(Containment::CannotHandle)
+    });
+}
+
+/// Runs a scenario to completion with the hand-written monitors only.
 pub fn run(scenario: Scenario) -> Outcome {
+    run_with_model(scenario, None)
+}
+
+/// Runs a scenario to completion, optionally with a learned
+/// self-awareness monitor mounted beside the hand-written ones. With
+/// `None` this is exactly [`run`]; with a model, the online scorer ingests
+/// the 1 Hz signal vector and threshold crossings escalate like any other
+/// anomaly.
+pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
     let mut v = SelfAwareVehicle::new(&scenario);
+    if let Some(model) = model {
+        v.mount_learned_monitor(model);
+    }
     let mut state = ScenarioState::new(&scenario);
     let mut speed = Series::new();
     let mut ability = Series::new();
     let mut miss_rate = Series::new();
     let mut temp_c = Series::new();
     let mut speed_factor_series = Series::new();
-    let mut first_detection: Option<Time> = None;
-    let mut mitigated_at: Option<Time> = None;
-    let mut actions: Vec<String> = Vec::new();
+    let mut model_score = Series::new();
+    let mut log = DetectionLog::default();
     let mut misses_window = 0u64;
     let mut jobs_window = 0u64;
     let end = Time::ZERO + scenario.duration;
@@ -65,44 +148,7 @@ pub fn run(scenario: Scenario) -> Outcome {
         }
         jobs_window += 1;
         for anomaly in anomalies {
-            if first_detection.is_none() {
-                first_detection = Some(v.now);
-                v.tracer
-                    .fault(v.now, "monitor", format!("first anomaly: {anomaly}"));
-            }
-            let (origin, kind) = v.anomaly_to_problem(&state, &anomaly);
-            let subject = anomaly.subject.clone();
-            let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
-            // Split borrows: the coordinator routes, `contain` acts.
-            let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
-            for layer in v.coordinator.route(origin).collect::<Vec<_>>() {
-                let outcome = v.contain(&mut state, layer, kind, &subject);
-                let resolved = matches!(outcome, Containment::Resolved { .. });
-                outcomes.push((layer, outcome));
-                if resolved {
-                    break;
-                }
-            }
-            let resolved_now = outcomes
-                .iter()
-                .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
-            for (_, o) in &outcomes {
-                if let Containment::Resolved { action } | Containment::Mitigated { action } = o {
-                    if !actions.contains(action) {
-                        actions.push(action.clone());
-                    }
-                }
-            }
-            if resolved_now {
-                mitigated_at = Some(v.now);
-            }
-            // Record via the coordinator for trace statistics.
-            let mut iter = outcomes.into_iter();
-            v.coordinator.resolve(problem, move |_, _| {
-                iter.next()
-                    .map(|(_, o)| o)
-                    .unwrap_or(Containment::CannotHandle)
-            });
+            handle_anomaly(&mut v, &mut state, &mut log, anomaly);
         }
         // 7. ability propagation from sensor quality + mode decision
         let q = v.radar_quality.quality();
@@ -113,9 +159,12 @@ pub fn run(scenario: Scenario) -> Outcome {
         if matches!(mode, DrivingMode::SafeStop) && !v.world.is_stopped() {
             v.world.command_safe_stop();
         }
-        // 8. metrics + series (1 Hz)
+        // 8. metrics + series (1 Hz) + learned-monitor scoring
         if v.now.as_millis().is_multiple_of(1_000) {
-            speed.push(v.now, v.world.ego.speed_mps());
+            let speed_now = v.world.ego.speed_mps();
+            let temp_now = v.platform.pe(PeId(0)).temperature_c();
+            let speed_factor_now = v.platform.pe(PeId(0)).speed_factor();
+            speed.push(v.now, speed_now);
             ability.push(v.now, root);
             let mr = if jobs_window > 0 {
                 misses_window as f64 / jobs_window as f64
@@ -123,17 +172,26 @@ pub fn run(scenario: Scenario) -> Outcome {
                 0.0
             };
             miss_rate.push(v.now, mr);
-            temp_c.push(v.now, v.platform.pe(PeId(0)).temperature_c());
-            speed_factor_series.push(v.now, v.platform.pe(PeId(0)).speed_factor());
+            temp_c.push(v.now, temp_now);
+            speed_factor_series.push(v.now, speed_factor_now);
             misses_window = 0;
             jobs_window = 0;
             v.metrics.publish(v.now, "assembly", "root_ability", root);
-            v.metrics.publish(
-                v.now,
-                "assembly",
-                "pe0_temp_c",
-                v.platform.pe(PeId(0)).temperature_c(),
-            );
+            v.metrics.publish(v.now, "assembly", "pe0_temp_c", temp_now);
+            // The learned monitor scores the same signal vector the series
+            // record (LEARNED_SIGNALS order); a rising threshold crossing
+            // escalates through the identical anomaly path.
+            let sample = [speed_now, root, mr, temp_now, speed_factor_now];
+            let now = v.now;
+            let report = v.learned.as_mut().map(|scorer| scorer.ingest(now, &sample));
+            if let Some(report) = report {
+                model_score.push(v.now, report.score);
+                v.metrics
+                    .publish(v.now, "monitor.learned", "model_score", report.score);
+                if let Some(anomaly) = report.anomaly {
+                    handle_anomaly(&mut v, &mut state, &mut log, anomaly);
+                }
+            }
         }
     }
 
@@ -145,14 +203,16 @@ pub fn run(scenario: Scenario) -> Outcome {
         miss_rate,
         temp_c,
         speed_factor: speed_factor_series,
+        model_score,
         final_mode: v.mode.mode(),
         min_gap_m: m.min_gap_m,
         min_ttc_s: m.min_ttc_s,
         collision: m.collision,
         distance_m: v.world.ego.position_m(),
-        first_detection,
-        mitigated_at,
-        actions,
+        first_detection: log.first_detection,
+        first_model_deviation: log.first_model_deviation,
+        mitigated_at: log.mitigated_at,
+        actions: log.actions,
         conflicts: v.board.conflicts_detected(),
         max_hops: v.coordinator.max_hops(),
         resolution_rate: v.coordinator.resolution_rate(),

@@ -4,7 +4,7 @@
 //! ([`saav_hw`]), communication ([`saav_can`]), execution domain
 //! ([`saav_rte`]) with monitors ([`saav_monitor`]), the functional level
 //! ([`saav_skills`] over [`saav_vehicle`]) and the model domain
-//! ([`saav_mcc`]), coordinated by the cross-layer [`Coordinator`].
+//! (`saav_mcc`), coordinated by the cross-layer [`Coordinator`].
 //!
 //! The vehicle owns construction and the *per-layer containment logic*;
 //! it does not script disturbances or drive time. Scenario injection lives
@@ -18,6 +18,7 @@ use saav_can::frame::{CanFrame, FrameId};
 use saav_can::virt::{PfToken, VfId, VirtCanConfig};
 use saav_hw::pe::PeId;
 use saav_hw::platform::Platform;
+use saav_learn::{OnlineScorer, SelfAwarenessModel};
 use saav_monitor::access_mon::{AccessMonitor, AccessObservation};
 use saav_monitor::anomaly::{Anomaly, AnomalyKind};
 use saav_monitor::exec::{ExecutionMonitor, JobObservation};
@@ -58,6 +59,7 @@ pub struct SelfAwareVehicle {
     access_mon: AccessMonitor,
     pub(crate) radar_quality: QualityMonitor,
     radar_heartbeat: HeartbeatMonitor,
+    pub(crate) learned: Option<OnlineScorer>,
     pub(crate) metrics: MetricBus,
     pub(crate) coordinator: Coordinator,
     pub(crate) board: DirectiveBoard,
@@ -195,6 +197,7 @@ impl SelfAwareVehicle {
             access_mon,
             radar_quality: QualityMonitor::new("radar", 0.5, 5.0, 0.7),
             radar_heartbeat: HeartbeatMonitor::new("radar", Duration::from_millis(10), 5.0),
+            learned: None,
             metrics: MetricBus::new(),
             coordinator: Coordinator::new(EscalationPolicy::LocalFirst),
             board: DirectiveBoard::new(),
@@ -205,6 +208,20 @@ impl SelfAwareVehicle {
             brake_rear_comp,
             now: Time::ZERO,
         }
+    }
+
+    /// Mounts a learned self-awareness monitor beside the hand-written
+    /// ones: each 1 Hz sampling instant the runner feeds the live signal
+    /// vector to the model's online scorer, and threshold crossings raise
+    /// [`AnomalyKind::ModelDeviation`] into the same coordinator
+    /// escalation path the contract monitors use.
+    pub fn mount_learned_monitor(&mut self, model: &SelfAwarenessModel) {
+        self.learned = Some(model.scorer());
+    }
+
+    /// Whether a learned monitor is mounted.
+    pub fn has_learned_monitor(&self) -> bool {
+        self.learned.is_some()
     }
 
     /// The event trace (after a run).
@@ -387,6 +404,10 @@ impl SelfAwareVehicle {
             | AnomalyKind::OutOfRange
             | AnomalyKind::ImplausibleRate
             | AnomalyKind::StuckSignal => (Layer::Ability, ProblemKind::SensorDegradation),
+            // The learned monitor watches functional-level behaviour, so
+            // its deviations surface at the ability layer (speed cap /
+            // degraded-mode responses) and escalate from there.
+            AnomalyKind::ModelDeviation => (Layer::Ability, ProblemKind::BehaviorDeviation),
         }
     }
 
@@ -557,5 +578,11 @@ impl SelfAwareVehicle {
     /// Runs a scenario to completion (delegates to [`crate::runner::run`]).
     pub fn run(scenario: Scenario) -> Outcome {
         crate::runner::run(scenario)
+    }
+
+    /// Runs a scenario with a learned self-awareness monitor mounted
+    /// (delegates to [`crate::runner::run_with_model`]).
+    pub fn run_with_model(scenario: Scenario, model: &SelfAwarenessModel) -> Outcome {
+        crate::runner::run_with_model(scenario, Some(model))
     }
 }

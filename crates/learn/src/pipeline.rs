@@ -1,0 +1,304 @@
+//! The learn-then-monitor pipeline: training, calibration and the trained
+//! [`SelfAwarenessModel`].
+//!
+//! Training consumes nominal [`SignalTrace`]s (captured by fleet batch
+//! runs of the baseline scenario family), fits one [`Quantizer`] per
+//! signal, clusters the joint quantized vectors into a
+//! [`StateVocabulary`], and estimates a Laplace-smoothed
+//! [`TransitionModel`] over the resulting state sequences. Calibration
+//! scores nominal traces through the same arithmetic the online scorer
+//! uses and sets the abnormality threshold to the maximum nominal score
+//! plus a margin — so the calibration set is false-positive-free by
+//! construction.
+
+use crate::quantize::{Binning, Quantizer};
+use crate::scorer::OnlineScorer;
+use crate::trace::SignalTrace;
+use crate::transitions::TransitionModel;
+use crate::vocab::StateVocabulary;
+
+/// Training/scoring hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnConfig {
+    /// Bins per signal quantizer.
+    pub bins: usize,
+    /// How bin edges are derived from training values.
+    pub binning: Binning,
+    /// Maximum vocabulary size (most frequent joint states survive).
+    pub max_states: usize,
+    /// Sliding-window length (samples) of the abnormality score.
+    pub window: usize,
+    /// Margin added to the maximum nominal score when calibrating the
+    /// threshold.
+    pub margin: f64,
+    /// Weight of the novelty term (L1 bin distance to the nearest
+    /// vocabulary state) relative to the transition surprise.
+    pub novelty_weight: f64,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            bins: 8,
+            binning: Binning::Uniform,
+            max_states: 64,
+            window: 5,
+            margin: 2.0,
+            novelty_weight: 1.0,
+        }
+    }
+}
+
+/// Why training was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No traces were provided.
+    NoTraces,
+    /// A trace had no samples.
+    EmptyTrace,
+    /// Traces disagree on their signal set.
+    SignalMismatch {
+        /// Signals of the first trace.
+        expected: Vec<String>,
+        /// Signals of the offending trace.
+        got: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoTraces => f.write_str("no training traces"),
+            TrainError::EmptyTrace => f.write_str("a training trace has no samples"),
+            TrainError::SignalMismatch { expected, got } => {
+                write!(f, "signal mismatch: expected {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A trained self-awareness model: quantizers, vocabulary, transition
+/// model and the calibrated abnormality threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfAwarenessModel {
+    signals: Vec<String>,
+    quantizers: Vec<Quantizer>,
+    vocab: StateVocabulary,
+    transitions: TransitionModel,
+    threshold: f64,
+    config: LearnConfig,
+}
+
+impl SelfAwarenessModel {
+    /// Trains a model from nominal traces and calibrates the threshold on
+    /// them. Training is deterministic: the same traces and config always
+    /// yield a bit-identical model (property-tested).
+    pub fn train(traces: &[SignalTrace], config: LearnConfig) -> Result<Self, TrainError> {
+        if traces.is_empty() {
+            return Err(TrainError::NoTraces);
+        }
+        let signals = traces[0].signals().to_vec();
+        for t in traces {
+            if t.is_empty() {
+                return Err(TrainError::EmptyTrace);
+            }
+            if t.signals() != signals.as_slice() {
+                return Err(TrainError::SignalMismatch {
+                    expected: signals.clone(),
+                    got: t.signals().to_vec(),
+                });
+            }
+        }
+        // One quantizer per signal over the pooled training values.
+        let quantizers: Vec<Quantizer> = (0..signals.len())
+            .map(|k| {
+                let values: Vec<f64> = traces.iter().flat_map(|t| t.column(k)).collect();
+                Quantizer::fit(&values, config.bins, config.binning)
+            })
+            .collect();
+        // Joint quantized vectors, per trace (traces never concatenate:
+        // the last state of one run does not transition into the next).
+        let quantized: Vec<Vec<Vec<u16>>> = traces
+            .iter()
+            .map(|t| {
+                t.samples()
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .zip(&quantizers)
+                            .map(|(&v, q)| q.bin(v) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let all: Vec<Vec<u16>> = quantized.iter().flatten().cloned().collect();
+        let vocab = StateVocabulary::build(&all, config.max_states);
+        let mut transitions = TransitionModel::new(vocab.len());
+        for trace in &quantized {
+            let seq: Vec<usize> = trace.iter().map(|q| vocab.encode(q).0).collect();
+            transitions.observe_sequence(&seq);
+        }
+        let mut model = SelfAwarenessModel {
+            signals,
+            quantizers,
+            vocab,
+            transitions,
+            threshold: f64::INFINITY,
+            config,
+        };
+        model.threshold = 0.0;
+        model.calibrate(traces);
+        Ok(model)
+    }
+
+    /// Raises the threshold so every given nominal trace scores strictly
+    /// below it (maximum windowed score plus the configured margin). Never
+    /// lowers an already calibrated threshold.
+    pub fn calibrate(&mut self, traces: &[SignalTrace]) {
+        for t in traces {
+            let max = self.score_trace(t);
+            self.threshold = self.threshold.max(max + self.config.margin);
+        }
+    }
+
+    /// The maximum windowed abnormality score over a whole trace — the
+    /// exact arithmetic of the online scorer, replayed offline.
+    pub fn score_trace(&self, trace: &SignalTrace) -> f64 {
+        let mut scorer = OnlineScorer::new(self.clone());
+        let mut max = 0.0f64;
+        for row in trace.samples() {
+            max = max.max(scorer.score_only(row));
+        }
+        max
+    }
+
+    /// A fresh online scorer over this model (per-run state: window and
+    /// previous state).
+    pub fn scorer(&self) -> OnlineScorer {
+        OnlineScorer::new(self.clone())
+    }
+
+    /// The signal names the model was trained on, in ingestion order.
+    pub fn signals(&self) -> &[String] {
+        &self.signals
+    }
+
+    /// The per-signal quantizers, in signal order.
+    pub fn quantizers(&self) -> &[Quantizer] {
+        &self.quantizers
+    }
+
+    /// The state vocabulary.
+    pub fn vocab(&self) -> &StateVocabulary {
+        &self.vocab
+    }
+
+    /// The transition model.
+    pub fn transitions(&self) -> &TransitionModel {
+        &self.transitions
+    }
+
+    /// The calibrated abnormality threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &LearnConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic nominal trace: two signals around fixed operating
+    /// points with small deterministic wobble.
+    fn nominal_trace(phase: f64, len: usize) -> SignalTrace {
+        let samples = (0..len)
+            .map(|i| {
+                let x = i as f64 + phase;
+                vec![22.0 + 0.2 * (x * 0.7).sin(), 1.0 - 0.02 * (x * 0.3).cos()]
+            })
+            .collect();
+        SignalTrace::new(vec!["speed".into(), "ability".into()], samples)
+    }
+
+    fn nominal_set() -> Vec<SignalTrace> {
+        (0..4)
+            .map(|i| nominal_trace(i as f64 * 13.0, 120))
+            .collect()
+    }
+
+    #[test]
+    fn training_calibrates_a_false_positive_free_threshold() {
+        let traces = nominal_set();
+        let model = SelfAwarenessModel::train(&traces, LearnConfig::default()).unwrap();
+        assert!(model.threshold().is_finite());
+        for t in &traces {
+            assert!(model.score_trace(t) < model.threshold());
+        }
+    }
+
+    #[test]
+    fn deviations_score_above_nominal() {
+        let traces = nominal_set();
+        let model = SelfAwarenessModel::train(&traces, LearnConfig::default()).unwrap();
+        // An abnormal trace: speed collapses, ability degrades.
+        let abnormal = SignalTrace::new(
+            vec!["speed".into(), "ability".into()],
+            (0..60)
+                .map(|i| {
+                    if i < 20 {
+                        vec![22.0, 1.0]
+                    } else {
+                        vec![5.0, 0.5]
+                    }
+                })
+                .collect(),
+        );
+        assert!(model.score_trace(&abnormal) > model.threshold());
+    }
+
+    #[test]
+    fn train_rejects_bad_input() {
+        assert_eq!(
+            SelfAwarenessModel::train(&[], LearnConfig::default()),
+            Err(TrainError::NoTraces)
+        );
+        let empty = SignalTrace::new(vec!["a".into()], vec![]);
+        assert_eq!(
+            SelfAwarenessModel::train(&[empty], LearnConfig::default()),
+            Err(TrainError::EmptyTrace)
+        );
+        let a = SignalTrace::new(vec!["a".into()], vec![vec![1.0]]);
+        let b = SignalTrace::new(vec!["b".into()], vec![vec![1.0]]);
+        assert!(matches!(
+            SelfAwarenessModel::train(&[a, b], LearnConfig::default()),
+            Err(TrainError::SignalMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let traces = nominal_set();
+        let a = SelfAwarenessModel::train(&traces, LearnConfig::default()).unwrap();
+        let b = SelfAwarenessModel::train(&traces, LearnConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_binning_also_trains() {
+        let cfg = LearnConfig {
+            binning: Binning::Quantile,
+            ..LearnConfig::default()
+        };
+        let model = SelfAwarenessModel::train(&nominal_set(), cfg).unwrap();
+        assert!(!model.vocab().is_empty());
+        assert!(model.threshold().is_finite());
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-signal traces captured from nominal runs — the training data of
+//! the learned self-awareness models.
+//!
+//! A [`SignalTrace`] is the learn-side view of one simulation run: a fixed
+//! set of named signals sampled at a common rate (the fleet runner samples
+//! at 1 Hz), stored as one sample vector per instant. Traces are pure data;
+//! the capture side lives with the fleet runner, the consumption side in
+//! [`crate::SelfAwarenessModel::train`].
+
+use saav_sim::series::Series;
+
+/// One captured multi-signal trace: `samples[t][k]` is signal `k` at
+/// sample instant `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalTrace {
+    signals: Vec<String>,
+    samples: Vec<Vec<f64>>,
+}
+
+impl SignalTrace {
+    /// Creates a trace from explicit sample rows.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from the signal count.
+    pub fn new(signals: Vec<String>, samples: Vec<Vec<f64>>) -> Self {
+        for row in &samples {
+            assert_eq!(row.len(), signals.len(), "ragged sample row");
+        }
+        SignalTrace { signals, samples }
+    }
+
+    /// Builds a trace by zipping equally-sampled [`Series`] — the shape the
+    /// scenario runner records. The trace is truncated to the shortest
+    /// series so partially recorded runs still produce rectangular data.
+    pub fn from_series(named: &[(&str, &Series)]) -> Self {
+        let signals: Vec<String> = named.iter().map(|(n, _)| (*n).to_string()).collect();
+        let columns: Vec<Vec<f64>> = named.iter().map(|(_, s)| s.values().collect()).collect();
+        let len = columns.iter().map(Vec::len).min().unwrap_or(0);
+        let samples = (0..len)
+            .map(|t| columns.iter().map(|c| c[t]).collect())
+            .collect();
+        SignalTrace { signals, samples }
+    }
+
+    /// The signal names, in column order.
+    pub fn signals(&self) -> &[String] {
+        &self.signals
+    }
+
+    /// Number of sample instants.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample rows, in time order.
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// All values of signal column `k`, in time order.
+    pub fn column(&self, k: usize) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(move |row| row[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saav_sim::time::Time;
+
+    #[test]
+    fn from_series_zips_and_truncates() {
+        let a: Series = (0..5).map(|i| (Time::from_secs(i), i as f64)).collect();
+        let b: Series = (0..3)
+            .map(|i| (Time::from_secs(i), 10.0 + i as f64))
+            .collect();
+        let t = SignalTrace::from_series(&[("a", &a), ("b", &b)]);
+        assert_eq!(t.signals(), ["a".to_string(), "b".to_string()]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.samples()[2], vec![2.0, 12.0]);
+        assert_eq!(t.column(1).collect::<Vec<_>>(), vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_are_rejected() {
+        let _ = SignalTrace::new(vec!["a".into()], vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The state vocabulary: joint quantized signal vectors clustered into a
+//! bounded set of discrete states.
+//!
+//! Nominal operation visits only a small part of the joint bin space, so
+//! the vocabulary is built by frequency: every distinct quantized vector
+//! seen in training is a candidate, the `max_states` most frequent become
+//! the vocabulary (ties broken by first appearance, so construction is
+//! deterministic), and every other vector — training or live — maps to its
+//! nearest vocabulary state under L1 distance in bin space. The L1
+//! distance to the matched state is the **novelty** of an observation:
+//! zero in nominal operation, growing as the vehicle leaves the learned
+//! envelope.
+
+use std::collections::HashMap;
+
+/// A bounded vocabulary of joint quantized states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVocabulary {
+    states: Vec<Vec<u16>>,
+}
+
+impl StateVocabulary {
+    /// Builds the vocabulary from training vectors: distinct vectors ranked
+    /// by frequency (first appearance breaks ties), truncated to
+    /// `max_states`.
+    ///
+    /// # Panics
+    /// Panics if `vectors` is empty, `max_states == 0`, or the vectors have
+    /// inconsistent widths.
+    pub fn build(vectors: &[Vec<u16>], max_states: usize) -> Self {
+        assert!(
+            !vectors.is_empty(),
+            "cannot build a vocabulary from no data"
+        );
+        assert!(max_states > 0, "vocabulary needs at least one state");
+        let width = vectors[0].len();
+        let mut freq: HashMap<&[u16], (usize, usize)> = HashMap::new();
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(v.len(), width, "inconsistent state-vector width");
+            let entry = freq.entry(v.as_slice()).or_insert((0, i));
+            entry.0 += 1;
+        }
+        let mut ranked: Vec<(&[u16], (usize, usize))> = freq.into_iter().collect();
+        // Most frequent first; first appearance breaks ties deterministically.
+        ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.1 .1.cmp(&b.1 .1)));
+        ranked.truncate(max_states);
+        StateVocabulary {
+            states: ranked.into_iter().map(|(v, _)| v.to_vec()).collect(),
+        }
+    }
+
+    /// Number of vocabulary states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for a built vocabulary).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The bin vector of state `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: usize) -> &[u16] {
+        &self.states[id]
+    }
+
+    /// Maps a quantized vector to `(nearest state id, L1 distance)`. Ties
+    /// resolve to the lowest id (the most frequent candidate), so encoding
+    /// is deterministic.
+    pub fn encode(&self, q: &[u16]) -> (usize, u32) {
+        let mut best = (0usize, u32::MAX);
+        for (id, s) in self.states.iter().enumerate() {
+            let d: u32 = s
+                .iter()
+                .zip(q)
+                .map(|(&a, &b)| (i32::from(a) - i32::from(b)).unsigned_abs())
+                .sum();
+            if d < best.1 {
+                best = (id, d);
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_ranks_and_truncates() {
+        let vectors = vec![
+            vec![1, 1],
+            vec![2, 2],
+            vec![1, 1],
+            vec![3, 3],
+            vec![1, 1],
+            vec![2, 2],
+        ];
+        let v = StateVocabulary::build(&vectors, 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.state(0), &[1, 1]);
+        assert_eq!(v.state(1), &[2, 2]);
+        // The evicted vector maps to its nearest survivor with distance 2.
+        assert_eq!(v.encode(&[3, 3]), (1, 2));
+    }
+
+    #[test]
+    fn encode_is_exact_for_vocabulary_members() {
+        let vectors = vec![vec![0, 5, 2], vec![7, 1, 1]];
+        let v = StateVocabulary::build(&vectors, 8);
+        assert_eq!(v.encode(&[0, 5, 2]), (0, 0));
+        assert_eq!(v.encode(&[7, 1, 1]), (1, 0));
+        let (_, d) = v.encode(&[0, 5, 4]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn ties_break_by_first_appearance() {
+        let vectors = vec![vec![4], vec![8]];
+        let v = StateVocabulary::build(&vectors, 2);
+        // [6] is equidistant from both; the earlier (lower-id) state wins.
+        assert_eq!(v.encode(&[6]).0, 0);
+    }
+}

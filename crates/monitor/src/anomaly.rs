@@ -25,6 +25,9 @@ pub enum AnomalyKind {
     AccessViolation,
     /// Message rate on a channel deviates strongly from its profile.
     RateAnomaly,
+    /// Behaviour deviates from a *learned* model of nominal operation
+    /// (windowed surprise above the calibrated threshold).
+    ModelDeviation,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -39,6 +42,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::QualityDegraded => "quality degraded",
             AnomalyKind::AccessViolation => "access violation",
             AnomalyKind::RateAnomaly => "message rate anomaly",
+            AnomalyKind::ModelDeviation => "learned-model deviation",
         };
         f.write_str(s)
     }

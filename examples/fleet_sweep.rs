@@ -9,7 +9,12 @@
 //! thread count) and prints the availability/risk aggregates per strategy.
 //!
 //! Run with: `cargo run --example fleet_sweep --release`
+//!
+//! Besides the human-readable report, the sweep is exported as CSV
+//! (per-run records and per-strategy aggregates) so downstream tooling
+//! can consume it; `SAAV_THREADS` pins the worker count.
 
+use saav::core::csv;
 use saav::core::fleet::FleetRunner;
 use saav::core::scenario::{ResponseStrategy, ScenarioFamily};
 
@@ -62,4 +67,18 @@ fn main() {
     println!("single-layer handling maximizes raw distance, the objective layer");
     println!("minimizes it, and the cross-layer response keeps most of the");
     println!("mission while staying inside the derived capability envelope.");
+
+    // Machine-consumable export: one CSV per aggregation level.
+    let dir = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(dir);
+    for (name, content) in [
+        ("fleet_sweep_runs.csv", csv::records_csv(&outcome.records)),
+        ("fleet_sweep_strategies.csv", csv::strategy_csv(stats)),
+    ] {
+        let path = dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }

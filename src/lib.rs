@@ -13,6 +13,7 @@
 //! | [`timing`] | compositional WCRT analysis (CPU + CAN) |
 //! | [`mcc`] | model domain: contracts, viewpoints, integration, FMEA |
 //! | [`monitor`] | execution/heartbeat/plausibility/access monitors |
+//! | [`learn`] | learned self-awareness: quantizers, state vocabulary, DBN transitions, online abnormality scoring |
 //! | [`skills`] | skill & ability graphs (Sec. IV), degradation tactics |
 //! | [`vehicle`] | longitudinal plant, degradable sensors, ACC function |
 //! | [`platoon`] | Byzantine agreement, trust, risk-aware routing |
@@ -40,6 +41,7 @@
 pub use saav_can as can;
 pub use saav_core as core;
 pub use saav_hw as hw;
+pub use saav_learn as learn;
 pub use saav_mcc as mcc;
 pub use saav_monitor as monitor;
 pub use saav_platoon as platoon;

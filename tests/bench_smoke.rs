@@ -4,8 +4,8 @@
 //! non-empty, renderable table.
 
 use saav_bench::{
-    exp_can, exp_fleet, exp_mcc, exp_monitor, exp_platoon, exp_propagation, exp_scenarios,
-    exp_skills,
+    exp_can, exp_fleet, exp_learn, exp_mcc, exp_monitor, exp_platoon, exp_propagation,
+    exp_scenarios, exp_skills,
 };
 use saav_sim::report::Table;
 
@@ -89,6 +89,35 @@ fn e11_fleet_sweep_completes() {
     );
     assert_eq!(fleet.records.len(), 6);
     assert_populated("e11", &exp_fleet::e11_runs_table(&fleet));
+}
+
+/// Smoke for the E12 entry points: a model trained on short captured
+/// traces scores a grid slice and both tables render. The full train →
+/// calibrate → 27-run sweep and its acceptance thresholds live in
+/// `exp_learn`'s own tests and CI's `repro -- e12` step.
+#[test]
+fn e12_learned_monitor_completes() {
+    use saav_core::fleet::FleetRunner;
+    use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
+    use saav_learn::{LearnConfig, SelfAwarenessModel};
+    use saav_sim::time::Duration;
+    let jobs = |n: usize| -> Vec<_> {
+        (0..n)
+            .map(|_| {
+                let mut s = ScenarioFamily::Baseline.build(ResponseStrategy::CrossLayer, 0);
+                s.duration = Duration::from_secs(30);
+                s
+            })
+            .collect()
+    };
+    let runner = FleetRunner::new(exp_learn::E12_TRAIN_SEED);
+    let traces = runner.capture_traces(jobs(3));
+    let model = SelfAwarenessModel::train(&traces, LearnConfig::default()).unwrap();
+    let fleet = runner.with_model(model.clone()).run_scenarios(jobs(2));
+    let e12 = exp_learn::E12Outcome { fleet, model };
+    assert_eq!(e12.baseline_false_positives(), 0);
+    assert_populated("e12", &exp_learn::e12_runs_table(&e12));
+    assert_populated("e12b", &exp_learn::e12_summary_table(&e12));
 }
 
 #[test]

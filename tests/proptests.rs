@@ -16,6 +16,7 @@ use saav::core::coordinator::{Coordinator, EscalationPolicy};
 use saav::core::fleet::{FleetRunner, FleetStats};
 use saav::core::layer::{Containment, Layer, ProblemKind};
 use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioEvent};
+use saav::learn::{Binning, LearnConfig, Quantizer, SelfAwarenessModel, SignalTrace};
 use saav::platoon::agreement::{robust_min, trimmed_mean_agreement, Behavior};
 use saav::sim::series::Series;
 use saav::sim::time::{Duration, Time};
@@ -283,6 +284,62 @@ proptest! {
         let p_hi = s.percentile(hi).unwrap();
         prop_assert!(p_lo <= p_hi);
         prop_assert!(p_lo >= s.min().unwrap() && p_hi <= s.max().unwrap());
+    }
+
+    /// Quantizer round-trip: every bin's representative value quantizes
+    /// back into that bin, for both binnings and arbitrary training data.
+    #[test]
+    fn quantizer_representative_round_trips(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..80),
+        bins in 1usize..12,
+        quantile in any::<bool>(),
+    ) {
+        let binning = if quantile { Binning::Quantile } else { Binning::Uniform };
+        let q = Quantizer::fit(&values, bins, binning);
+        prop_assert!(q.bins() >= 1 && q.bins() <= bins);
+        for b in 0..q.bins() {
+            let rep = q.representative(b);
+            prop_assert_eq!(q.bin(rep), b, "binning {:?}", binning);
+            // The continuous index agrees with the discrete bin in-range.
+            let c = q.continuous_index(rep);
+            prop_assert!(c >= b as f64 && c < (b + 1) as f64);
+        }
+        // Training values always land in a valid bin.
+        for &v in &values {
+            prop_assert!(q.bin(v) < q.bins());
+        }
+    }
+
+    /// Train-twice determinism: the same traces (from the same seeds)
+    /// produce a bit-identical model — quantizers, vocabulary, transition
+    /// matrix and threshold.
+    #[test]
+    fn training_is_deterministic(
+        seed in 0u64..1000,
+        traces in 1usize..4,
+        len in 8usize..40,
+    ) {
+        let mk = || -> Vec<SignalTrace> {
+            (0..traces).map(|k| {
+                let mut rng = saav::sim::rng::SimRng::seed_from(
+                    saav::sim::rng::derive_seed(seed, k as u64),
+                );
+                SignalTrace::new(
+                    vec!["a".into(), "b".into()],
+                    (0..len).map(|i| vec![
+                        (i as f64 * 0.4).sin() + rng.normal(0.0, 0.05),
+                        rng.uniform(0.0, 1.0),
+                    ]).collect(),
+                )
+            }).collect()
+        };
+        let a = SelfAwarenessModel::train(&mk(), LearnConfig::default()).unwrap();
+        let b = SelfAwarenessModel::train(&mk(), LearnConfig::default()).unwrap();
+        prop_assert_eq!(&a, &b);
+        // And the calibrated threshold really covers the training set.
+        for t in &mk() {
+            prop_assert!(a.score_trace(t) < a.threshold());
+        }
     }
 
     /// Duration arithmetic round-trips through the unit constructors.
