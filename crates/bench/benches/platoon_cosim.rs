@@ -1,0 +1,36 @@
+//! Criterion bench for the multi-vehicle co-simulation engine: wall time
+//! of a fixed 5 s platoon scenario as the member count grows 1..=8 —
+//! i.e. co-simulated vehicle-steps/sec of the lockstep loop, V2V
+//! negotiation included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_core::runner;
+use saav_core::scenario::{PlatoonSpec, Scenario};
+use saav_sim::time::Duration;
+
+/// A short platoon scenario with `members` vehicles: 5 s horizon keeps one
+/// iteration cheap while still crossing several negotiation rounds.
+fn scenario(members: usize) -> Scenario {
+    Scenario::builder(format!("bench/{members}"))
+        .seed(7)
+        .duration(Duration::from_secs(5))
+        .platoon(PlatoonSpec::new(members))
+        .build()
+}
+
+fn bench_cosim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platoon_cosim/5s_run");
+    group.sample_size(10);
+    for members in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(members),
+            &members,
+            |b, &members| b.iter(|| runner::run(scenario(members))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim_scaling);
+criterion_main!(benches);

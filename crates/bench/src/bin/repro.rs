@@ -1,9 +1,9 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [--threads N] [e1 … e12 a1 a2 a3 | all]`
+//! Usage: `repro [--threads N] [e1 … e13 a1 a2 a3 | all]`
 //!
 //! `--threads N` pins the fleet worker count of the sweep experiments
-//! (E11/E12); without it the `SAAV_THREADS` environment variable applies,
+//! (E11/E12/E13); without it the `SAAV_THREADS` environment variable applies,
 //! and failing that all available cores are used.
 
 use saav_bench::*;
@@ -13,8 +13,8 @@ fn main() {
     let threads = extract_threads(&mut args);
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2",
-            "a3",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1",
+            "a2", "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -49,6 +49,11 @@ fn main() {
                 let e12 = exp_learn::e12_sweep(threads);
                 println!("{}", exp_learn::e12_runs_table(&e12).render());
                 println!("{}", exp_learn::e12_summary_table(&e12).render());
+            }
+            "e13" => {
+                let fleet = exp_cosim::e13_sweep(threads);
+                println!("{}", exp_cosim::e13_runs_table(&fleet).render());
+                println!("{}", exp_cosim::e13_summary_table(&fleet).render());
             }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),

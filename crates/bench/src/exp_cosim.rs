@@ -1,0 +1,260 @@
+//! E13: the platoon co-simulation sweep — every multi-vehicle
+//! [`ScenarioFamily::PLATOON`] family under every response strategy,
+//! executed through the same [`FleetRunner`] as the single-vehicle grid.
+//!
+//! The paper's Sec. V argues self-awareness must extend to *cooperative*
+//! behavior: vehicles agree on collective parameters while any neighbour
+//! "might not be fully trustworthy or even compromised". E13 makes that
+//! quantitative over interacting traffic: N self-aware vehicles co-simulate
+//! in lockstep on a shared road, negotiate their cruise speed over a
+//! faultable V2V channel, and contain Byzantine members through the
+//! standard cross-layer escalation path. The tables report per-member
+//! collisions, agreement convergence, trust-based ejection latency and the
+//! post-ejection agreed speed.
+//!
+//! One cross-layer interaction the grid surfaces deliberately: under
+//! `SingleLayer`/`CrossLayer` the only ejections are the scripted liars,
+//! because the ability-layer containment (speed caps) keeps honest
+//! degraded members claiming coherently. Under `ObjectiveStop` that
+//! containment is disabled, so in the fog family an *honest* member's
+//! claims drift apart until the trust layer misfires and ejects it — a
+//! cooperative false positive caused by removing a lower layer's
+//! countermeasure, exactly the "appropriate layer" argument of Sec. V.
+
+use saav_core::fleet::{FleetOutcome, FleetRunner};
+use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
+use saav_sim::report::{fmt_f64, Table};
+
+/// The E13 master seed.
+pub const E13_MASTER_SEED: u64 = 2025;
+
+/// Runs the full E13 sweep: every platoon family × every strategy.
+pub fn e13_sweep(threads: Option<usize>) -> FleetOutcome {
+    let runner = FleetRunner::new(E13_MASTER_SEED);
+    let runner = match threads {
+        Some(t) => runner.with_threads(t),
+        None => runner,
+    };
+    runner.sweep(&ScenarioFamily::PLATOON, &ResponseStrategy::ALL, 1)
+}
+
+/// The per-run rows of the platoon sweep as a printable table.
+pub fn e13_runs_table(fleet: &FleetOutcome) -> Table {
+    let mut t = Table::new([
+        "scenario",
+        "members",
+        "collisions",
+        "converged",
+        "ejected",
+        "ejection",
+        "agreed speed",
+        "distance",
+        "final mode",
+    ])
+    .with_title(format!(
+        "E13: platoon co-simulation — {} families x {} strategies ({} runs)",
+        ScenarioFamily::PLATOON.len(),
+        ResponseStrategy::ALL.len(),
+        fleet.records.len()
+    ));
+    for rec in &fleet.records {
+        let s = &rec.summary;
+        let p = s.platoon.as_ref().expect("E13 runs are platoon runs");
+        let fmt_t = |t: Option<saav_sim::time::Time>| {
+            t.map(|t| format!("{:.1}s", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let ejected = if p.ejected.is_empty() {
+            "-".into()
+        } else {
+            p.ejected
+                .iter()
+                .map(|m| format!("m{m}"))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        t.row([
+            s.label.clone(),
+            p.members.to_string(),
+            p.member_collisions.to_string(),
+            fmt_t(p.converged_at),
+            ejected,
+            fmt_t(p.first_ejection),
+            p.final_agreed_mps
+                .map(|v| format!("{v:.1} m/s"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0} m", s.distance_m),
+            s.final_mode.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E13 per-strategy aggregates: collision/availability trade of the
+/// cooperative strategies plus the fleet-wide ejection count.
+pub fn e13_summary_table(fleet: &FleetOutcome) -> Table {
+    let mut t = Table::new([
+        "strategy",
+        "runs",
+        "collision rate",
+        "availability",
+        "mean distance",
+        "ejections",
+    ])
+    .with_title(format!(
+        "E13b: platoon aggregates ({} trust-based ejections across {} runs)",
+        fleet.stats.ejections, fleet.stats.runs,
+    ));
+    for s in &fleet.stats.per_strategy {
+        let group = fleet.records.iter().filter(|r| r.strategy == s.strategy);
+        let ejections: usize = group
+            .filter_map(|r| r.summary.platoon.as_ref())
+            .map(|p| p.ejected.len())
+            .sum();
+        t.row([
+            format!("{:?}", s.strategy),
+            s.runs.to_string(),
+            fmt_f64(s.collision_rate, 3),
+            fmt_f64(s.availability, 3),
+            format!("{:.0} m", s.mean_distance_m),
+            ejections.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saav_core::runner;
+    use saav_platoon::agreement::robust_min;
+
+    #[test]
+    fn e13_sweeps_the_platoon_grid() {
+        let fleet = e13_sweep(None);
+        assert_eq!(
+            fleet.records.len(),
+            ScenarioFamily::PLATOON.len() * ResponseStrategy::ALL.len()
+        );
+        for rec in &fleet.records {
+            let p = rec.summary.platoon.as_ref().expect("platoon summary");
+            assert_eq!(p.members, 5);
+            assert!(p.converged_at.is_some(), "{}", rec.summary.label);
+        }
+        // Both tables render from the same sweep without re-running it.
+        assert!(!e13_runs_table(&fleet).is_empty());
+        assert!(!e13_summary_table(&fleet).is_empty());
+        // The Byzantine families eject under every strategy.
+        assert!(fleet.stats.ejections >= 2 * ResponseStrategy::ALL.len());
+        // Nobody collides anywhere in the grid.
+        assert_eq!(fleet.stats.peer_collisions, 0);
+        assert_eq!(fleet.stats.collision_rate, 0.0);
+        // With ability-layer containment active the trust layer never
+        // misfires: every ejection under SingleLayer/CrossLayer hits a
+        // scripted liar. (ObjectiveStop disables that containment and may
+        // eject honest degraded members — see the module docs.)
+        for rec in &fleet.records {
+            if rec.strategy == ResponseStrategy::ObjectiveStop {
+                continue;
+            }
+            let p = rec.summary.platoon.as_ref().unwrap();
+            let liar_families = rec.summary.label.contains("liar");
+            assert_eq!(
+                p.ejected,
+                if liar_families { vec![2] } else { vec![] },
+                "{}: only scripted liars may be ejected",
+                rec.summary.label
+            );
+        }
+    }
+
+    /// The E13 acceptance pin: with a Byzantine member present, trust-based
+    /// ejection occurs and the post-ejection agreed speed equals the honest
+    /// members' Byzantine-robust minimum.
+    #[test]
+    fn byzantine_member_ejected_and_agreed_speed_is_honest_robust_min() {
+        for family in [
+            ScenarioFamily::PlatoonLiarLow,
+            ScenarioFamily::PlatoonLiarHigh,
+        ] {
+            let scenario = family.build(ResponseStrategy::CrossLayer, 1);
+            let spec = scenario.platoon.clone().unwrap();
+            let out = runner::run(scenario);
+            let p = out.platoon.as_ref().unwrap();
+            // The liar (member 2) is ejected within a few negotiation
+            // rounds of the trust floor.
+            assert_eq!(p.ejected_members(), vec![2], "{family}");
+            let ejection = p.first_ejection().expect("ejection time");
+            assert!(ejection.as_secs_f64() <= 5.0, "{family}: {ejection}");
+            // Mutual agreement is only reached once the liar is out: the
+            // convergence instant *is* the ejection instant.
+            assert_eq!(p.converged_at, Some(ejection), "{family}");
+            // Post-ejection the healthy members (ability 1.0) claim their
+            // full capability and the agreed speed is exactly the honest
+            // robust minimum.
+            let honest: Vec<f64> = (0..spec.members)
+                .filter(|&m| spec.lie_of(m).is_none())
+                .map(|m| spec.cruise_mps + spec.delta(m))
+                .collect();
+            let expected = robust_min(&honest, spec.max_faults);
+            assert_eq!(p.final_agreed_mps, Some(expected), "{family}");
+            // Containment went through the coordinator: both cooperative
+            // actions are on record.
+            assert!(
+                out.actions.iter().any(|a| a.contains("eject member2")),
+                "{family}: {:?}",
+                out.actions
+            );
+            assert!(
+                out.actions.iter().any(|a| a.contains("standalone ACC")),
+                "{family}: {:?}",
+                out.actions
+            );
+            assert!(!out.collision, "{family}");
+        }
+    }
+
+    #[test]
+    fn lossy_v2v_still_agrees_without_false_ejections() {
+        let out =
+            runner::run(ScenarioFamily::PlatoonLossyV2v.build(ResponseStrategy::CrossLayer, 1));
+        let p = out.platoon.as_ref().unwrap();
+        assert!(p.converged_at.is_some());
+        assert!(p.ejections.is_empty(), "stale claims must not eject");
+        assert_eq!(p.member_collisions(), 0);
+    }
+
+    #[test]
+    fn leader_brake_ripples_without_collision() {
+        let out =
+            runner::run(ScenarioFamily::PlatoonLeadBrake.build(ResponseStrategy::CrossLayer, 1));
+        assert!(!out.collision);
+        // The braking manoeuvre visibly stresses the platoon (finite TTC)
+        // without breaking the formation.
+        assert!(out.min_ttc_s < 10.0, "ttc {}", out.min_ttc_s);
+        assert!(out.min_gap_m > 5.0, "gap {}", out.min_gap_m);
+    }
+
+    #[test]
+    fn fog_platoon_slows_together_and_keeps_trust() {
+        let out = runner::run(ScenarioFamily::PlatoonFog.build(ResponseStrategy::CrossLayer, 1));
+        let p = out.platoon.as_ref().unwrap();
+        assert!(p.ejections.is_empty(), "honest fog platoon keeps trust");
+        let agreed = p.final_agreed_mps.unwrap();
+        assert!(agreed < 16.0, "agreed {agreed} must sink with ability");
+        assert!(!out.collision);
+    }
+
+    #[test]
+    fn objective_stop_aborts_the_cooperative_mission_on_deception() {
+        let cross =
+            runner::run(ScenarioFamily::PlatoonLiarLow.build(ResponseStrategy::CrossLayer, 1));
+        let stop =
+            runner::run(ScenarioFamily::PlatoonLiarLow.build(ResponseStrategy::ObjectiveStop, 1));
+        assert!(stop.distance_m < cross.distance_m / 2.0);
+        assert!(matches!(
+            stop.final_mode,
+            saav_skills::decision::DrivingMode::SafeStop
+        ));
+    }
+}

@@ -48,7 +48,9 @@ fn origin_of(kind: ProblemKind) -> Layer {
         ProblemKind::ThermalStress | ProblemKind::TimingViolation => Layer::Platform,
         ProblemKind::CommunicationFault | ProblemKind::SecurityBreach => Layer::Communication,
         ProblemKind::ComponentFailure => Layer::Safety,
-        ProblemKind::SensorDegradation | ProblemKind::BehaviorDeviation => Layer::Ability,
+        ProblemKind::SensorDegradation
+        | ProblemKind::BehaviorDeviation
+        | ProblemKind::PeerMisbehavior => Layer::Ability,
     }
 }
 

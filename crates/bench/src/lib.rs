@@ -16,6 +16,7 @@
 //! | E10 | [`exp_propagation`] | propagation terminates; layer distribution |
 //! | E11 | [`exp_fleet`] | fleet sweep: scenario library x strategies, fleet statistics |
 //! | E12 | [`exp_learn`] | learned self-awareness: train on nominal fleet runs, score online, compare to contracts |
+//! | E13 | [`exp_cosim`] | platoon co-simulation: V2V negotiation, trust-based ejection, cooperative containment |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_can;
+pub mod exp_cosim;
 pub mod exp_fleet;
 pub mod exp_learn;
 pub mod exp_mcc;

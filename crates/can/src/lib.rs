@@ -17,6 +17,9 @@
 //!   TEC/REC error confinement with bus-off.
 //! * [`resources`] — the FPGA cost model showing break-even with stand-alone
 //!   controllers at four VMs (experiment E2).
+//! * [`v2v`] — the vehicle-to-vehicle broadcast channel platoons negotiate
+//!   over, with deterministic per-link loss/delay/spoofing faults
+//!   (experiment E13).
 //!
 //! ```
 //! use saav_can::bus::CanBus;
@@ -43,9 +46,11 @@ pub mod bus;
 pub mod controller;
 pub mod frame;
 pub mod resources;
+pub mod v2v;
 pub mod virt;
 
 pub use bus::{BusStats, CanBus, NodeId};
 pub use controller::{AcceptanceFilter, CanController, ControllerConfig};
 pub use frame::{CanFrame, FrameError, FrameId};
+pub use v2v::{LinkFault, PeerId, V2vChannel, V2vMessage};
 pub use virt::{PfToken, VfId, VirtCanConfig, VirtError, VirtualizedCanController};

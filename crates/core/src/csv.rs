@@ -11,9 +11,10 @@ use std::fmt::Write as _;
 use crate::fleet::{FleetRecord, FleetStats};
 
 /// Header of the per-run CSV (one column per [`FleetRecord`] field the
-/// tables report).
+/// tables report). The platoon columns are empty for single-vehicle runs.
 pub const RECORD_HEADER: &str = "scenario,strategy,seed,collision,distance_m,min_ttc_s,\
-detected_s,model_detected_s,mitigated_s,detection_latency_s,model_latency_s,final_mode";
+detected_s,model_detected_s,mitigated_s,detection_latency_s,model_latency_s,final_mode,\
+platoon_members,peer_collisions,converged_s,first_ejection_s,ejected,agreed_mps";
 
 /// Header of the per-strategy aggregate CSV.
 pub const STRATEGY_HEADER: &str = "strategy,runs,collision_rate,availability,mean_distance_m";
@@ -50,6 +51,23 @@ pub fn record_row(rec: &FleetRecord) -> String {
         opt(rec.model_latency_s()),
         s.final_mode,
     );
+    match &s.platoon {
+        Some(p) => {
+            // Ejected members join with `;` so the field needs no quoting.
+            let ejected: Vec<String> = p.ejected.iter().map(usize::to_string).collect();
+            let _ = write!(
+                row,
+                ",{},{},{},{},{},{}",
+                p.members,
+                p.member_collisions,
+                opt(p.converged_at.map(|t| t.as_secs_f64())),
+                opt(p.first_ejection.map(|t| t.as_secs_f64())),
+                ejected.join(";"),
+                opt(p.final_agreed_mps),
+            );
+        }
+        None => row.push_str(",,,,,,"),
+    }
     row
 }
 
@@ -100,6 +118,7 @@ mod tests {
                 first_model_deviation: Some(Time::from_secs(31)),
                 mitigated_at: Some(Time::from_secs(30)),
                 final_mode: DrivingMode::Normal,
+                platoon: None,
             },
         }
     }
@@ -124,6 +143,26 @@ mod tests {
         rec.summary.mitigated_at = None;
         let row = record_row(&rec);
         assert!(row.contains(",,,,"), "{row}");
+    }
+
+    #[test]
+    fn platoon_rows_fill_the_cooperative_columns() {
+        use crate::outcome::PlatoonSummary;
+        let mut rec = record();
+        rec.summary.platoon = Some(PlatoonSummary {
+            members: 5,
+            member_collisions: 1,
+            converged_at: Some(Time::from_secs(1)),
+            first_ejection: Some(Time::from_secs(3)),
+            ejected: vec![2, 4],
+            final_agreed_mps: Some(20.5),
+        });
+        let csv = records_csv(&[rec]);
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.ends_with("5,1,1,3,2;4,20.5"), "{row}");
     }
 
     #[test]

@@ -87,6 +87,13 @@ impl FleetRecord {
         self.latency_of(self.summary.first_model_deviation)
     }
 
+    /// Latency of the first trust-based ejection in a platoon run,
+    /// measured like [`Self::detection_latency_s`]. `None` for
+    /// single-vehicle runs or when nobody was ejected.
+    pub fn ejection_latency_s(&self) -> Option<f64> {
+        self.latency_of(self.summary.platoon.as_ref().and_then(|p| p.first_ejection))
+    }
+
     fn latency_of(&self, detected: Option<Time>) -> Option<f64> {
         detected.map(|det| {
             let injected = self.injected_at.unwrap_or(Time::ZERO);
@@ -142,6 +149,11 @@ pub struct FleetStats {
     /// Detection-latency distribution of the learned monitor (empty when
     /// no model was mounted for the batch).
     pub model_detection: LatencyStats,
+    /// Member collisions across platoon runs (0 for single-vehicle
+    /// batches, where `collisions` already counts every vehicle).
+    pub peer_collisions: usize,
+    /// Trust-based ejections across platoon runs.
+    pub ejections: usize,
     /// Aggregates per strategy, in first-appearance order.
     pub per_strategy: Vec<StrategyStats>,
 }
@@ -163,6 +175,9 @@ impl FleetStats {
         };
         let detection = latency_stats(FleetRecord::detection_latency_s);
         let model_detection = latency_stats(FleetRecord::model_latency_s);
+        let platoons = records.iter().filter_map(|r| r.summary.platoon.as_ref());
+        let peer_collisions = platoons.clone().map(|p| p.member_collisions).sum();
+        let ejections = platoons.map(|p| p.ejected.len()).sum();
         let mut per_strategy: Vec<StrategyStats> = Vec::new();
         for rec in records {
             if !per_strategy.iter().any(|s| s.strategy == rec.strategy) {
@@ -201,6 +216,8 @@ impl FleetStats {
             },
             detection,
             model_detection,
+            peer_collisions,
+            ejections,
             per_strategy,
         }
     }
@@ -457,6 +474,7 @@ mod tests {
                 first_model_deviation: None,
                 mitigated_at: None,
                 final_mode: mode,
+                platoon: None,
             },
         };
         let records = vec![

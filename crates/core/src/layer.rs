@@ -90,6 +90,9 @@ pub enum ProblemKind {
     /// Behaviour deviates from a learned model of nominal operation
     /// (raised by the learned self-awareness monitor).
     BehaviorDeviation,
+    /// A cooperating peer vehicle misbehaves (untrustworthy platoon
+    /// member); cooperative containment ejects it or leaves the platoon.
+    PeerMisbehavior,
 }
 
 impl fmt::Display for ProblemKind {
@@ -102,6 +105,7 @@ impl fmt::Display for ProblemKind {
             ProblemKind::SensorDegradation => "sensor degradation",
             ProblemKind::CommunicationFault => "communication fault",
             ProblemKind::BehaviorDeviation => "behavior deviation",
+            ProblemKind::PeerMisbehavior => "peer misbehavior",
         };
         f.write_str(s)
     }

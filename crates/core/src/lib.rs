@@ -23,6 +23,10 @@
 //!   with each layer's concrete containment actions.
 //! * [`runner`] — the closed-loop stepping engine that drives one vehicle
 //!   through one scenario.
+//! * [`cosim`] — the multi-vehicle co-simulation engine: N vehicles in
+//!   lockstep over a shared road, coupled by a faultable V2V channel and a
+//!   trust-managed platoon negotiation, with peer misbehavior escalating
+//!   through the same coordinator path.
 //! * [`outcome`] — the measured [`outcome::Outcome`] and its compact
 //!   [`outcome::Summary`].
 //! * [`fleet`] — the [`fleet::FleetRunner`]: N scenarios across worker
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod cosim;
 pub mod csv;
 pub mod fleet;
 pub mod layer;
@@ -72,8 +77,9 @@ pub mod assembly {
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
 pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
-pub use outcome::{Outcome, Summary, LEARNED_SIGNALS};
+pub use outcome::{Outcome, PlatoonOutcome, PlatoonSummary, Summary, LEARNED_SIGNALS};
 pub use scenario::{
-    ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent, ScenarioFamily, ScenarioState,
+    PeerLie, PlatoonSpec, ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent,
+    ScenarioFamily, ScenarioState,
 };
 pub use vehicle::SelfAwareVehicle;

@@ -63,6 +63,9 @@ pub struct Outcome {
     pub resolution_rate: Option<f64>,
     /// Full event trace.
     pub trace: Tracer,
+    /// Cooperative measurements of a platoon co-simulation run (`None` for
+    /// single-vehicle runs).
+    pub platoon: Option<PlatoonOutcome>,
 }
 
 impl Outcome {
@@ -77,6 +80,7 @@ impl Outcome {
             first_model_deviation: self.first_model_deviation,
             mitigated_at: self.mitigated_at,
             final_mode: self.final_mode,
+            platoon: self.platoon.as_ref().map(PlatoonOutcome::summary),
         }
     }
 
@@ -115,6 +119,79 @@ pub struct Summary {
     pub mitigated_at: Option<Time>,
     /// Final driving mode.
     pub final_mode: DrivingMode,
+    /// Cooperative summary of a platoon co-simulation run (`None` for
+    /// single-vehicle runs).
+    pub platoon: Option<PlatoonSummary>,
+}
+
+/// Cooperative measurements of one platoon co-simulation run — what the
+/// multi-vehicle engine records on top of the leader's [`Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatoonOutcome {
+    /// Number of co-simulated members.
+    pub members: usize,
+    /// Per-member collision flags, in member order.
+    pub collisions: Vec<bool>,
+    /// The negotiated cruise speed over time (one sample per negotiation).
+    pub agreed_speed: Series,
+    /// First negotiation at which every still-trusted member's received
+    /// claim was coherent with the negotiated speed — the instant the
+    /// platoon became mutually consistent about its collective cruise
+    /// speed (a lying member keeps this unset until it is ejected).
+    pub converged_at: Option<Time>,
+    /// Trust-based ejections: `(member, time)` in ejection order.
+    pub ejections: Vec<(usize, Time)>,
+    /// The last negotiated speed, if any negotiation succeeded.
+    pub final_agreed_mps: Option<f64>,
+    /// Final trust per member, in member-id order.
+    pub final_trust: Vec<(usize, f64)>,
+}
+
+impl PlatoonOutcome {
+    /// How many members collided.
+    pub fn member_collisions(&self) -> usize {
+        self.collisions.iter().filter(|&&c| c).count()
+    }
+
+    /// Time of the first trust-based ejection, if any.
+    pub fn first_ejection(&self) -> Option<Time> {
+        self.ejections.first().map(|&(_, t)| t)
+    }
+
+    /// The ejected members, in ejection order.
+    pub fn ejected_members(&self) -> Vec<usize> {
+        self.ejections.iter().map(|&(m, _)| m).collect()
+    }
+
+    /// The compact cooperative record used by fleet statistics and tables.
+    pub fn summary(&self) -> PlatoonSummary {
+        PlatoonSummary {
+            members: self.members,
+            member_collisions: self.member_collisions(),
+            converged_at: self.converged_at,
+            first_ejection: self.first_ejection(),
+            ejected: self.ejected_members(),
+            final_agreed_mps: self.final_agreed_mps,
+        }
+    }
+}
+
+/// The compact, cheaply clonable essence of a [`PlatoonOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatoonSummary {
+    /// Number of co-simulated members.
+    pub members: usize,
+    /// How many members collided.
+    pub member_collisions: usize,
+    /// First negotiation at which the platoon's members were mutually
+    /// consistent about the collective cruise speed.
+    pub converged_at: Option<Time>,
+    /// Time of the first trust-based ejection, if any.
+    pub first_ejection: Option<Time>,
+    /// Ejected members, in ejection order.
+    pub ejected: Vec<usize>,
+    /// The last negotiated speed, if any negotiation succeeded.
+    pub final_agreed_mps: Option<f64>,
 }
 
 impl Summary {
@@ -153,10 +230,33 @@ mod tests {
             first_model_deviation: None,
             mitigated_at: Some(Time::from_secs(30)),
             final_mode: DrivingMode::Normal,
+            platoon: None,
         };
         let (det, mit) = s.fmt_detection();
         assert_eq!(det, "-");
         assert_eq!(mit, "30.0s");
         assert_eq!(s.fmt_min_ttc(), "inf");
+    }
+
+    #[test]
+    fn platoon_outcome_compacts_to_summary() {
+        let mut agreed = Series::new();
+        agreed.push(Time::from_secs(1), 20.5);
+        agreed.push(Time::from_secs(2), 20.5);
+        let p = PlatoonOutcome {
+            members: 5,
+            collisions: vec![false, false, true, false, false],
+            agreed_speed: agreed,
+            converged_at: Some(Time::from_secs(1)),
+            ejections: vec![(2, Time::from_secs(3)), (4, Time::from_secs(7))],
+            final_agreed_mps: Some(20.5),
+            final_trust: vec![(0, 1.0), (1, 1.0), (2, 0.0), (3, 1.0), (4, 0.0)],
+        };
+        let s = p.summary();
+        assert_eq!(s.members, 5);
+        assert_eq!(s.member_collisions, 1);
+        assert_eq!(s.first_ejection, Some(Time::from_secs(3)));
+        assert_eq!(s.ejected, vec![2, 4]);
+        assert_eq!(s.final_agreed_mps, Some(20.5));
     }
 }

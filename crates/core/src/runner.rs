@@ -26,7 +26,7 @@ use crate::vehicle::{SelfAwareVehicle, CONTROL_PERIOD};
 /// anomaly handling shared by the contract monitors and the learned
 /// monitor.
 #[derive(Default)]
-struct DetectionLog {
+pub(crate) struct DetectionLog {
     first_detection: Option<Time>,
     first_model_deviation: Option<Time>,
     mitigated_at: Option<Time>,
@@ -93,40 +93,76 @@ fn handle_anomaly(
     });
 }
 
-/// Runs a scenario to completion with the hand-written monitors only.
-pub fn run(scenario: Scenario) -> Outcome {
-    run_with_model(scenario, None)
+/// One vehicle's in-flight run state: the vehicle, its scenario-injection
+/// state and the per-run recording. The single-vehicle loop drives exactly
+/// one context; the multi-vehicle engine ([`crate::cosim`]) drives N of
+/// them in lockstep — [`RunContext::tick`] is the *only* stepping
+/// implementation, so a solo run is literally the 1-member special case.
+pub(crate) struct RunContext {
+    pub(crate) v: SelfAwareVehicle,
+    pub(crate) state: ScenarioState,
+    label: String,
+    end: Time,
+    speed: Series,
+    ability: Series,
+    miss_rate: Series,
+    temp_c: Series,
+    speed_factor_series: Series,
+    model_score: Series,
+    log: DetectionLog,
+    misses_window: u64,
+    jobs_window: u64,
 }
 
-/// Runs a scenario to completion, optionally with a learned
-/// self-awareness monitor mounted beside the hand-written ones. With
-/// `None` this is exactly [`run`]; with a model, the online scorer ingests
-/// the 1 Hz signal vector and threshold crossings escalate like any other
-/// anomaly.
-pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
-    let mut v = SelfAwareVehicle::new(&scenario);
-    if let Some(model) = model {
-        v.mount_learned_monitor(model);
+impl RunContext {
+    /// Builds a vehicle for `scenario` (optionally mounting a learned
+    /// monitor) and readies the recording state.
+    pub(crate) fn new(scenario: &Scenario, model: Option<&SelfAwarenessModel>) -> Self {
+        let mut v = SelfAwareVehicle::new(scenario);
+        if let Some(model) = model {
+            v.mount_learned_monitor(model);
+        }
+        RunContext {
+            v,
+            state: ScenarioState::new(scenario),
+            label: scenario.label.clone(),
+            end: Time::ZERO + scenario.duration,
+            speed: Series::new(),
+            ability: Series::new(),
+            miss_rate: Series::new(),
+            temp_c: Series::new(),
+            speed_factor_series: Series::new(),
+            model_score: Series::new(),
+            log: DetectionLog::default(),
+            misses_window: 0,
+            jobs_window: 0,
+        }
     }
-    let mut state = ScenarioState::new(&scenario);
-    let mut speed = Series::new();
-    let mut ability = Series::new();
-    let mut miss_rate = Series::new();
-    let mut temp_c = Series::new();
-    let mut speed_factor_series = Series::new();
-    let mut model_score = Series::new();
-    let mut log = DetectionLog::default();
-    let mut misses_window = 0u64;
-    let mut jobs_window = 0u64;
-    let end = Time::ZERO + scenario.duration;
 
-    while v.now < end {
+    /// Whether the scenario's time horizon has been reached.
+    pub(crate) fn done(&self) -> bool {
+        self.v.now >= self.end
+    }
+
+    /// Raises an externally-detected anomaly (e.g. peer misbehavior from
+    /// the platoon negotiation) through the identical escalation path the
+    /// onboard monitors use.
+    pub(crate) fn raise(&mut self, anomaly: Anomaly) {
+        handle_anomaly(&mut self.v, &mut self.state, &mut self.log, anomaly);
+    }
+
+    /// Advances the vehicle by one [`CONTROL_PERIOD`]: scripted events,
+    /// platform, execution domain, plant, communication, monitors, ability
+    /// propagation and the 1 Hz recording/scoring instant.
+    pub(crate) fn tick(&mut self) {
+        let v = &mut self.v;
+        let state = &mut self.state;
         v.now += CONTROL_PERIOD;
         // 1. scripted events + environmental ramps
         while let Some(ev) = state.pop_due(v.now) {
-            v.apply_event(&mut state, ev);
+            v.apply_event(state, ev);
         }
-        v.update_ramps(&state);
+        v.update_ramps(state);
         // 2. platform
         v.platform.step(CONTROL_PERIOD);
         let speed_factor = v.platform.pe(PeId(0)).speed_factor();
@@ -138,17 +174,17 @@ pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) ->
         // 4. plant + function
         v.world.step(CONTROL_PERIOD);
         // 5. communication traffic
-        v.pump_can_traffic(&state);
+        v.pump_can_traffic(state);
         // 6. monitors → anomalies → problems → cross-layer resolution
         let anomalies = v.collect_anomalies();
         for anomaly in &anomalies {
             if matches!(anomaly.kind, AnomalyKind::DeadlineMiss) {
-                misses_window += 1;
+                self.misses_window += 1;
             }
         }
-        jobs_window += 1;
+        self.jobs_window += 1;
         for anomaly in anomalies {
-            handle_anomaly(&mut v, &mut state, &mut log, anomaly);
+            handle_anomaly(v, state, &mut self.log, anomaly);
         }
         // 7. ability propagation from sensor quality + mode decision
         let q = v.radar_quality.quality();
@@ -164,18 +200,18 @@ pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) ->
             let speed_now = v.world.ego.speed_mps();
             let temp_now = v.platform.pe(PeId(0)).temperature_c();
             let speed_factor_now = v.platform.pe(PeId(0)).speed_factor();
-            speed.push(v.now, speed_now);
-            ability.push(v.now, root);
-            let mr = if jobs_window > 0 {
-                misses_window as f64 / jobs_window as f64
+            self.speed.push(v.now, speed_now);
+            self.ability.push(v.now, root);
+            let mr = if self.jobs_window > 0 {
+                self.misses_window as f64 / self.jobs_window as f64
             } else {
                 0.0
             };
-            miss_rate.push(v.now, mr);
-            temp_c.push(v.now, temp_now);
-            speed_factor_series.push(v.now, speed_factor_now);
-            misses_window = 0;
-            jobs_window = 0;
+            self.miss_rate.push(v.now, mr);
+            self.temp_c.push(v.now, temp_now);
+            self.speed_factor_series.push(v.now, speed_factor_now);
+            self.misses_window = 0;
+            self.jobs_window = 0;
             v.metrics.publish(v.now, "assembly", "root_ability", root);
             v.metrics.publish(v.now, "assembly", "pe0_temp_c", temp_now);
             // The learned monitor scores the same signal vector the series
@@ -185,39 +221,78 @@ pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) ->
             let now = v.now;
             let report = v.learned.as_mut().map(|scorer| scorer.ingest(now, &sample));
             if let Some(report) = report {
-                model_score.push(v.now, report.score);
+                self.model_score.push(v.now, report.score);
                 v.metrics
                     .publish(v.now, "monitor.learned", "model_score", report.score);
                 if let Some(anomaly) = report.anomaly {
-                    handle_anomaly(&mut v, &mut state, &mut log, anomaly);
+                    handle_anomaly(v, state, &mut self.log, anomaly);
                 }
             }
         }
     }
 
-    let m = v.world.metrics();
-    Outcome {
-        label: scenario.label,
-        speed,
-        ability,
-        miss_rate,
-        temp_c,
-        speed_factor: speed_factor_series,
-        model_score,
-        final_mode: v.mode.mode(),
-        min_gap_m: m.min_gap_m,
-        min_ttc_s: m.min_ttc_s,
-        collision: m.collision,
-        distance_m: v.world.ego.position_m(),
-        first_detection: log.first_detection,
-        first_model_deviation: log.first_model_deviation,
-        mitigated_at: log.mitigated_at,
-        actions: log.actions,
-        conflicts: v.board.conflicts_detected(),
-        max_hops: v.coordinator.max_hops(),
-        resolution_rate: v.coordinator.resolution_rate(),
-        trace: v.tracer,
+    /// Closes the run and returns its measured [`Outcome`].
+    pub(crate) fn finish(self) -> Outcome {
+        let v = self.v;
+        let m = v.world.metrics();
+        Outcome {
+            label: self.label,
+            speed: self.speed,
+            ability: self.ability,
+            miss_rate: self.miss_rate,
+            temp_c: self.temp_c,
+            speed_factor: self.speed_factor_series,
+            model_score: self.model_score,
+            final_mode: v.mode.mode(),
+            min_gap_m: m.min_gap_m,
+            min_ttc_s: m.min_ttc_s,
+            collision: m.collision,
+            distance_m: v.world.ego.position_m(),
+            first_detection: self.log.first_detection,
+            first_model_deviation: self.log.first_model_deviation,
+            mitigated_at: self.log.mitigated_at,
+            actions: self.log.actions,
+            conflicts: v.board.conflicts_detected(),
+            max_hops: v.coordinator.max_hops(),
+            resolution_rate: v.coordinator.resolution_rate(),
+            trace: v.tracer,
+            platoon: None,
+        }
     }
+}
+
+/// Runs a scenario to completion with the hand-written monitors only.
+///
+/// # Panics
+/// Panics like [`run_with_model`] on a malformed
+/// [`crate::scenario::PlatoonSpec`].
+pub fn run(scenario: Scenario) -> Outcome {
+    run_with_model(scenario, None)
+}
+
+/// Runs a scenario to completion, optionally with a learned
+/// self-awareness monitor mounted beside the hand-written ones. With
+/// `None` this is exactly [`run`]; with a model, the online scorer ingests
+/// the 1 Hz signal vector and threshold crossings escalate like any other
+/// anomaly.
+///
+/// A scenario carrying a [`crate::scenario::PlatoonSpec`] is handed to the
+/// multi-vehicle co-simulation engine ([`crate::cosim::run_platoon`]); the
+/// model, if any, is mounted on every member.
+///
+/// # Panics
+/// Panics on a malformed [`crate::scenario::PlatoonSpec`] — zero members,
+/// a zero negotiation period, or a liar/link index beyond the member
+/// count (see [`crate::cosim::run_platoon`]).
+pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    if scenario.platoon.is_some() {
+        return crate::cosim::run_platoon(scenario, model);
+    }
+    let mut ctx = RunContext::new(&scenario, model);
+    while !ctx.done() {
+        ctx.tick();
+    }
+    ctx.finish()
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! state is owned by the runner, not by the vehicle — the vehicle reacts to
 //! it but does not know how scenarios are scripted.
 
+use saav_can::v2v::LinkFault;
 use saav_sim::event::EventQueue;
 use saav_sim::time::{Duration, Time};
 use saav_vehicle::sensors::SensorFault;
@@ -65,6 +66,104 @@ pub enum ScenarioEvent {
     RadarFault(SensorFault),
 }
 
+/// A compromised platoon member and the safe-speed claim it broadcasts
+/// instead of its honest value (lying low stalls the platoon; lying high
+/// tries to push it beyond the members' abilities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerLie {
+    /// The lying member's index.
+    pub member: usize,
+    /// The claim it broadcasts (m/s).
+    pub claim_mps: f64,
+}
+
+/// Multi-vehicle configuration of a scenario: when present, the runner
+/// hands the scenario to the co-simulation engine
+/// ([`crate::cosim::run_platoon`]) instead of the single-vehicle loop.
+///
+/// All members share the scripted environment ([`ScenarioEvent`]s apply to
+/// every vehicle); member-specific deceptions and V2V link faults are
+/// declared here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatoonSpec {
+    /// Number of platoon members (co-simulated vehicles).
+    pub members: usize,
+    /// Initial bumper-to-bumper gap between consecutive members (m).
+    pub initial_gap_m: f64,
+    /// Nominal cruise speed every member starts at (m/s).
+    pub cruise_mps: f64,
+    /// Simultaneous faults the negotiation protocol tolerates.
+    pub max_faults: usize,
+    /// Period of the broadcast/negotiate cycle.
+    pub negotiation_period: Duration,
+    /// Per-member offsets on the honest safe-speed claim (m/s), indexed by
+    /// member; members beyond the vector claim with offset 0. Models
+    /// heterogeneous vehicle capability.
+    pub safe_speed_delta_mps: Vec<f64>,
+    /// Compromised members and the claims they broadcast.
+    pub liars: Vec<PeerLie>,
+    /// Per-member outgoing V2V link faults.
+    pub links: Vec<(usize, LinkFault)>,
+}
+
+impl PlatoonSpec {
+    /// A healthy `members`-vehicle platoon: 30 m gaps, 22 m/s cruise, `f`
+    /// sized to the member count (`(members - 1) / 3`), 1 s negotiation
+    /// period, homogeneous abilities, clean links.
+    pub fn new(members: usize) -> Self {
+        PlatoonSpec {
+            members,
+            initial_gap_m: 30.0,
+            cruise_mps: 22.0,
+            max_faults: members.saturating_sub(1) / 3,
+            negotiation_period: Duration::from_secs(1),
+            safe_speed_delta_mps: Vec::new(),
+            liars: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Sets per-member safe-speed offsets (heterogeneous abilities).
+    pub fn with_deltas(mut self, deltas: Vec<f64>) -> Self {
+        self.safe_speed_delta_mps = deltas;
+        self
+    }
+
+    /// Marks `member` as compromised, broadcasting `claim_mps`.
+    pub fn with_liar(mut self, member: usize, claim_mps: f64) -> Self {
+        self.liars.push(PeerLie { member, claim_mps });
+        self
+    }
+
+    /// Installs a fault model on `member`'s outgoing V2V link.
+    pub fn with_link(mut self, member: usize, fault: LinkFault) -> Self {
+        self.links.push((member, fault));
+        self
+    }
+
+    /// Overrides the tolerated fault count.
+    pub fn with_max_faults(mut self, f: usize) -> Self {
+        self.max_faults = f;
+        self
+    }
+
+    /// The safe-speed offset of `member` (0 beyond the configured vector).
+    pub fn delta(&self, member: usize) -> f64 {
+        self.safe_speed_delta_mps
+            .get(member)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The scripted lie of `member`, if it is compromised.
+    pub fn lie_of(&self, member: usize) -> Option<f64> {
+        self.liars
+            .iter()
+            .find(|l| l.member == member)
+            .map(|l| l.claim_mps)
+    }
+}
+
 /// A complete scenario description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -82,6 +181,9 @@ pub struct Scenario {
     pub ego_speed_mps: f64,
     /// The lead vehicle profile.
     pub lead: LeadVehicle,
+    /// Multi-vehicle platoon configuration; `None` runs the classic
+    /// single-vehicle loop.
+    pub platoon: Option<PlatoonSpec>,
 }
 
 impl Scenario {
@@ -169,6 +271,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     ego_speed_mps: f64,
     lead: LeadVehicle,
+    platoon: Option<PlatoonSpec>,
 }
 
 impl ScenarioBuilder {
@@ -182,6 +285,7 @@ impl ScenarioBuilder {
             seed: 0,
             ego_speed_mps: 22.0,
             lead: LeadVehicle::cruising(60.0, 22.0),
+            platoon: None,
         }
     }
 
@@ -221,6 +325,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Makes the scenario a multi-vehicle platoon co-simulation.
+    pub fn platoon(mut self, spec: PlatoonSpec) -> Self {
+        self.platoon = Some(spec);
+        self
+    }
+
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         Scenario {
@@ -231,6 +341,7 @@ impl ScenarioBuilder {
             seed: self.seed,
             ego_speed_mps: self.ego_speed_mps,
             lead: self.lead,
+            platoon: self.platoon,
         }
     }
 }
@@ -260,6 +371,12 @@ fn lead_brake_and_recover() -> LeadVehicle {
             },
         ],
     )
+}
+
+/// The stock 5-member platoon of the E13 families: heterogeneous
+/// capabilities (staggered safe-speed offsets), tolerating one fault.
+fn platoon_base() -> PlatoonSpec {
+    PlatoonSpec::new(5).with_deltas(vec![0.0, -0.5, -1.0, -1.5, -2.0])
 }
 
 /// Stop-and-go traffic: two brake-to-crawl / re-accelerate cycles.
@@ -294,8 +411,9 @@ fn lead_stop_and_go() -> LeadVehicle {
 /// The named scenario library the fleet experiments sweep over.
 ///
 /// Every family composes stock events through the [`ScenarioBuilder`] DSL
-/// and is parameterized by strategy and seed, so `families × strategies ×
-/// seeds` spans the E11 evaluation grid.
+/// and is parameterized by strategy and seed. The single-vehicle families
+/// ([`ScenarioFamily::ALL`]) span the E11 evaluation grid; the platoon
+/// co-simulation families ([`ScenarioFamily::PLATOON`]) span E13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioFamily {
     /// Undisturbed highway following.
@@ -316,10 +434,24 @@ pub enum ScenarioFamily {
     RadarNoise,
     /// Stop-and-go traffic: repeated hard braking by the lead.
     StopAndGo,
+    /// 5-member platoon with one member lying *low* (claims ~2 m/s to
+    /// stall the platoon) until trust-based ejection.
+    PlatoonLiarLow,
+    /// 5-member platoon with one member lying *high* (claims 60 m/s to
+    /// push the platoon past its abilities) until ejection.
+    PlatoonLiarHigh,
+    /// Honest 5-member platoon negotiating over lossy, delayed V2V links.
+    PlatoonLossyV2v,
+    /// Honest platoon whose leader's own lead brakes hard — the ripple
+    /// propagates member to member through the shared world.
+    PlatoonLeadBrake,
+    /// Honest platoon driving into fog: the agreed speed sinks with the
+    /// members' ability levels.
+    PlatoonFog,
 }
 
 impl ScenarioFamily {
-    /// All families, in report order.
+    /// The single-vehicle families, in report order — the E11 grid.
     pub const ALL: [ScenarioFamily; 9] = [
         ScenarioFamily::Baseline,
         ScenarioFamily::Intrusion,
@@ -330,6 +462,15 @@ impl ScenarioFamily {
         ScenarioFamily::RadarDropout,
         ScenarioFamily::RadarNoise,
         ScenarioFamily::StopAndGo,
+    ];
+
+    /// The multi-vehicle platoon families, in report order — the E13 grid.
+    pub const PLATOON: [ScenarioFamily; 5] = [
+        ScenarioFamily::PlatoonLiarLow,
+        ScenarioFamily::PlatoonLiarHigh,
+        ScenarioFamily::PlatoonLossyV2v,
+        ScenarioFamily::PlatoonLeadBrake,
+        ScenarioFamily::PlatoonFog,
     ];
 
     /// The family's report name.
@@ -344,6 +485,11 @@ impl ScenarioFamily {
             ScenarioFamily::RadarDropout => "radar-dropout",
             ScenarioFamily::RadarNoise => "radar-noise",
             ScenarioFamily::StopAndGo => "stop-and-go",
+            ScenarioFamily::PlatoonLiarLow => "platoon-liar-low",
+            ScenarioFamily::PlatoonLiarHigh => "platoon-liar-high",
+            ScenarioFamily::PlatoonLossyV2v => "platoon-lossy-v2v",
+            ScenarioFamily::PlatoonLeadBrake => "platoon-lead-brake",
+            ScenarioFamily::PlatoonFog => "platoon-fog",
         }
     }
 
@@ -400,6 +546,60 @@ impl ScenarioFamily {
                 )
                 .build(),
             ScenarioFamily::StopAndGo => builder().lead(lead_stop_and_go()).build(),
+            ScenarioFamily::PlatoonLiarLow => builder()
+                .duration(Duration::from_secs(90))
+                .platoon(platoon_base().with_liar(2, 2.0))
+                .build(),
+            ScenarioFamily::PlatoonLiarHigh => builder()
+                .duration(Duration::from_secs(90))
+                .platoon(platoon_base().with_liar(2, 60.0))
+                .build(),
+            ScenarioFamily::PlatoonLossyV2v => builder()
+                .duration(Duration::from_secs(90))
+                .platoon({
+                    let mut spec = platoon_base();
+                    for m in 0..spec.members {
+                        spec = spec.with_link(
+                            m,
+                            LinkFault::lossy(0.35).with_delay(Duration::from_millis(100)),
+                        );
+                    }
+                    spec
+                })
+                .build(),
+            ScenarioFamily::PlatoonLeadBrake => builder()
+                .duration(Duration::from_secs(90))
+                .lead(lead_brake_and_recover())
+                .platoon(platoon_base())
+                .build(),
+            ScenarioFamily::PlatoonFog => builder()
+                .duration(Duration::from_secs(90))
+                // The surrounding traffic slows with the weather, keeping
+                // the leader's target inside its fog-shortened sensing
+                // range — every member degrades together.
+                .lead(LeadVehicle::new(
+                    40.0,
+                    22.0,
+                    vec![
+                        ProfileSegment {
+                            duration: Duration::from_secs(20),
+                            end_speed_mps: 22.0,
+                        },
+                        ProfileSegment {
+                            duration: Duration::from_secs(40),
+                            end_speed_mps: 12.0,
+                        },
+                    ],
+                ))
+                .at(
+                    Time::from_secs(20),
+                    ScenarioEvent::FogRamp {
+                        to: 0.7,
+                        over: Duration::from_secs(40),
+                    },
+                )
+                .platoon(platoon_base())
+                .build(),
         };
         s.label = format!("{}/{strategy:?}", self.name());
         s.strategy = strategy;
@@ -614,7 +814,10 @@ mod tests {
 
     #[test]
     fn every_family_builds_for_every_strategy() {
-        for family in ScenarioFamily::ALL {
+        for family in ScenarioFamily::ALL
+            .into_iter()
+            .chain(ScenarioFamily::PLATOON)
+        {
             for strategy in ResponseStrategy::ALL {
                 let s = family.build(strategy, 1);
                 assert!(s.label.starts_with(family.name()), "{}", s.label);
@@ -622,6 +825,54 @@ mod tests {
                 assert!(s.duration > Duration::ZERO);
             }
         }
+    }
+
+    #[test]
+    fn single_vehicle_families_carry_no_platoon() {
+        for family in ScenarioFamily::ALL {
+            assert!(
+                family
+                    .build(ResponseStrategy::CrossLayer, 1)
+                    .platoon
+                    .is_none(),
+                "{family}"
+            );
+        }
+    }
+
+    #[test]
+    fn platoon_families_are_well_formed() {
+        for family in ScenarioFamily::PLATOON {
+            let s = family.build(ResponseStrategy::CrossLayer, 1);
+            let spec = s.platoon.expect("platoon family");
+            assert!(spec.members >= 4, "{family}: quorum-capable platoon");
+            assert!(
+                spec.members > 3 * spec.max_faults,
+                "{family}: n > 3f must hold at build time"
+            );
+            assert!(!spec.negotiation_period.is_zero(), "{family}");
+            for lie in &spec.liars {
+                assert!(lie.member < spec.members, "{family}");
+            }
+            for &(m, _) in &spec.links {
+                assert!(m < spec.members, "{family}");
+            }
+        }
+        // The deception families really script a liar; the lossy family
+        // really degrades every link.
+        let low = ScenarioFamily::PlatoonLiarLow
+            .build(ResponseStrategy::CrossLayer, 1)
+            .platoon
+            .unwrap();
+        assert_eq!(low.lie_of(2), Some(2.0));
+        assert_eq!(low.delta(4), -2.0);
+        assert_eq!(low.delta(99), 0.0, "members beyond the vector are flat");
+        let lossy = ScenarioFamily::PlatoonLossyV2v
+            .build(ResponseStrategy::CrossLayer, 1)
+            .platoon
+            .unwrap();
+        assert_eq!(lossy.links.len(), lossy.members);
+        assert!(lossy.links.iter().all(|(_, f)| f.loss_p > 0.0));
     }
 
     #[test]

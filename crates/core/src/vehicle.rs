@@ -69,6 +69,9 @@ pub struct SelfAwareVehicle {
     acc_task: TaskRef,
     perception_task: TaskRef,
     brake_rear_comp: saav_rte::component::ComponentId,
+    // cooperative (platoon) state, set by the co-simulation engine
+    pub(crate) member_id: Option<usize>,
+    pub(crate) platoon_active: bool,
     pub(crate) now: Time,
 }
 
@@ -206,8 +209,24 @@ impl SelfAwareVehicle {
             acc_task,
             perception_task,
             brake_rear_comp,
+            member_id: None,
+            platoon_active: false,
             now: Time::ZERO,
         }
+    }
+
+    /// Enrolls this vehicle as platoon member `member` — the co-simulation
+    /// engine calls this so peer-misbehavior containment can tell "a peer
+    /// misbehaves" (eject it, keep cooperating) from "I was ejected" (leave
+    /// the platoon, fall back to standalone ACC).
+    pub(crate) fn join_platoon(&mut self, member: usize) {
+        self.member_id = Some(member);
+        self.platoon_active = true;
+    }
+
+    /// Whether the vehicle currently follows the platoon agreement.
+    pub fn platoon_active(&self) -> bool {
+        self.platoon_active
     }
 
     /// Mounts a learned self-awareness monitor beside the hand-written
@@ -408,6 +427,10 @@ impl SelfAwareVehicle {
             // its deviations surface at the ability layer (speed cap /
             // degraded-mode responses) and escalate from there.
             AnomalyKind::ModelDeviation => (Layer::Ability, ProblemKind::BehaviorDeviation),
+            // Peer misbehavior is detected by the cooperation substrate
+            // (trust collapse in the platoon negotiation) and contained at
+            // the ability layer: eject the peer or leave the platoon.
+            AnomalyKind::PeerMisbehavior => (Layer::Ability, ProblemKind::PeerMisbehavior),
         }
     }
 
@@ -493,6 +516,40 @@ impl SelfAwareVehicle {
                     }
                 } else {
                     Containment::CannotHandle
+                }
+            }
+            (Layer::Ability, ProblemKind::PeerMisbehavior) => {
+                // Cooperative containment, reusing the one escalation
+                // mechanism: under ObjectiveStop any distrusted peer aborts
+                // the cooperative mission; otherwise the ability layer
+                // either ejects the peer (platoon continues without it) or
+                // — when the distrusted member is this vehicle — leaves the
+                // platoon and falls back to standalone ACC.
+                if self.strategy == ResponseStrategy::ObjectiveStop {
+                    return Containment::CannotHandle;
+                }
+                let own = self
+                    .member_id
+                    .is_some_and(|m| subject == crate::cosim::member_subject(m));
+                if own {
+                    self.platoon_active = false;
+                    self.tracer.action(
+                        self.now,
+                        "ability",
+                        "ejected from platoon: fall back to standalone ACC",
+                    );
+                    Containment::Resolved {
+                        action: "leave platoon, standalone ACC".into(),
+                    }
+                } else {
+                    self.tracer.action(
+                        self.now,
+                        "ability",
+                        format!("{subject} distrusted: platoon continues without it"),
+                    );
+                    Containment::Resolved {
+                        action: format!("eject {subject} from platoon"),
+                    }
                 }
             }
             (Layer::Ability, _) => {

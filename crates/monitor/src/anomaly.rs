@@ -28,6 +28,10 @@ pub enum AnomalyKind {
     /// Behaviour deviates from a *learned* model of nominal operation
     /// (windowed surprise above the calibrated threshold).
     ModelDeviation,
+    /// A cooperating peer vehicle misbehaves: its broadcast claims
+    /// repeatedly deviate from the negotiated agreement and its trust has
+    /// collapsed (Byzantine platoon member).
+    PeerMisbehavior,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -43,6 +47,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::AccessViolation => "access violation",
             AnomalyKind::RateAnomaly => "message rate anomaly",
             AnomalyKind::ModelDeviation => "learned-model deviation",
+            AnomalyKind::PeerMisbehavior => "peer misbehavior",
         };
         f.write_str(s)
     }

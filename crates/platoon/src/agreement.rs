@@ -18,6 +18,42 @@
 //!   speed): the `(f+1)`-th smallest reported value, which is at most the
 //!   largest honest value and ignores up to `f` adversarial low-balls.
 
+/// The Byzantine quorum precondition `n > 3f` does not hold: with `n`
+/// participants the protocol cannot tolerate `f` simultaneous faults.
+///
+/// Returned (instead of a silently degenerate trimmed mean or a bare
+/// `None`) by [`try_trimmed_mean_agreement`] and
+/// [`crate::platoon::Platoon::negotiate_speed`] so callers can distinguish
+/// "too few members" from any other negotiation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientQuorum {
+    /// Participants present.
+    pub n: usize,
+    /// Simultaneous faults the caller asked to tolerate.
+    pub f: usize,
+}
+
+impl InsufficientQuorum {
+    /// The smallest participant count satisfying `n > 3f`.
+    pub fn required(&self) -> usize {
+        3 * self.f + 1
+    }
+}
+
+impl std::fmt::Display for InsufficientQuorum {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            fmt,
+            "insufficient quorum: n = {} participants cannot tolerate f = {} faults (need n >= {})",
+            self.n,
+            self.f,
+            self.required()
+        )
+    }
+}
+
+impl std::error::Error for InsufficientQuorum {}
+
 /// Behaviour of a platoon member in the agreement rounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Behavior {
@@ -93,7 +129,9 @@ fn trimmed_mean(values: &mut [f64], f: usize) -> f64 {
 /// members); `epsilon` the target honest spread; `max_rounds` a hard bound.
 ///
 /// # Panics
-/// Panics if the slices differ in length or are empty.
+/// Panics if the slices differ in length or are empty, or if the quorum
+/// precondition `n > 3f` does not hold — use
+/// [`try_trimmed_mean_agreement`] to handle the latter as a typed error.
 pub fn trimmed_mean_agreement(
     initial: &[f64],
     behaviors: &[Behavior],
@@ -101,9 +139,30 @@ pub fn trimmed_mean_agreement(
     epsilon: f64,
     max_rounds: usize,
 ) -> AgreementResult {
+    try_trimmed_mean_agreement(initial, behaviors, f, epsilon, max_rounds)
+        .expect("quorum precondition n > 3f violated")
+}
+
+/// [`trimmed_mean_agreement`] with the quorum precondition checked
+/// explicitly: `n <= 3f` returns [`InsufficientQuorum`] instead of running
+/// the protocol outside its guarantee (where the trimmed mean degenerates
+/// and convergence/validity no longer hold).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn try_trimmed_mean_agreement(
+    initial: &[f64],
+    behaviors: &[Behavior],
+    f: usize,
+    epsilon: f64,
+    max_rounds: usize,
+) -> Result<AgreementResult, InsufficientQuorum> {
     assert_eq!(initial.len(), behaviors.len());
     assert!(!initial.is_empty());
     let n = initial.len();
+    if n <= 3 * f {
+        return Err(InsufficientQuorum { n, f });
+    }
     let mut values: Vec<f64> = initial.to_vec();
     let honest_idx: Vec<usize> = (0..n)
         .filter(|&i| behaviors[i] == Behavior::Honest)
@@ -140,11 +199,11 @@ pub fn trimmed_mean_agreement(
         }
         values = next;
     }
-    AgreementResult {
+    Ok(AgreementResult {
         honest_values: honest_idx.iter().map(|&i| values[i]).collect(),
         rounds,
         converged: spread_of(&values) <= epsilon,
-    }
+    })
 }
 
 /// Byzantine-robust minimum: the `(f+1)`-th smallest reported value.
@@ -266,5 +325,33 @@ mod tests {
     #[should_panic(expected = "more reports")]
     fn robust_min_needs_quorum() {
         let _ = robust_min(&[1.0], 1);
+    }
+
+    #[test]
+    fn quorum_boundary_is_exact() {
+        // n = 3f is rejected with a typed error; n = 3f + 1 runs.
+        for f in 1usize..4 {
+            let at_bound = vec![20.0; 3 * f];
+            let err = try_trimmed_mean_agreement(&at_bound, &honest(3 * f), f, 0.01, 100)
+                .expect_err("n = 3f must be rejected");
+            assert_eq!(err, InsufficientQuorum { n: 3 * f, f });
+            assert_eq!(err.required(), 3 * f + 1);
+            let above = vec![20.0; 3 * f + 1];
+            let r = try_trimmed_mean_agreement(&above, &honest(3 * f + 1), f, 0.01, 100)
+                .expect("n = 3f + 1 satisfies the quorum");
+            assert!(r.converged);
+        }
+        // f = 0 needs only one participant.
+        assert!(try_trimmed_mean_agreement(&[5.0], &honest(1), 0, 0.01, 10).is_ok());
+    }
+
+    #[test]
+    fn insufficient_quorum_formats_requirement() {
+        let err = InsufficientQuorum { n: 3, f: 1 };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("n = 3") && msg.contains("f = 1") && msg.contains("4"),
+            "{msg}"
+        );
     }
 }

@@ -27,6 +27,9 @@ pub mod agreement;
 pub mod platoon;
 pub mod routing;
 
-pub use agreement::{robust_min, trimmed_mean_agreement, AgreementResult, Behavior};
+pub use agreement::{
+    robust_min, trimmed_mean_agreement, try_trimmed_mean_agreement, AgreementResult, Behavior,
+    InsufficientQuorum,
+};
 pub use platoon::{Member, MemberId, Negotiation, Platoon};
 pub use routing::{alpine_scenario, CostModel, RoadGraph, RoadNode, Route};

@@ -9,9 +9,11 @@
 //! driving by joining a platoon whose agreed speed respects everyone's
 //! capabilities.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use crate::agreement::{robust_min, trimmed_mean_agreement, AgreementResult, Behavior};
+use crate::agreement::{
+    robust_min, try_trimmed_mean_agreement, AgreementResult, Behavior, InsufficientQuorum,
+};
 
 /// Identifier of a platoon member.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +101,16 @@ impl Platoon {
         self.members[id.0].trust
     }
 
+    /// Updates a member's reported safe speed (abilities change over time;
+    /// in co-simulation the value is the claim most recently received over
+    /// the V2V channel).
+    ///
+    /// # Panics
+    /// Panics on an invalid id.
+    pub fn set_safe_speed(&mut self, id: MemberId, safe_speed_mps: f64) {
+        self.members[id.0].safe_speed_mps = safe_speed_mps;
+    }
+
     /// Negotiates the common cruise speed:
     ///
     /// 1. every active member reports its safe speed (liars lie);
@@ -107,9 +119,11 @@ impl Platoon {
     /// 4. members whose report deviates grossly from the agreed value lose
     ///    trust; below the floor they are ejected.
     ///
-    /// Returns `None` when fewer than `3·max_faults + 1` members are active
-    /// (the protocol precondition does not hold).
-    pub fn negotiate_speed(&mut self) -> Option<Negotiation> {
+    /// Returns [`InsufficientQuorum`] when fewer than `3·max_faults + 1`
+    /// members are active (the protocol precondition does not hold), so
+    /// callers can distinguish "platoon too small" from any negotiated
+    /// outcome instead of reading a silent `None`.
+    pub fn negotiate_speed(&mut self) -> Result<Negotiation, InsufficientQuorum> {
         let active: Vec<usize> = self
             .members
             .iter()
@@ -118,7 +132,10 @@ impl Platoon {
             .map(|(i, _)| i)
             .collect();
         if active.len() < 3 * self.max_faults + 1 {
-            return None;
+            return Err(InsufficientQuorum {
+                n: active.len(),
+                f: self.max_faults,
+            });
         }
         let reports: Vec<f64> = active
             .iter()
@@ -131,7 +148,8 @@ impl Platoon {
             .collect();
         let behaviors: Vec<Behavior> = active.iter().map(|&i| self.members[i].behavior).collect();
         let speed = robust_min(&reports, self.max_faults);
-        let agreement = trimmed_mean_agreement(&reports, &behaviors, self.max_faults, 0.01, 200);
+        let agreement =
+            try_trimmed_mean_agreement(&reports, &behaviors, self.max_faults, 0.01, 200)?;
         // Trust update: deviation of each member's report from the robust
         // minimum's neighborhood, using the honest spread as tolerance.
         let tolerance = (agreement.spread() + 1.0).max(5.0);
@@ -149,15 +167,16 @@ impl Platoon {
                 member.trust = (member.trust + self.trust_step / 2.0).min(1.0);
             }
         }
-        Some(Negotiation {
+        Ok(Negotiation {
             speed_mps: speed,
             agreement,
             ejected,
         })
     }
 
-    /// Current trust scores by member id (for reports).
-    pub fn trust_table(&self) -> HashMap<MemberId, f64> {
+    /// Current trust scores by member id, in id order — a `BTreeMap` so
+    /// trust reports and table rows iterate deterministically.
+    pub fn trust_table(&self) -> BTreeMap<MemberId, f64> {
         self.members.iter().map(|m| (m.id, m.trust)).collect()
     }
 }
@@ -229,7 +248,61 @@ mod tests {
         for v in [25.0, 22.0, 20.0] {
             p.join(v, Behavior::Honest);
         }
-        assert!(p.negotiate_speed().is_none(), "3 < 3*2+1");
+        assert_eq!(
+            p.negotiate_speed().unwrap_err(),
+            InsufficientQuorum { n: 3, f: 2 },
+            "3 < 3*2+1"
+        );
+    }
+
+    #[test]
+    fn quorum_boundary_n_3f_plus_1_negotiates() {
+        // Exactly 3f + 1 active members is the smallest negotiable platoon.
+        let mut p = Platoon::new(1);
+        for v in [25.0, 22.0, 20.0, 23.0] {
+            p.join(v, Behavior::Honest);
+        }
+        assert!(p.negotiate_speed().is_ok(), "4 = 3*1+1 satisfies quorum");
+        // Dropping to 3f active members (one ejection) flips to the error.
+        let mut q = Platoon::new(1);
+        for v in [25.0, 22.0, 20.0] {
+            q.join(v, Behavior::Honest);
+        }
+        let err = q.negotiate_speed().unwrap_err();
+        assert_eq!(err, InsufficientQuorum { n: 3, f: 1 });
+        assert_eq!(err.required(), 4);
+    }
+
+    #[test]
+    fn trust_table_iterates_in_member_id_order() {
+        let mut p = Platoon::new(1);
+        for v in [25.0, 23.0, 22.0, 24.0, 21.0] {
+            p.join(v, Behavior::Honest);
+        }
+        let liar = p.join(22.0, Behavior::ConstantLie(90.0));
+        for _ in 0..4 {
+            let _ = p.negotiate_speed();
+        }
+        let ids: Vec<MemberId> = p.trust_table().into_keys().collect();
+        assert_eq!(ids, (0..6).map(MemberId).collect::<Vec<_>>());
+        assert_eq!(p.trust_table()[&liar], 0.0);
+    }
+
+    #[test]
+    fn updated_safe_speed_moves_the_agreement() {
+        let mut p = Platoon::new(1);
+        let ids: Vec<MemberId> = [25.0, 23.0, 22.0, 24.0]
+            .iter()
+            .map(|&v| p.join(v, Behavior::Honest))
+            .collect();
+        let before = p.negotiate_speed().unwrap().speed_mps;
+        // The slowest-but-one member degrades (fog): the robust minimum
+        // follows the refreshed claims.
+        p.set_safe_speed(ids[2], 15.0);
+        p.set_safe_speed(ids[1], 16.0);
+        let after = p.negotiate_speed().unwrap().speed_mps;
+        assert!(after < before, "{after} vs {before}");
+        assert_eq!(after, 16.0);
     }
 
     #[test]

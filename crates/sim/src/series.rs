@@ -8,7 +8,7 @@
 use crate::time::{Duration, Time};
 
 /// An append-only time series of scalar samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     samples: Vec<(Time, f64)>,
 }

@@ -11,7 +11,8 @@
 //! * [`actuators`] — powertrain with regen, split front/rear brakes.
 //! * [`sensors`] — radar/wheel-speed with weather coupling and fault modes,
 //!   the driver HMI.
-//! * [`traffic`] — scripted lead vehicles.
+//! * [`traffic`] — road participants: scripted lead-vehicle profiles and
+//!   externally-driven co-simulation peers.
 //! * [`acc_fn`] — the ACC function: target handling, constant-time-gap
 //!   control, actuator allocation with speed caps and regen preference.
 //! * [`world`] — the closed loop with safety metrics (min gap, TTC,
@@ -44,5 +45,5 @@ pub use acc_fn::{
 pub use actuators::{BrakeCircuit, BrakeSystem, Powertrain};
 pub use dynamics::{Longitudinal, VehicleParams};
 pub use sensors::{HmiInput, RadarReading, RadarSensor, SensorFault, Weather, WheelSpeedSensor};
-pub use traffic::{LeadVehicle, ProfileSegment};
+pub use traffic::{LeadVehicle, Participant, ProfileSegment};
 pub use world::{SafetyMetrics, VehicleWorld};

@@ -1,8 +1,22 @@
-//! Scripted traffic: the lead vehicle the ACC follows.
+//! Road participants: scripted traffic profiles and externally-driven
+//! co-simulation peers.
+//!
+//! A [`Participant`] is any other vehicle on the road, identified by an
+//! absolute longitudinal position and a speed. It is driven one of two
+//! ways:
+//!
+//! * **scripted** — follows a piecewise-linear speed profile
+//!   ([`ProfileSegment`]s), the classic single-vehicle test traffic;
+//! * **external** — its state is pushed each step by a co-simulation
+//!   engine ([`Participant::push_state`]), so a *real* simulated vehicle
+//!   (another ego) can stand in front of this one.
+//!
+//! [`LeadVehicle`] — the vehicle the ACC follows — is the scripted special
+//! case, kept as an alias with its original constructors.
 
 use saav_sim::time::{Duration, Time};
 
-/// One segment of a lead-vehicle speed profile.
+/// One segment of a scripted speed profile.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfileSegment {
     /// Segment duration.
@@ -12,36 +26,45 @@ pub struct ProfileSegment {
     pub end_speed_mps: f64,
 }
 
-/// A lead vehicle following a piecewise-linear speed profile.
+/// A road participant: scripted profile follower or externally-driven
+/// co-simulation peer.
 #[derive(Debug, Clone)]
-pub struct LeadVehicle {
+pub struct Participant {
     segments: Vec<ProfileSegment>,
     initial_speed_mps: f64,
     position_m: f64,
     speed_mps: f64,
     elapsed: Duration,
+    /// Externally driven: [`Participant::step`] holds the last pushed state
+    /// instead of following the profile.
+    external: bool,
 }
 
-impl LeadVehicle {
-    /// Creates a lead vehicle `start_gap_m` ahead, with an initial speed and
-    /// a profile. After the last segment the speed holds.
+/// The lead vehicle the ACC follows — a scripted [`Participant`] starting
+/// `start_gap_m` ahead of the ego vehicle.
+pub type LeadVehicle = Participant;
+
+impl Participant {
+    /// Creates a scripted participant `start_gap_m` ahead, with an initial
+    /// speed and a profile. After the last segment the speed holds.
     ///
     /// # Panics
     /// Panics on a negative start gap or initial speed.
     pub fn new(start_gap_m: f64, initial_speed_mps: f64, segments: Vec<ProfileSegment>) -> Self {
         assert!(start_gap_m >= 0.0 && initial_speed_mps >= 0.0);
-        LeadVehicle {
+        Participant {
             segments,
             initial_speed_mps,
             position_m: start_gap_m,
             speed_mps: initial_speed_mps,
             elapsed: Duration::ZERO,
+            external: false,
         }
     }
 
     /// A steady cruiser: constant speed forever.
     pub fn cruising(start_gap_m: f64, speed_mps: f64) -> Self {
-        LeadVehicle::new(start_gap_m, speed_mps, Vec::new())
+        Participant::new(start_gap_m, speed_mps, Vec::new())
     }
 
     /// Cruise, then brake hard to a lower speed, then hold.
@@ -52,7 +75,7 @@ impl LeadVehicle {
         brake_to_mps: f64,
         brake_duration: Duration,
     ) -> Self {
-        LeadVehicle::new(
+        Participant::new(
             start_gap_m,
             cruise_mps,
             vec![
@@ -66,6 +89,30 @@ impl LeadVehicle {
                 },
             ],
         )
+    }
+
+    /// An externally-driven participant (co-simulation peer) starting
+    /// `start_gap_m` ahead at `initial_speed_mps`. Its state only changes
+    /// through [`Participant::push_state`]; [`Participant::step`] holds.
+    ///
+    /// # Panics
+    /// Panics on a negative start gap or initial speed.
+    pub fn external(start_gap_m: f64, initial_speed_mps: f64) -> Self {
+        let mut p = Participant::new(start_gap_m, initial_speed_mps, Vec::new());
+        p.external = true;
+        p
+    }
+
+    /// Whether this participant is externally driven.
+    pub fn is_external(&self) -> bool {
+        self.external
+    }
+
+    /// Pushes externally-simulated state (position in the observer's frame,
+    /// speed). The co-simulation engine calls this once per lockstep tick.
+    pub fn push_state(&mut self, position_m: f64, speed_mps: f64) {
+        self.position_m = position_m;
+        self.speed_mps = speed_mps.max(0.0);
     }
 
     fn target_speed(&self, at: Duration) -> f64 {
@@ -87,14 +134,19 @@ impl LeadVehicle {
         speed_at_start
     }
 
-    /// Advances the lead vehicle by `dt`.
+    /// Advances the participant by `dt`. A scripted participant follows its
+    /// profile; an external one holds its last pushed state (the engine
+    /// pushes fresh state every tick, so nothing is extrapolated here).
     pub fn step(&mut self, dt: Duration) {
+        if self.external {
+            return;
+        }
         self.elapsed += dt;
         self.speed_mps = self.target_speed(self.elapsed).max(0.0);
         self.position_m += self.speed_mps * dt.as_secs_f64();
     }
 
-    /// Absolute position (m from the ego start).
+    /// Absolute position (m from the observing ego's start).
     pub fn position_m(&self) -> f64 {
         self.position_m
     }
@@ -158,5 +210,28 @@ mod tests {
             lead.step(Duration::from_millis(100));
         }
         assert_eq!(lead.speed_mps(), 0.0);
+    }
+
+    #[test]
+    fn external_participant_holds_until_pushed() {
+        let mut p = Participant::external(30.0, 22.0);
+        assert!(p.is_external());
+        // Stepping does not move an external participant — the engine owns
+        // its state.
+        p.step(Duration::from_millis(100));
+        assert_eq!(p.position_m(), 30.0);
+        assert_eq!(p.speed_mps(), 22.0);
+        p.push_state(31.5, 20.0);
+        p.step(Duration::from_millis(100));
+        assert_eq!(p.position_m(), 31.5);
+        assert_eq!(p.speed_mps(), 20.0);
+        // Pushed speeds clamp at zero like scripted profiles.
+        p.push_state(32.0, -1.0);
+        assert_eq!(p.speed_mps(), 0.0);
+    }
+
+    #[test]
+    fn scripted_participants_are_not_external() {
+        assert!(!LeadVehicle::cruising(10.0, 20.0).is_external());
     }
 }

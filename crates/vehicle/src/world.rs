@@ -61,6 +61,10 @@ pub struct VehicleWorld {
     acc_engaged: bool,
     safe_stop: bool,
     last_radar: Option<crate::sensors::RadarReading>,
+    /// Offset of this world's frame on the shared road: the ego's absolute
+    /// longitudinal start position. Zero for a solo vehicle; a platoon
+    /// engine staggers members along the road with it.
+    road_offset_m: f64,
 }
 
 impl VehicleWorld {
@@ -87,12 +91,34 @@ impl VehicleWorld {
             acc_engaged: true,
             safe_stop: false,
             last_radar: None,
+            road_offset_m: 0.0,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Places this world's frame at an absolute longitudinal offset on the
+    /// shared road (the ego's start position). The ego dynamics and the
+    /// lead keep their own frame; only [`Self::abs_position_m`] and
+    /// [`Self::push_lead_state`] translate.
+    pub fn set_road_offset_m(&mut self, offset_m: f64) {
+        self.road_offset_m = offset_m;
+    }
+
+    /// The ego's absolute longitudinal position on the shared road (m).
+    pub fn abs_position_m(&self) -> f64 {
+        self.road_offset_m + self.ego.position_m()
+    }
+
+    /// Pushes the true state of the vehicle ahead (absolute road position,
+    /// speed) into this world's externally-driven lead participant — the
+    /// co-simulation coupling called once per lockstep tick.
+    pub fn push_lead_state(&mut self, abs_position_m: f64, speed_mps: f64) {
+        self.lead
+            .push_state(abs_position_m - self.road_offset_m, speed_mps);
     }
 
     /// Current gap to the lead vehicle (m).
@@ -258,6 +284,40 @@ mod tests {
         assert!(!w.metrics().collision, "min gap {}", w.metrics().min_gap_m);
         // Speed cap respected at the end.
         assert!(w.ego.speed_mps() <= 15.5);
+    }
+
+    #[test]
+    fn absolute_positions_translate_the_frame() {
+        let mut w = VehicleWorld::new(7, 20.0, LeadVehicle::external(40.0, 20.0));
+        w.set_road_offset_m(-120.0);
+        assert!((w.abs_position_m() - -120.0).abs() < 1e-12);
+        // Pushing the true predecessor state in road coordinates lands the
+        // lead 35 m ahead in this world's own frame.
+        w.push_lead_state(-85.0, 18.0);
+        assert!((w.gap_m() - 35.0).abs() < 1e-12);
+        assert_eq!(w.lead.speed_mps(), 18.0);
+        w.step(Duration::from_millis(10));
+        assert!(w.abs_position_m() > -120.0, "ego advanced on the road");
+    }
+
+    #[test]
+    fn external_lead_follows_pushed_trajectory() {
+        let mut w = VehicleWorld::new(8, 22.0, LeadVehicle::external(60.0, 22.0));
+        w.hmi.set_speed_mps = 22.0;
+        // Predecessor decelerating 1 m/s² from 22 m/s, pushed every tick.
+        let dt = Duration::from_millis(10);
+        let mut pos = 60.0f64;
+        let mut speed = 22.0f64;
+        for _ in 0..2_000 {
+            speed = (speed - 0.01).max(0.0);
+            pos += speed * dt.as_secs_f64();
+            w.push_lead_state(pos, speed);
+            w.step(dt);
+        }
+        // The ACC tracked the externally-driven predecessor without
+        // colliding.
+        assert!(!w.metrics().collision, "min gap {}", w.metrics().min_gap_m);
+        assert!(w.ego.speed_mps() < 10.0, "{}", w.ego.speed_mps());
     }
 
     #[test]

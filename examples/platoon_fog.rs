@@ -35,13 +35,13 @@ fn main() {
 
     for round in 1..=3 {
         match platoon.negotiate_speed() {
-            Some(n) => {
+            Ok(n) => {
                 println!(
                     "round {round}: agreed speed {:.1} m/s (converged: {}, ejected: {:?})",
                     n.speed_mps, n.agreement.converged, n.ejected
                 );
             }
-            None => println!("round {round}: no quorum"),
+            Err(e) => println!("round {round}: {e}"),
         }
     }
     println!(

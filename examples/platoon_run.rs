@@ -1,0 +1,68 @@
+//! Multi-vehicle co-simulation: a 5-member platoon ejects a liar.
+//!
+//! Five self-aware vehicles drive in lockstep on a shared road and
+//! negotiate their common cruise speed over the V2V channel. Member 2 is
+//! compromised and broadcasts a 2 m/s claim to stall the platoon; the
+//! trimmed-mean agreement ignores the lie, evidence-based trust collapses
+//! within a few rounds, and the ejection escalates through the standard
+//! cross-layer containment path — the liar falls back to standalone ACC
+//! while the remaining members cruise at the honest robust minimum.
+//!
+//! Run with: `cargo run --example platoon_run`
+
+use saav::core::runner;
+use saav::core::scenario::{ResponseStrategy, ScenarioFamily};
+
+fn main() {
+    let scenario = ScenarioFamily::PlatoonLiarLow.build(ResponseStrategy::CrossLayer, 1);
+    let spec = scenario.platoon.clone().expect("platoon scenario");
+    println!(
+        "== co-simulating {} members at {:.0} m gaps, cruise {:.0} m/s ==",
+        spec.members, spec.initial_gap_m, spec.cruise_mps
+    );
+    for lie in &spec.liars {
+        println!(
+            "member {} is compromised: broadcasts {:.1} m/s instead of its safe speed",
+            lie.member, lie.claim_mps
+        );
+    }
+
+    let out = runner::run(scenario);
+    let p = out.platoon.as_ref().expect("platoon outcome");
+
+    println!("\n-- negotiation timeline (first 6 rounds) --");
+    for (t, speed) in p.agreed_speed.iter().take(6) {
+        println!(
+            "  t = {:>4.1} s   agreed speed {speed:.1} m/s",
+            t.as_secs_f64()
+        );
+    }
+    println!("\n-- trust-based ejections --");
+    for &(member, at) in &p.ejections {
+        println!(
+            "  t = {:>4.1} s   member {member} ejected",
+            at.as_secs_f64()
+        );
+    }
+    println!("\n-- cooperative containment (through the coordinator) --");
+    for action in &out.actions {
+        println!("  {action}");
+    }
+    println!("\n-- end state --");
+    println!("  agreed speed : {:.1} m/s", p.final_agreed_mps.unwrap());
+    println!(
+        "  trust        : {}",
+        p.final_trust
+            .iter()
+            .map(|(m, t)| format!("m{m}={t:.2}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    println!(
+        "  collisions   : {} / {} members",
+        p.member_collisions(),
+        p.members
+    );
+    println!("  mean distance: {:.0} m", out.distance_m);
+    assert!(!out.collision, "the platoon must survive the liar");
+}

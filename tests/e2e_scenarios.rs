@@ -208,6 +208,262 @@ fn legacy_scenarios_match_pre_split_outcomes() {
     }
 }
 
+/// Regression pin for the multi-vehicle co-simulation refactor: the whole
+/// pre-existing single-vehicle family grid (9 families × 3 strategies at
+/// the E11 master seed) must stay bit-identical to its pre-refactor
+/// outcomes. Values captured immediately before the runner was generalized
+/// into `RunContext`/`cosim`.
+#[test]
+fn single_vehicle_family_grid_matches_pre_refactor_outcomes() {
+    use saav::core::fleet::FleetRunner;
+    use saav::core::ScenarioFamily;
+    use saav::sim::time::Time;
+
+    // (label, distance_m, min_ttc_s, first_detection_ms, mitigated_ms,
+    //  collision)
+    #[allow(clippy::type_complexity)]
+    let pins: [(&str, f64, f64, Option<u64>, Option<u64>, bool); 27] = [
+        (
+            "baseline/SingleLayer",
+            2655.6096207429023,
+            22.73132662840534,
+            None,
+            None,
+            false,
+        ),
+        (
+            "baseline/CrossLayer",
+            2655.5993874472642,
+            22.68218580640534,
+            None,
+            None,
+            false,
+        ),
+        (
+            "baseline/ObjectiveStop",
+            2655.6046809133177,
+            22.672082326576465,
+            None,
+            None,
+            false,
+        ),
+        (
+            "intrusion/SingleLayer",
+            2415.5926939318942,
+            4.985810373716022,
+            Some(30000),
+            Some(120000),
+            false,
+        ),
+        (
+            "intrusion/CrossLayer",
+            1985.9007293542893,
+            19.270391757088138,
+            Some(30000),
+            Some(30000),
+            false,
+        ),
+        (
+            "intrusion/ObjectiveStop",
+            767.693542151088,
+            22.710907787680743,
+            Some(30000),
+            Some(30000),
+            false,
+        ),
+        (
+            "thermal/SingleLayer",
+            5295.580078982967,
+            22.780172236718617,
+            Some(132700),
+            Some(239990),
+            false,
+        ),
+        (
+            "thermal/CrossLayer",
+            4490.296144162489,
+            22.616517346213577,
+            Some(132710),
+            Some(132710),
+            false,
+        ),
+        (
+            "thermal/ObjectiveStop",
+            3026.4188108250287,
+            22.72226135831422,
+            Some(132670),
+            Some(240000),
+            false,
+        ),
+        (
+            "fog/SingleLayer",
+            1275.5669023736625,
+            22.69903465722875,
+            Some(46400),
+            Some(56810),
+            false,
+        ),
+        (
+            "fog/CrossLayer",
+            1207.826396779265,
+            22.684994561829004,
+            Some(42810),
+            Some(53850),
+            false,
+        ),
+        (
+            "fog/ObjectiveStop",
+            1126.0139557260884,
+            22.681193837712332,
+            Some(46280),
+            Some(52440),
+            false,
+        ),
+        (
+            "fog+intrusion/SingleLayer",
+            1234.9657918891098,
+            22.628845529277353,
+            Some(42630),
+            Some(120000),
+            false,
+        ),
+        (
+            "fog+intrusion/CrossLayer",
+            1165.4933278888343,
+            22.726667400091568,
+            Some(39500),
+            Some(53070),
+            false,
+        ),
+        (
+            "fog+intrusion/ObjectiveStop",
+            1001.8819126678214,
+            22.691368479688194,
+            Some(40620),
+            Some(47420),
+            false,
+        ),
+        (
+            "thermal+fog/SingleLayer",
+            3975.5191666865085,
+            22.745582331584384,
+            Some(121320),
+            Some(179990),
+            false,
+        ),
+        (
+            "thermal+fog/CrossLayer",
+            2985.8604754186545,
+            22.70941152194243,
+            Some(121340),
+            Some(179990),
+            false,
+        ),
+        (
+            "thermal+fog/ObjectiveStop",
+            2777.44913106793,
+            22.64352313602047,
+            Some(121350),
+            Some(180000),
+            false,
+        ),
+        (
+            "radar-dropout/SingleLayer",
+            993.4216784389323,
+            22.60704209967471,
+            Some(40050),
+            Some(40150),
+            false,
+        ),
+        (
+            "radar-dropout/CrossLayer",
+            993.6476139243563,
+            22.705820647941955,
+            Some(40050),
+            Some(40150),
+            false,
+        ),
+        (
+            "radar-dropout/ObjectiveStop",
+            988.7173696635568,
+            22.69884240452051,
+            Some(40050),
+            Some(40150),
+            false,
+        ),
+        (
+            "radar-noise/SingleLayer",
+            1988.6851468947136,
+            22.75651853908659,
+            Some(30340),
+            Some(48500),
+            false,
+        ),
+        (
+            "radar-noise/CrossLayer",
+            1988.5826060361362,
+            22.829597503036634,
+            Some(30280),
+            Some(50550),
+            false,
+        ),
+        (
+            "radar-noise/ObjectiveStop",
+            774.6463530248625,
+            22.721994500780408,
+            Some(30310),
+            Some(35170),
+            false,
+        ),
+        (
+            "stop-and-go/SingleLayer",
+            1895.610208063012,
+            4.427071924015948,
+            None,
+            None,
+            false,
+        ),
+        (
+            "stop-and-go/CrossLayer",
+            1895.603270116097,
+            4.418488324382605,
+            None,
+            None,
+            false,
+        ),
+        (
+            "stop-and-go/ObjectiveStop",
+            1895.5906296472997,
+            4.417741157657079,
+            None,
+            None,
+            false,
+        ),
+    ];
+
+    let fleet = FleetRunner::new(2024).sweep(&ScenarioFamily::ALL, &ResponseStrategy::ALL, 1);
+    assert_eq!(fleet.records.len(), pins.len());
+    for (rec, pin) in fleet.records.iter().zip(&pins) {
+        let (label, distance_m, min_ttc_s, detected_ms, mitigated_ms, collision) = *pin;
+        let s = &rec.summary;
+        assert_eq!(s.label, label);
+        assert_eq!(s.distance_m, distance_m, "{label}: distance");
+        assert_eq!(s.min_ttc_s, min_ttc_s, "{label}: min TTC");
+        assert_eq!(
+            s.first_detection,
+            detected_ms.map(Time::from_millis),
+            "{label}: detection"
+        );
+        assert_eq!(
+            s.mitigated_at,
+            mitigated_ms.map(Time::from_millis),
+            "{label}: mitigation"
+        );
+        assert_eq!(s.collision, collision, "{label}: collision");
+        assert!(s.platoon.is_none(), "{label}: single-vehicle run");
+    }
+}
+
 #[test]
 fn determinism_same_seed_same_outcome() {
     let a = SelfAwareVehicle::run(Scenario::intrusion(ResponseStrategy::CrossLayer, 5));

@@ -41,19 +41,45 @@ fn mini_fleet_jobs() -> Vec<Scenario> {
         .collect()
 }
 
-/// Memoized fleet statistics per `(master_seed, threads)`: the runs are
-/// deterministic, so each distinct input is computed once across all
-/// proptest cases.
-fn mini_fleet_stats(master_seed: u64, threads: usize) -> FleetStats {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), FleetStats>>> = OnceLock::new();
+/// A small, fast multi-vehicle batch: two short platoon scenarios (one
+/// with a Byzantine member) across two strategies.
+fn mini_platoon_jobs() -> Vec<Scenario> {
+    use saav::core::scenario::PlatoonSpec;
+    [ResponseStrategy::CrossLayer, ResponseStrategy::SingleLayer]
+        .iter()
+        .flat_map(|&strategy| {
+            [PlatoonSpec::new(4), PlatoonSpec::new(5).with_liar(2, 2.0)]
+                .into_iter()
+                .map(move |spec| {
+                    Scenario::builder(format!("mini-platoon/{strategy:?}/{}", spec.members))
+                        .strategy(strategy)
+                        .duration(Duration::from_secs(5))
+                        .platoon(spec)
+                        .build()
+                })
+        })
+        .collect()
+}
+
+/// Memoized fleet statistics per `(master_seed, threads, platoon?)`: the
+/// runs are deterministic, so each distinct input is computed once across
+/// all proptest cases.
+fn mini_fleet_stats(master_seed: u64, threads: usize, platoon: bool) -> FleetStats {
+    type Key = (u64, usize, bool);
+    static CACHE: OnceLock<Mutex<HashMap<Key, FleetStats>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut cache = cache.lock().expect("cache lock");
     cache
-        .entry((master_seed, threads))
+        .entry((master_seed, threads, platoon))
         .or_insert_with(|| {
+            let jobs = if platoon {
+                mini_platoon_jobs()
+            } else {
+                mini_fleet_jobs()
+            };
             FleetRunner::new(master_seed)
                 .with_threads(threads)
-                .run_scenarios(mini_fleet_jobs())
+                .run_scenarios(jobs)
                 .stats
         })
         .clone()
@@ -265,8 +291,21 @@ proptest! {
         master_seed in 0u64..3,
         threads in 2usize..5,
     ) {
-        let single = mini_fleet_stats(master_seed, 1);
-        let multi = mini_fleet_stats(master_seed, threads);
+        let single = mini_fleet_stats(master_seed, 1, false);
+        let multi = mini_fleet_stats(master_seed, threads, false);
+        prop_assert_eq!(single, multi);
+    }
+
+    /// The same determinism holds for multi-vehicle co-simulation batches:
+    /// N lockstep vehicles, V2V faults and trust-based ejections included,
+    /// the fleet statistics are bit-identical across worker counts.
+    #[test]
+    fn platoon_fleet_stats_identical_across_thread_counts(
+        master_seed in 0u64..2,
+        threads in 2usize..4,
+    ) {
+        let single = mini_fleet_stats(master_seed, 1, true);
+        let multi = mini_fleet_stats(master_seed, threads, true);
         prop_assert_eq!(single, multi);
     }
 
