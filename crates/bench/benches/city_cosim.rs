@@ -1,0 +1,52 @@
+//! Criterion bench for the city-scale tiered-fidelity engine: wall time
+//! of the lockstep loop as the chain grows 10 → 1,000 vehicles with 1, 2
+//! or 4 focal stacks — i.e. how cheaply the struct-of-arrays surrogate
+//! tier scales around a fixed-cost focal set. The flagship config (1,000
+//! vehicles, 2 focal) additionally runs the full 60 s horizon the
+//! acceptance pin names.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use saav_core::runner;
+use saav_core::scenario::{CitySpec, Scenario};
+use saav_sim::time::Duration;
+
+/// A city scenario with `vehicles` total chain slots, `focal` of them
+/// full-fidelity, over `secs` seconds.
+fn scenario(vehicles: usize, focal: usize, secs: u64) -> Scenario {
+    Scenario::builder(format!("bench/{vehicles}v{focal}f"))
+        .seed(7)
+        .duration(Duration::from_secs(secs))
+        .city(CitySpec::new(vehicles - focal, focal))
+        .build()
+}
+
+fn bench_city_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("city_cosim/5s_run");
+    group.sample_size(10);
+    for vehicles in [10usize, 100, 1_000] {
+        for focal in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{vehicles}v"), format!("{focal}f")),
+                &(vehicles, focal),
+                |b, &(vehicles, focal)| b.iter(|| runner::run(scenario(vehicles, focal, 5))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_city_flagship(c: &mut Criterion) {
+    // The acceptance config: 1,000 vehicles / 2 focal over a full 60 s
+    // scenario. Two samples bound the wall clock; the sweep above carries
+    // the statistics.
+    let mut group = c.benchmark_group("city_cosim/60s_run");
+    group.sample_size(2);
+    group.bench_with_input(BenchmarkId::new("1000v", "2f"), &(), |b, ()| {
+        b.iter(|| runner::run(scenario(1_000, 2, 60)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_city_scaling, bench_city_flagship);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! E14: detection-latency invariance at city scale — focal vehicles keep
+//! their self-awareness guarantees while the surrounding traffic grows
+//! from 0 to 1,000 background vehicles.
+//!
+//! The tiered-fidelity engine ([`saav_core::city`]) keeps a configurable
+//! focal set on the full self-awareness stack while everything else runs
+//! in the struct-of-arrays surrogate store. E14 quantifies the claim that
+//! the tiering is *semantically free for the focal tier*: an on-board
+//! intrusion (the paper's rear-brake compromise) is detected by a focal
+//! vehicle at the same instant — within one 10 ms control period —
+//! whether the chain holds zero background vehicles or a thousand. Focal
+//! noise streams derive from the focal index, not the chain slot, so the
+//! whole stack (CAN arbitration, scheduler jitter, monitor windows) is
+//! bit-identical across densities.
+
+use saav_core::runner;
+use saav_core::scenario::{CitySpec, Scenario, ScenarioEvent};
+use saav_sim::report::Table;
+use saav_sim::time::{Duration, Time};
+
+/// The E14 master seed.
+pub const E14_MASTER_SEED: u64 = 2026;
+
+/// The background densities the table sweeps.
+pub const E14_DENSITIES: [usize; 4] = [0, 10, 100, 1_000];
+
+/// Focal vehicles per run.
+pub const E14_FOCAL: usize = 2;
+
+/// One control period — the invariance tolerance.
+pub const CONTROL_PERIOD_S: f64 = 0.01;
+
+/// The E14 scenario: `background` surrogate vehicles around
+/// [`E14_FOCAL`] focal stacks, with the rear-brake compromise firing on
+/// board every full-fidelity vehicle at t = 20 s.
+pub fn e14_scenario(background: usize, seed: u64) -> Scenario {
+    Scenario::builder(format!("city/{background}bg"))
+        .seed(seed)
+        .duration(Duration::from_secs(45))
+        .at(Time::from_secs(20), ScenarioEvent::CompromiseRearBrake)
+        .city(CitySpec::new(background, E14_FOCAL))
+        .build()
+}
+
+/// One row of the E14 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E14Row {
+    /// Background vehicle count.
+    pub background: usize,
+    /// Total vehicles in the chain.
+    pub vehicles: usize,
+    /// Largest simultaneous full-fidelity population.
+    pub max_full_tier: usize,
+    /// Tier promotions over the run.
+    pub promotions: u64,
+    /// Per-focal first detection times.
+    pub detections: Vec<Option<Time>>,
+    /// Whether any vehicle in the chain collided.
+    pub collision: bool,
+}
+
+/// Runs the density sweep and returns one row per density.
+pub fn e14_rows() -> Vec<E14Row> {
+    E14_DENSITIES
+        .iter()
+        .map(|&background| {
+            let out = runner::run(e14_scenario(background, E14_MASTER_SEED));
+            let c = out.city.expect("E14 runs are city runs");
+            E14Row {
+                background,
+                vehicles: c.vehicles,
+                max_full_tier: c.max_full_tier,
+                promotions: c.promotions,
+                detections: c.focal_first_detection,
+                collision: out.collision,
+            }
+        })
+        .collect()
+}
+
+/// The largest per-focal detection-latency drift (s) between two rows.
+pub fn max_drift_s(a: &E14Row, b: &E14Row) -> f64 {
+    a.detections
+        .iter()
+        .zip(&b.detections)
+        .map(|(x, y)| match (x, y) {
+            (Some(x), Some(y)) => (x.as_secs_f64() - y.as_secs_f64()).abs(),
+            (None, None) => 0.0,
+            _ => f64::INFINITY,
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The E14 table: focal detection latency versus background density.
+pub fn e14_table() -> Table {
+    let rows = e14_rows();
+    let mut t = Table::new([
+        "background",
+        "vehicles",
+        "full-tier peak",
+        "promotions",
+        "f0 detection",
+        "f1 detection",
+        "drift vs 0",
+        "invariant",
+    ])
+    .with_title(format!(
+        "E14: city-scale focal detection latency, {} focal stacks, density 0 -> {}",
+        E14_FOCAL,
+        E14_DENSITIES[E14_DENSITIES.len() - 1],
+    ));
+    let baseline = &rows[0];
+    for row in &rows {
+        let fmt_t = |t: &Option<Time>| {
+            t.map(|t| format!("{:.2}s", t.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let drift = max_drift_s(row, baseline);
+        t.row([
+            row.background.to_string(),
+            row.vehicles.to_string(),
+            row.max_full_tier.to_string(),
+            row.promotions.to_string(),
+            fmt_t(&row.detections[0]),
+            fmt_t(&row.detections[1]),
+            format!("{:.3}s", drift),
+            if drift <= CONTROL_PERIOD_S {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_latency_is_invariant_across_densities() {
+        let rows = e14_rows();
+        assert_eq!(rows.len(), E14_DENSITIES.len());
+        let baseline = &rows[0];
+        for row in &rows {
+            assert_eq!(row.detections.len(), E14_FOCAL, "bg {}", row.background);
+            assert!(
+                row.detections.iter().all(Option::is_some),
+                "bg {}: every focal vehicle detects the intrusion",
+                row.background
+            );
+            assert!(!row.collision, "bg {}", row.background);
+            // The acceptance pin: within one control period of density 0.
+            let drift = max_drift_s(row, baseline);
+            assert!(
+                drift <= CONTROL_PERIOD_S,
+                "bg {}: drift {drift}s exceeds one control period",
+                row.background
+            );
+        }
+        // The dense rows really exercised the tiers.
+        let dense = rows.last().unwrap();
+        assert_eq!(dense.vehicles, 1_000 + E14_FOCAL);
+        assert!(dense.promotions > 0, "neighbors must promote");
+        assert!(!e14_table().is_empty());
+    }
+}

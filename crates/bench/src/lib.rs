@@ -17,6 +17,7 @@
 //! | E11 | [`exp_fleet`] | fleet sweep: scenario library x strategies, fleet statistics |
 //! | E12 | [`exp_learn`] | learned self-awareness: train on nominal fleet runs, score online, compare to contracts |
 //! | E13 | [`exp_cosim`] | platoon co-simulation: V2V negotiation, trust-based ejection, cooperative containment |
+//! | E14 | [`exp_city`] | city-scale tiered fidelity: focal detection latency invariant as background density grows 0 → 1,000 |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_can;
+pub mod exp_city;
 pub mod exp_cosim;
 pub mod exp_fleet;
 pub mod exp_learn;

@@ -17,23 +17,59 @@ pub const TAIL_BITS: u32 = 10;
 /// Interframe space (intermission) between consecutive frames.
 pub const IFS_BITS: u32 = 3;
 
+/// One step of the CAN CRC-15 register (MSB-first), polynomial `x^15 +
+/// x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1` (`0x4599`).
+#[inline]
+fn crc15_step(crc: u16, bit: bool) -> u16 {
+    let crc_nxt = (bit as u16) ^ ((crc >> 14) & 1);
+    let crc = (crc << 1) & 0x7FFF;
+    if crc_nxt != 0 {
+        crc ^ 0x4599
+    } else {
+        crc
+    }
+}
+
 /// CAN CRC-15 over a bit sequence (MSB-first), polynomial `x^15 + x^14 +
 /// x^10 + x^8 + x^7 + x^4 + x^3 + 1` (`0x4599`).
 pub fn crc15(bits: &[bool]) -> u16 {
-    let mut crc: u16 = 0;
-    for &bit in bits {
-        let crc_nxt = (bit as u16) ^ ((crc >> 14) & 1);
-        crc = (crc << 1) & 0x7FFF;
-        if crc_nxt != 0 {
-            crc ^= 0x4599;
-        }
-    }
-    crc
+    bits.iter().fold(0, |crc, &bit| crc15_step(crc, bit))
 }
 
-fn push_bits(out: &mut Vec<bool>, value: u64, nbits: u32) {
+/// Feeds `value`'s low `nbits` bits, MSB first, into `sink`.
+#[inline]
+fn emit_bits(sink: &mut impl FnMut(bool), value: u64, nbits: u32) {
     for i in (0..nbits).rev() {
-        out.push((value >> i) & 1 == 1);
+        sink((value >> i) & 1 == 1);
+    }
+}
+
+/// Feeds the CRC-covered region — SOF, arbitration, control and data
+/// fields, in wire order — into `sink` one bit at a time. Shared by the
+/// materializing path ([`stuffable_bits`]) and the allocation-free
+/// counting path ([`frame_bits_exact`]).
+fn emit_covered_bits(frame: &CanFrame, sink: &mut impl FnMut(bool)) {
+    sink(false); // SOF, dominant
+    match frame.id() {
+        FrameId::Standard(id) => {
+            emit_bits(sink, id as u64, 11);
+            sink(frame.is_remote()); // RTR
+            sink(false); // IDE = dominant
+            sink(false); // r0
+        }
+        FrameId::Extended(id) => {
+            emit_bits(sink, (id >> 18) as u64, 11); // base id
+            sink(true); // SRR, recessive
+            sink(true); // IDE = recessive
+            emit_bits(sink, (id & 0x3_FFFF) as u64, 18);
+            sink(frame.is_remote()); // RTR
+            sink(false); // r1
+            sink(false); // r0
+        }
+    }
+    emit_bits(sink, frame.dlc() as u64, 4);
+    for &byte in frame.payload() {
+        emit_bits(sink, byte as u64, 8);
     }
 }
 
@@ -41,30 +77,9 @@ fn push_bits(out: &mut Vec<bool>, value: u64, nbits: u32) {
 /// data and CRC sequence.
 pub fn stuffable_bits(frame: &CanFrame) -> Vec<bool> {
     let mut bits = Vec::with_capacity(128);
-    bits.push(false); // SOF, dominant
-    match frame.id() {
-        FrameId::Standard(id) => {
-            push_bits(&mut bits, id as u64, 11);
-            bits.push(frame.is_remote()); // RTR
-            bits.push(false); // IDE = dominant
-            bits.push(false); // r0
-        }
-        FrameId::Extended(id) => {
-            push_bits(&mut bits, (id >> 18) as u64, 11); // base id
-            bits.push(true); // SRR, recessive
-            bits.push(true); // IDE = recessive
-            push_bits(&mut bits, (id & 0x3_FFFF) as u64, 18);
-            bits.push(frame.is_remote()); // RTR
-            bits.push(false); // r1
-            bits.push(false); // r0
-        }
-    }
-    push_bits(&mut bits, frame.dlc() as u64, 4);
-    for &byte in frame.payload() {
-        push_bits(&mut bits, byte as u64, 8);
-    }
+    emit_covered_bits(frame, &mut |b| bits.push(b));
     let crc = crc15(&bits);
-    push_bits(&mut bits, crc as u64, 15);
+    emit_bits(&mut |b| bits.push(b), crc as u64, 15);
     bits
 }
 
@@ -92,10 +107,55 @@ pub fn stuff(bits: &[bool]) -> Vec<bool> {
     out
 }
 
+/// Counts the bits of a stuffed stream — the same run-length rule as
+/// [`stuff`], tracking only the run state and totals instead of the
+/// stream itself.
+#[derive(Default)]
+struct StuffCounter {
+    run_bit: bool,
+    run_len: u32,
+    total: u32,
+}
+
+impl StuffCounter {
+    #[inline]
+    fn push(&mut self, bit: bool) {
+        self.total += 1;
+        if self.run_len > 0 && bit == self.run_bit {
+            self.run_len += 1;
+        } else {
+            self.run_bit = bit;
+            self.run_len = 1;
+        }
+        if self.run_len == 5 {
+            // A stuff bit of opposite polarity goes on the wire and
+            // seeds the next run.
+            self.total += 1;
+            self.run_bit = !bit;
+            self.run_len = 1;
+        }
+    }
+}
+
 /// Exact number of bits the frame occupies on the bus, **excluding** the
 /// interframe space: stuffed stuffable region plus the fixed-form tail.
+///
+/// Allocation-free: the bus simulation calls this once per transmitted
+/// frame at 100 Hz per vehicle, so the CRC register and the stuffing run
+/// length are folded over the bit stream directly rather than
+/// materializing it (the [`stuffable_bits`]/[`stuff`] pair remains as
+/// the reference implementation; a unit test pins both paths equal).
 pub fn frame_bits_exact(frame: &CanFrame) -> u32 {
-    stuff(&stuffable_bits(frame)).len() as u32 + TAIL_BITS
+    let mut crc: u16 = 0;
+    let mut counter = StuffCounter::default();
+    emit_covered_bits(frame, &mut |b| {
+        crc = crc15_step(crc, b);
+        counter.push(b);
+    });
+    // The CRC sequence is stuffed like any other field but does not feed
+    // back into the CRC register.
+    emit_bits(&mut |b| counter.push(b), crc as u64, 15);
+    counter.total + TAIL_BITS
 }
 
 /// Exact bits including the 3-bit interframe space that must elapse before
@@ -205,6 +265,34 @@ mod tests {
         assert_eq!(frame_bits_worst_case(8, false), 135);
         // And 0 data bytes => 55 bits.
         assert_eq!(frame_bits_worst_case(0, false), 55);
+    }
+
+    #[test]
+    fn streaming_count_matches_materialized_stuffing() {
+        // The allocation-free counter must agree bit-for-bit with the
+        // reference stuff(stuffable_bits(..)) path, including the heavy
+        // stuffing of all-zero payloads and extended ids.
+        for &id in &[0u16, 0x55, 0x2AA, 0x7FF] {
+            for len in 0..=8usize {
+                for fill in [0x00u8, 0xFF, 0xAA, 0x13] {
+                    let payload = vec![fill; len];
+                    let f = data_frame(id, &payload);
+                    assert_eq!(
+                        frame_bits_exact(&f),
+                        stuff(&stuffable_bits(&f)).len() as u32 + TAIL_BITS,
+                        "id {id:#x} len {len} fill {fill:#x}"
+                    );
+                }
+            }
+        }
+        for &id in &[0u32, 0x1ABC_DE01, 0x1FFF_FFFF] {
+            let f = CanFrame::data(FrameId::extended(id).unwrap(), &[0x00, 0xFF, 0x00]).unwrap();
+            assert_eq!(
+                frame_bits_exact(&f),
+                stuff(&stuffable_bits(&f)).len() as u32 + TAIL_BITS,
+                "extended id {id:#x}"
+            );
+        }
     }
 
     #[test]

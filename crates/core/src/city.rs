@@ -1,0 +1,470 @@
+//! City-scale tiered-fidelity co-simulation: hundreds of background
+//! vehicles in a struct-of-arrays surrogate store, a handful of *focal*
+//! vehicles carrying the full self-awareness stack, and promotion /
+//! demotion across the tiers as neighborhoods change.
+//!
+//! The scene is one single-lane chain (front is slot 0). Background
+//! vehicles live in a [`SurrogateTraffic`] store and advance with one
+//! batched IDM update per tick — contiguous `Vec<f64>` lanes, no
+//! per-vehicle heap objects, roughly two orders of magnitude cheaper than
+//! a full [`crate::vehicle::SelfAwareVehicle`] tick. Focal vehicles are
+//! complete `RunContext`s (the same construction and `tick` code the solo
+//! runner and the platoon engine use) occupying *mirrored* slots of the
+//! store: each tick their true state is pushed back into the lanes, so
+//! surrogate followers react to focal physics and focal radars see
+//! surrogate leaders — the identical `push_lead_state` coupling contract
+//! `run_platoon` uses, with the store standing in for the peer vehicle.
+//!
+//! Once per simulated second the engine re-evaluates neighborhoods:
+//! background vehicles within the spec's promotion radius of a focal
+//! vehicle are **promoted** to full fidelity (a `RunContext` seeded
+//! deterministically from the scenario seed and the slot, initialized
+//! from the surrogate state), and promoted vehicles that drift out of
+//! every focal neighborhood are **demoted** back — the store resumes
+//! integrating from their last mirrored state. Promotion cost is paid at
+//! the (rare) tier transitions; the steady-state tick path allocates
+//! nothing.
+//!
+//! [`SurrogateTraffic`]: saav_vehicle::surrogate::SurrogateTraffic
+
+use saav_learn::SelfAwarenessModel;
+use saav_sim::rng::derive_seed;
+use saav_sim::series::Series;
+use saav_sim::time::Time;
+use saav_sim::trace::Tracer;
+use saav_skills::decision::DrivingMode;
+use saav_vehicle::surrogate::SurrogateTraffic;
+use saav_vehicle::traffic::LeadVehicle;
+
+use crate::outcome::{CityOutcome, Outcome};
+use crate::runner::RunContext;
+use crate::scenario::{CitySpec, Scenario};
+use crate::vehicle::CONTROL_PERIOD;
+
+/// Seed-space offset separating promoted background vehicles from focal
+/// vehicles (which derive from their focal index), so a focal vehicle's
+/// noise streams never depend on how many background vehicles surround it.
+const PROMOTED_SEED_BASE: u64 = 1 << 32;
+
+/// One full-fidelity vehicle of the chain: a focal vehicle (permanent,
+/// with its focal index) or a promoted background vehicle (temporary).
+struct FullVehicle {
+    /// Chain slot this vehicle mirrors into.
+    slot: usize,
+    /// `Some(k)` for focal vehicle `k`; `None` for promoted background.
+    focal_index: Option<usize>,
+    ctx: RunContext,
+}
+
+/// Runs a city scenario to completion and returns the composed
+/// [`Outcome`] (lead focal series + fleet-worst safety fields + the tier
+/// statistics in [`CityOutcome`]).
+///
+/// # Panics
+/// Panics if the scenario carries no [`CitySpec`], the chain is empty, or
+/// the initial gap is not positive.
+pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    let spec = scenario.city.clone().expect("city scenario");
+    let total = spec.total();
+    assert!(total >= 1, "city chain needs at least one vehicle");
+    assert!(
+        spec.initial_gap_m > 0.0,
+        "initial gap must be positive, got {}",
+        spec.initial_gap_m
+    );
+
+    // --- the chain: every vehicle starts in the surrogate store ---------
+    let mut store = SurrogateTraffic::with_capacity(spec.idm, total);
+    for slot in 0..total {
+        store.push_vehicle(-(slot as f64) * spec.initial_gap_m, spec.cruise_mps);
+    }
+
+    // --- focal vehicles: full stacks on mirrored slots ------------------
+    // Seeds derive from the *focal index*, not the slot, so a focal
+    // vehicle's noise streams are identical at any background density —
+    // the E14 invariance property.
+    let mut full: Vec<FullVehicle> = (0..spec.focal)
+        .map(|k| {
+            let slot = spec.focal_slot(k);
+            let mut ctx = RunContext::for_member(
+                &scenario,
+                format!("{}#f{k}", scenario.label),
+                derive_seed(scenario.seed, k as u64),
+                spec.cruise_mps,
+                chain_lead(&scenario, &spec, slot),
+                model,
+            );
+            ctx.v
+                .world
+                .set_road_offset_m(-(slot as f64) * spec.initial_gap_m);
+            store.set_mirrored(slot, true);
+            FullVehicle {
+                slot,
+                focal_index: Some(k),
+                ctx,
+            }
+        })
+        .collect();
+    debug_assert!(full.windows(2).all(|w| w[0].slot < w[1].slot));
+
+    let mut ticks: u64 = 0;
+    let mut surrogate_vehicle_ticks: u64 = 0;
+    let mut full_vehicle_ticks: u64 = 0;
+    let mut promotions: u64 = 0;
+    let mut demotions: u64 = 0;
+    let mut max_full_tier = full.len();
+    let mut focal_pos: Vec<f64> = Vec::with_capacity(spec.focal);
+
+    // --- lockstep loop ---------------------------------------------------
+    let end = Time::ZERO + scenario.duration;
+    let mut now = Time::ZERO;
+    while now < end {
+        now += CONTROL_PERIOD;
+        ticks += 1;
+        // 1. One batched surrogate update: mirrored slots are read as
+        //    leaders (at their last mirrored state — the standard one-tick
+        //    co-simulation delay) but never written.
+        store.step(CONTROL_PERIOD);
+        surrogate_vehicle_ticks += store.surrogate_count() as u64;
+        full_vehicle_ticks += full.len() as u64;
+        // 2. Full-fidelity vehicles, front to back (Gauss–Seidel: a full
+        //    vehicle behind another reads its already-mirrored fresh
+        //    state): couple to the slot ahead, tick, mirror back.
+        for fv in &mut full {
+            let slot = fv.slot;
+            if slot > 0 {
+                fv.ctx
+                    .v
+                    .world
+                    .push_lead_state(store.position_m(slot - 1), store.speed_mps(slot - 1));
+            }
+            fv.ctx.tick();
+            store.push_state(
+                slot,
+                fv.ctx.v.world.abs_position_m(),
+                fv.ctx.v.world.ego.speed_mps(),
+            );
+        }
+        // 3. Neighborhood re-evaluation at 1 Hz: promote background
+        //    vehicles that entered a focal neighborhood, demote promoted
+        //    vehicles that left every focal neighborhood.
+        if now.as_millis().is_multiple_of(1_000) && spec.focal > 0 {
+            focal_pos.clear();
+            focal_pos.extend(
+                full.iter()
+                    .filter(|fv| fv.focal_index.is_some())
+                    .map(|fv| store.position_m(fv.slot)),
+            );
+            let near_focal = |pos: f64, focal_pos: &[f64]| {
+                focal_pos
+                    .iter()
+                    .any(|&f| (pos - f).abs() <= spec.promotion_radius_m)
+            };
+            full.retain(|fv| {
+                if fv.focal_index.is_some() || near_focal(store.position_m(fv.slot), &focal_pos) {
+                    true
+                } else {
+                    store.set_mirrored(fv.slot, false);
+                    demotions += 1;
+                    false
+                }
+            });
+            for slot in 0..total {
+                if store.is_mirrored(slot) || !near_focal(store.position_m(slot), &focal_pos) {
+                    continue;
+                }
+                promotions += 1;
+                let speed = store.speed_mps(slot);
+                let lead = if slot == 0 {
+                    scenario.lead.clone()
+                } else {
+                    LeadVehicle::external(store.gap_m(slot), store.speed_mps(slot - 1))
+                };
+                let mut ctx = RunContext::for_member(
+                    &scenario,
+                    format!("{}#bg{slot}", scenario.label),
+                    derive_seed(scenario.seed, PROMOTED_SEED_BASE + slot as u64),
+                    speed,
+                    lead,
+                    // Promoted background keeps the hand-written monitors
+                    // only; learned monitors stay a focal concern.
+                    None,
+                );
+                ctx.v.world.set_road_offset_m(store.position_m(slot));
+                store.set_mirrored(slot, true);
+                let at = full
+                    .binary_search_by_key(&slot, |fv| fv.slot)
+                    .expect_err("slot is not yet full-fidelity");
+                full.insert(
+                    at,
+                    FullVehicle {
+                        slot,
+                        focal_index: None,
+                        ctx,
+                    },
+                );
+            }
+            max_full_tier = max_full_tier.max(full.len());
+        }
+    }
+
+    compose_city(
+        scenario,
+        &spec,
+        full,
+        &store,
+        ticks,
+        surrogate_vehicle_ticks,
+        full_vehicle_ticks,
+        promotions,
+        demotions,
+        max_full_tier,
+    )
+}
+
+/// The lead coupling of a full-fidelity vehicle at `slot`: the front of
+/// the chain follows the scenario's scripted lead (like the platoon
+/// leader); everyone else follows an externally-driven participant fed
+/// from the slot ahead each tick.
+fn chain_lead(scenario: &Scenario, spec: &CitySpec, slot: usize) -> LeadVehicle {
+    if slot == 0 {
+        scenario.lead.clone()
+    } else {
+        LeadVehicle::external(spec.initial_gap_m, spec.cruise_mps)
+    }
+}
+
+/// Composes the focal outcomes and the chain metrics into one [`Outcome`]
+/// mirroring [`crate::cosim`]'s composition: lead-focal series,
+/// fleet-worst safety fields, merged escalation statistics, and the tier
+/// record.
+#[allow(clippy::too_many_arguments)]
+fn compose_city(
+    scenario: Scenario,
+    spec: &CitySpec,
+    full: Vec<FullVehicle>,
+    store: &SurrogateTraffic,
+    ticks: u64,
+    surrogate_vehicle_ticks: u64,
+    full_vehicle_ticks: u64,
+    promotions: u64,
+    demotions: u64,
+    max_full_tier: usize,
+) -> Outcome {
+    let focal: Vec<RunContext> = full
+        .into_iter()
+        .filter(|fv| fv.focal_index.is_some())
+        .map(|fv| fv.ctx)
+        .collect();
+    let (resolved, total_problems) = focal.iter().fold((0usize, 0usize), |(r, t), m| {
+        let traces = m.v.coordinator.traces();
+        (
+            r + traces.iter().filter(|tr| tr.resolved()).count(),
+            t + traces.len(),
+        )
+    });
+    let outcomes: Vec<Outcome> = focal.into_iter().map(RunContext::finish).collect();
+
+    let city = CityOutcome {
+        vehicles: spec.total(),
+        focal: spec.focal,
+        ticks,
+        surrogate_vehicle_ticks,
+        full_vehicle_ticks,
+        promotions,
+        demotions,
+        max_full_tier,
+        chain_min_gap_m: store.min_gap_m(),
+        chain_collision: store.collision(),
+        focal_first_detection: outcomes.iter().map(|o| o.first_detection).collect(),
+        focal_collisions: outcomes.iter().map(|o| o.collision).collect(),
+    };
+
+    if outcomes.is_empty() {
+        // A pure surrogate run (focal = 0): no self-awareness stack ran,
+        // so the outcome carries only the chain-level quantities.
+        return Outcome {
+            label: scenario.label,
+            speed: Series::new(),
+            ability: Series::new(),
+            miss_rate: Series::new(),
+            temp_c: Series::new(),
+            speed_factor: Series::new(),
+            model_score: Series::new(),
+            final_mode: DrivingMode::Normal,
+            min_gap_m: store.min_gap_m(),
+            min_ttc_s: f64::INFINITY,
+            collision: store.collision(),
+            distance_m: store.position_m(0),
+            first_detection: None,
+            first_model_deviation: None,
+            mitigated_at: None,
+            actions: Vec::new(),
+            conflicts: 0,
+            max_hops: 0,
+            resolution_rate: None,
+            trace: Tracer::new(),
+            platoon: None,
+            city: Some(city),
+        };
+    }
+
+    let severity = |mode: DrivingMode| match mode {
+        DrivingMode::Normal => 0,
+        DrivingMode::Reduced { .. } => 1,
+        DrivingMode::SafeStop => 2,
+    };
+    let final_mode = outcomes
+        .iter()
+        .map(|o| o.final_mode)
+        .max_by_key(|&m| severity(m))
+        .expect("at least one focal vehicle");
+    let mut actions: Vec<String> = Vec::new();
+    for o in &outcomes {
+        for a in &o.actions {
+            if !actions.contains(a) {
+                actions.push(a.clone());
+            }
+        }
+    }
+    let n = outcomes.len() as f64;
+    let distance_m = outcomes.iter().map(|o| o.distance_m).sum::<f64>() / n;
+    let min_gap_m = outcomes
+        .iter()
+        .map(|o| o.min_gap_m)
+        .fold(store.min_gap_m(), f64::min);
+    let min_ttc_s = outcomes
+        .iter()
+        .map(|o| o.min_ttc_s)
+        .fold(f64::INFINITY, f64::min);
+    let collision = outcomes.iter().any(|o| o.collision) || store.collision();
+    let first_detection = outcomes.iter().filter_map(|o| o.first_detection).min();
+    let first_model_deviation = outcomes
+        .iter()
+        .filter_map(|o| o.first_model_deviation)
+        .min();
+    let mitigated_at = outcomes.iter().filter_map(|o| o.mitigated_at).max();
+    let conflicts = outcomes.iter().map(|o| o.conflicts).sum();
+    let max_hops = outcomes.iter().map(|o| o.max_hops).max().unwrap_or(0);
+    let lead_focal = outcomes.into_iter().next().expect("at least one focal");
+
+    Outcome {
+        label: scenario.label,
+        speed: lead_focal.speed,
+        ability: lead_focal.ability,
+        miss_rate: lead_focal.miss_rate,
+        temp_c: lead_focal.temp_c,
+        speed_factor: lead_focal.speed_factor,
+        model_score: lead_focal.model_score,
+        final_mode,
+        min_gap_m,
+        min_ttc_s,
+        collision,
+        distance_m,
+        first_detection,
+        first_model_deviation,
+        mitigated_at,
+        actions,
+        conflicts,
+        max_hops,
+        resolution_rate: (total_problems > 0).then(|| resolved as f64 / total_problems as f64),
+        trace: lead_focal.trace,
+        platoon: None,
+        city: Some(city),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioEvent;
+    use saav_sim::time::Duration;
+
+    fn short_city(background: usize, focal: usize, seed: u64) -> Scenario {
+        Scenario::builder("city-test")
+            .seed(seed)
+            .duration(Duration::from_secs(10))
+            .city(CitySpec::new(background, focal))
+            .build()
+    }
+
+    #[test]
+    fn focal_vehicles_hold_formation_in_traffic() {
+        let out = crate::runner::run(short_city(20, 2, 7));
+        let c = out.city.as_ref().expect("city outcome");
+        assert_eq!(c.vehicles, 22);
+        assert_eq!(c.focal, 2);
+        assert_eq!(c.ticks, 1_000);
+        assert!(!out.collision, "chain min gap {}", c.chain_min_gap_m);
+        assert_eq!(c.focal_collisions, vec![false, false]);
+        assert!(c.chain_min_gap_m > 0.0);
+        // Both tiers actually ran, and the surrogate tier dominated the
+        // vehicle-tick count.
+        assert!(c.surrogate_vehicle_ticks > c.full_vehicle_ticks);
+        assert!(out.distance_m > 150.0, "distance {}", out.distance_m);
+    }
+
+    #[test]
+    fn neighbors_promote_and_demote() {
+        let out = crate::runner::run(short_city(20, 2, 3));
+        let c = out.city.as_ref().unwrap();
+        // With 30 m gaps and a 45 m radius, each focal vehicle promotes
+        // its immediate neighbors at the first 1 Hz re-evaluation.
+        assert!(c.promotions >= 2, "promotions {}", c.promotions);
+        assert!(c.max_full_tier > c.focal, "max tier {}", c.max_full_tier);
+        assert!(c.max_full_tier < c.vehicles, "tiering must stay partial");
+    }
+
+    #[test]
+    fn pure_surrogate_city_runs_without_focal_stack() {
+        let out = crate::runner::run(short_city(50, 0, 1));
+        let c = out.city.as_ref().unwrap();
+        assert_eq!(c.focal, 0);
+        assert_eq!(c.full_vehicle_ticks, 0);
+        assert_eq!(c.surrogate_vehicle_ticks, 50 * 1_000);
+        assert!(!out.collision);
+        assert!(out.distance_m > 0.0, "front vehicle moved");
+        assert!(out.speed.is_empty(), "no focal series");
+    }
+
+    #[test]
+    fn city_is_deterministic_per_seed() {
+        let a = crate::runner::run(short_city(30, 2, 5));
+        let b = crate::runner::run(short_city(30, 2, 5));
+        assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+        assert_eq!(a.city.as_ref().unwrap(), b.city.as_ref().unwrap());
+    }
+
+    #[test]
+    fn focal_detection_is_invariant_to_background_density() {
+        // The E14 property in miniature: an intrusion on board a focal
+        // vehicle is detected at the same instant whether the chain holds
+        // 5 or 50 background vehicles.
+        let run = |background: usize| {
+            let out = crate::runner::run(
+                Scenario::builder("city-intrusion")
+                    .seed(9)
+                    .duration(Duration::from_secs(12))
+                    .at(Time::from_secs(5), ScenarioEvent::CompromiseRearBrake)
+                    .city(CitySpec::new(background, 2))
+                    .build(),
+            );
+            out.city.unwrap().focal_first_detection
+        };
+        let sparse = run(5);
+        let dense = run(50);
+        assert!(sparse.iter().all(Option::is_some), "{sparse:?}");
+        assert_eq!(sparse, dense, "detection latency must not drift");
+    }
+
+    #[test]
+    fn chain_slots_place_focal_vehicles_evenly() {
+        let spec = CitySpec::new(8, 2);
+        assert_eq!(spec.focal_slot(0), 3);
+        assert_eq!(spec.focal_slot(1), 6);
+        // Degenerate: an all-focal chain occupies slots 0..n.
+        let all_focal = CitySpec::new(0, 3);
+        let slots: Vec<usize> = (0..3).map(|k| all_focal.focal_slot(k)).collect();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+}

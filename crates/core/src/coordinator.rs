@@ -12,6 +12,7 @@
 //! `|layers|` attempts; a hop budget additionally caps the broadcast
 //! policy. This invariant is property-tested in the crate's tests.
 
+use saav_sim::name::Name;
 use saav_sim::time::Time;
 
 use crate::layer::{Containment, Layer, Problem, ProblemKind};
@@ -103,6 +104,13 @@ impl Coordinator {
     /// strictly upward; under [`EscalationPolicy::BroadcastUp`] it is every
     /// layer bottom-up regardless of origin.
     pub fn route(&self, origin: Layer) -> impl Iterator<Item = Layer> {
+        self.route_slice(origin).iter().copied()
+    }
+
+    /// The same routing as [`Self::route`], as a borrowed slice of
+    /// [`Layer::ALL`] — the escalation hot path iterates this directly so
+    /// routing never materializes a temporary collection.
+    pub fn route_slice(&self, origin: Layer) -> &'static [Layer] {
         let start = match self.policy {
             EscalationPolicy::LocalFirst => Layer::ALL
                 .iter()
@@ -110,7 +118,7 @@ impl Coordinator {
                 .expect("origin is in Layer::ALL"),
             EscalationPolicy::BroadcastUp => 0,
         };
-        Layer::ALL[start..].iter().copied()
+        &Layer::ALL[start..]
     }
 
     /// Creates a new problem record.
@@ -118,7 +126,7 @@ impl Coordinator {
         &mut self,
         at: Time,
         origin: Layer,
-        subject: impl Into<String>,
+        subject: impl Into<Name>,
         kind: ProblemKind,
     ) -> Problem {
         let id = self.next_id;
@@ -143,7 +151,7 @@ impl Coordinator {
     {
         let mut attempts = Vec::new();
         let mut resolved_by = None;
-        for layer in self.route(problem.origin).collect::<Vec<_>>() {
+        for &layer in self.route_slice(problem.origin) {
             let outcome = handler(layer, &problem);
             let is_resolved = matches!(outcome, Containment::Resolved { .. });
             attempts.push(Attempt { layer, outcome });

@@ -30,6 +30,7 @@ use saav_learn::SelfAwarenessModel;
 use saav_monitor::anomaly::{Anomaly, AnomalyKind};
 use saav_platoon::agreement::Behavior;
 use saav_platoon::platoon::{MemberId, Platoon};
+use saav_sim::name::Name;
 use saav_sim::rng::derive_seed;
 use saav_sim::series::Series;
 use saav_sim::time::Time;
@@ -71,20 +72,27 @@ pub fn run_platoon(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Ou
     }
     let n = spec.members;
 
-    // --- members: one RunContext each, staggered along the shared road --
+    // --- members: one RunContext each, staggered along the shared road.
+    // Members are built from the *borrowed* scenario plus per-member
+    // overrides, so the event list is scheduled N times but never cloned.
     let mut members: Vec<RunContext> = (0..n)
         .map(|i| {
-            let mut s = scenario.clone();
-            s.label = format!("{}#m{i}", scenario.label);
-            // Independent noise per member, reproducible from the scenario
-            // seed alone.
-            s.seed = derive_seed(scenario.seed, i as u64);
-            s.ego_speed_mps = spec.cruise_mps;
-            if i > 0 {
+            let lead = if i > 0 {
                 // Followers track the *real* vehicle ahead, not a script.
-                s.lead = LeadVehicle::external(spec.initial_gap_m, spec.cruise_mps);
-            }
-            let mut ctx = RunContext::new(&s, model);
+                LeadVehicle::external(spec.initial_gap_m, spec.cruise_mps)
+            } else {
+                scenario.lead.clone()
+            };
+            let mut ctx = RunContext::for_member(
+                &scenario,
+                format!("{}#m{i}", scenario.label),
+                // Independent noise per member, reproducible from the
+                // scenario seed alone.
+                derive_seed(scenario.seed, i as u64),
+                spec.cruise_mps,
+                lead,
+                model,
+            );
             ctx.v
                 .world
                 .set_road_offset_m(-(i as f64) * spec.initial_gap_m);
@@ -185,9 +193,20 @@ fn honest_claim(spec: &PlatoonSpec, member: usize, root_level: f64) -> f64 {
 /// The anomaly subject naming platoon member `member` — the *single*
 /// definition both the engine (raising [`AnomalyKind::PeerMisbehavior`])
 /// and the vehicle's containment (deciding "a peer misbehaves" vs "I was
-/// ejected") compare against.
-pub(crate) fn member_subject(member: usize) -> String {
-    format!("member{member}")
+/// ejected") compare against. The engines intern the subjects up front;
+/// the containment side uses the parse-based [`is_member_subject`] so the
+/// hot path never formats a fresh string to compare against.
+pub(crate) fn member_subject(member: usize) -> Name {
+    Name::from(format!("member{member}"))
+}
+
+/// Whether `subject` names platoon member `member` — the allocation-free
+/// inverse of [`member_subject`].
+pub(crate) fn is_member_subject(subject: &str, member: usize) -> bool {
+    subject
+        .strip_prefix("member")
+        .and_then(|rest| rest.parse::<usize>().ok())
+        == Some(member)
 }
 
 /// How far a trusted member's received claim may sit from the negotiated
@@ -385,6 +404,7 @@ fn compose_outcome(
         resolution_rate: (total > 0).then(|| resolved as f64 / total as f64),
         trace: leader.trace,
         platoon: Some(platoon),
+        city: None,
     }
 }
 

@@ -119,6 +119,7 @@ mod tests {
                 mitigated_at: Some(Time::from_secs(30)),
                 final_mode: DrivingMode::Normal,
                 platoon: None,
+                city: None,
             },
         }
     }

@@ -475,6 +475,7 @@ mod tests {
                 mitigated_at: None,
                 final_mode: mode,
                 platoon: None,
+                city: None,
             },
         };
         let records = vec![

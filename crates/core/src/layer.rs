@@ -10,6 +10,7 @@
 
 use std::fmt;
 
+use saav_sim::name::Name;
 use saav_sim::time::Time;
 
 /// The self-awareness layers, ordered by abstraction (escalation goes
@@ -120,8 +121,9 @@ pub struct Problem {
     pub detected_at: Time,
     /// Layer whose monitor detected it.
     pub origin: Layer,
-    /// Affected entity (component, sensor, PE…).
-    pub subject: String,
+    /// Affected entity (component, sensor, PE…). Interned: escalation
+    /// clones the subject per hop, which must stay allocation-free.
+    pub subject: Name,
     /// Problem class.
     pub kind: ProblemKind,
 }
@@ -198,7 +200,7 @@ pub enum Posting {
 /// deterministically in favour of the higher-precedence layer.
 #[derive(Debug, Clone, Default)]
 pub struct DirectiveBoard {
-    active: Vec<(Layer, String, Directive)>,
+    active: Vec<(Layer, Name, Directive)>,
     conflicts_detected: u64,
 }
 
@@ -212,7 +214,7 @@ impl DirectiveBoard {
     pub fn post(
         &mut self,
         layer: Layer,
-        subject: impl Into<String>,
+        subject: impl Into<Name>,
         directive: Directive,
     ) -> Posting {
         let subject = subject.into();

@@ -27,6 +27,10 @@
 //!   lockstep over a shared road, coupled by a faultable V2V channel and a
 //!   trust-managed platoon negotiation, with peer misbehavior escalating
 //!   through the same coordinator path.
+//! * [`city`] — the city-scale tiered-fidelity engine: hundreds of
+//!   background vehicles in a struct-of-arrays surrogate store, focal
+//!   vehicles carrying the full stack, and promotion/demotion across the
+//!   fidelity tiers as neighborhoods change.
 //! * [`outcome`] — the measured [`outcome::Outcome`] and its compact
 //!   [`outcome::Summary`].
 //! * [`fleet`] — the [`fleet::FleetRunner`]: N scenarios across worker
@@ -54,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod city;
 pub mod coordinator;
 pub mod cosim;
 pub mod csv;
@@ -77,9 +82,11 @@ pub mod assembly {
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
 pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
-pub use outcome::{Outcome, PlatoonOutcome, PlatoonSummary, Summary, LEARNED_SIGNALS};
+pub use outcome::{
+    CityOutcome, CitySummary, Outcome, PlatoonOutcome, PlatoonSummary, Summary, LEARNED_SIGNALS,
+};
 pub use scenario::{
-    PeerLie, PlatoonSpec, ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent,
+    CitySpec, PeerLie, PlatoonSpec, ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent,
     ScenarioFamily, ScenarioState,
 };
 pub use vehicle::SelfAwareVehicle;

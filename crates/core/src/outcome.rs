@@ -66,6 +66,9 @@ pub struct Outcome {
     /// Cooperative measurements of a platoon co-simulation run (`None` for
     /// single-vehicle runs).
     pub platoon: Option<PlatoonOutcome>,
+    /// Tier statistics of a city-scale co-simulation run (`None`
+    /// otherwise).
+    pub city: Option<CityOutcome>,
 }
 
 impl Outcome {
@@ -81,6 +84,7 @@ impl Outcome {
             mitigated_at: self.mitigated_at,
             final_mode: self.final_mode,
             platoon: self.platoon.as_ref().map(PlatoonOutcome::summary),
+            city: self.city.as_ref().map(CityOutcome::summary),
         }
     }
 
@@ -122,6 +126,8 @@ pub struct Summary {
     /// Cooperative summary of a platoon co-simulation run (`None` for
     /// single-vehicle runs).
     pub platoon: Option<PlatoonSummary>,
+    /// Tier summary of a city-scale co-simulation run (`None` otherwise).
+    pub city: Option<CitySummary>,
 }
 
 /// Cooperative measurements of one platoon co-simulation run — what the
@@ -174,6 +180,80 @@ impl PlatoonOutcome {
             final_agreed_mps: self.final_agreed_mps,
         }
     }
+}
+
+/// Tier statistics of one city-scale co-simulation run — what
+/// [`crate::city::run_city`] records on top of the lead focal vehicle's
+/// [`Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityOutcome {
+    /// Total vehicles in the chain (both tiers).
+    pub vehicles: usize,
+    /// Focal vehicles carrying the full self-awareness stack.
+    pub focal: usize,
+    /// Lockstep ticks executed.
+    pub ticks: u64,
+    /// Vehicle-ticks spent in the surrogate tier (one per surrogate
+    /// vehicle per tick) — the denominator of the per-tier cost split.
+    pub surrogate_vehicle_ticks: u64,
+    /// Vehicle-ticks spent in the full-fidelity tier (focal + promoted).
+    pub full_vehicle_ticks: u64,
+    /// Background vehicles promoted into the full-fidelity tier.
+    pub promotions: u64,
+    /// Promoted vehicles demoted back to the surrogate tier.
+    pub demotions: u64,
+    /// Largest simultaneous full-fidelity population (focal + promoted).
+    pub max_full_tier: usize,
+    /// Smallest gap observed anywhere in the chain (m).
+    pub chain_min_gap_m: f64,
+    /// Whether any chain gap closed to zero.
+    pub chain_collision: bool,
+    /// Per-focal first contract-monitor detection, in focal order — the
+    /// E14 latency-invariance quantity.
+    pub focal_first_detection: Vec<Option<Time>>,
+    /// Per-focal collision flags, in focal order.
+    pub focal_collisions: Vec<bool>,
+}
+
+impl CityOutcome {
+    /// How many focal vehicles collided.
+    pub fn focal_collision_count(&self) -> usize {
+        self.focal_collisions.iter().filter(|&&c| c).count()
+    }
+
+    /// Earliest focal detection, if any focal vehicle detected a problem.
+    pub fn first_focal_detection(&self) -> Option<Time> {
+        self.focal_first_detection.iter().flatten().min().copied()
+    }
+
+    /// The compact tier record used by fleet statistics and tables.
+    pub fn summary(&self) -> CitySummary {
+        CitySummary {
+            vehicles: self.vehicles,
+            focal: self.focal,
+            promotions: self.promotions,
+            demotions: self.demotions,
+            focal_collisions: self.focal_collision_count(),
+            first_focal_detection: self.first_focal_detection(),
+        }
+    }
+}
+
+/// The compact, cheaply clonable essence of a [`CityOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CitySummary {
+    /// Total vehicles in the chain (both tiers).
+    pub vehicles: usize,
+    /// Focal vehicles carrying the full self-awareness stack.
+    pub focal: usize,
+    /// Background vehicles promoted into the full-fidelity tier.
+    pub promotions: u64,
+    /// Promoted vehicles demoted back to the surrogate tier.
+    pub demotions: u64,
+    /// How many focal vehicles collided.
+    pub focal_collisions: usize,
+    /// Earliest focal detection, if any.
+    pub first_focal_detection: Option<Time>,
 }
 
 /// The compact, cheaply clonable essence of a [`PlatoonOutcome`].
@@ -231,6 +311,7 @@ mod tests {
             mitigated_at: Some(Time::from_secs(30)),
             final_mode: DrivingMode::Normal,
             platoon: None,
+            city: None,
         };
         let (det, mit) = s.fmt_detection();
         assert_eq!(det, "-");

@@ -16,6 +16,7 @@ use saav_monitor::anomaly::{Anomaly, AnomalyKind};
 use saav_sim::series::Series;
 use saav_sim::time::Time;
 use saav_skills::decision::DrivingMode;
+use saav_vehicle::traffic::LeadVehicle;
 
 use crate::layer::{Containment, Layer};
 use crate::outcome::Outcome;
@@ -31,6 +32,10 @@ pub(crate) struct DetectionLog {
     first_model_deviation: Option<Time>,
     mitigated_at: Option<Time>,
     actions: Vec<String>,
+    /// Reused containment-outcome buffer: escalation fills and drains it
+    /// per anomaly, so steady-state escalation stops allocating once the
+    /// buffer has grown to the deepest route.
+    outcomes_buf: Vec<(Layer, Containment)>,
 }
 
 /// Routes one anomaly through the layers and applies containment — the
@@ -59,11 +64,15 @@ fn handle_anomaly(
             .fault(v.now, source, format!("first anomaly: {anomaly}"));
     }
     let (origin, kind) = v.anomaly_to_problem(state, &anomaly);
+    // Interned subject: every per-hop clone below is a refcount bump.
     let subject = anomaly.subject.clone();
     let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
-    // Split borrows: the coordinator routes, `contain` acts.
-    let mut outcomes: Vec<(Layer, Containment)> = Vec::new();
-    for layer in v.coordinator.route(origin).collect::<Vec<_>>() {
+    // Split borrows: the coordinator routes, `contain` acts. The routing
+    // slice is `&'static`, so no temporary collection is needed, and the
+    // outcome buffer is reused across anomalies.
+    let outcomes = &mut log.outcomes_buf;
+    outcomes.clear();
+    for &layer in v.coordinator.route_slice(origin) {
         let outcome = v.contain(state, layer, kind, &subject);
         let resolved = matches!(outcome, Containment::Resolved { .. });
         outcomes.push((layer, outcome));
@@ -74,7 +83,7 @@ fn handle_anomaly(
     let resolved_now = outcomes
         .iter()
         .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
-    for (_, o) in &outcomes {
+    for (_, o) in outcomes.iter() {
         if let Containment::Resolved { action } | Containment::Mitigated { action } = o {
             if !log.actions.contains(action) {
                 log.actions.push(action.clone());
@@ -85,7 +94,7 @@ fn handle_anomaly(
         log.mitigated_at = Some(v.now);
     }
     // Record via the coordinator for trace statistics.
-    let mut iter = outcomes.into_iter();
+    let mut iter = outcomes.drain(..);
     v.coordinator.resolve(problem, move |_, _| {
         iter.next()
             .map(|(_, o)| o)
@@ -118,14 +127,35 @@ impl RunContext {
     /// Builds a vehicle for `scenario` (optionally mounting a learned
     /// monitor) and readies the recording state.
     pub(crate) fn new(scenario: &Scenario, model: Option<&SelfAwarenessModel>) -> Self {
-        let mut v = SelfAwareVehicle::new(scenario);
+        Self::for_member(
+            scenario,
+            scenario.label.clone(),
+            scenario.seed,
+            scenario.ego_speed_mps,
+            scenario.lead.clone(),
+            model,
+        )
+    }
+
+    /// Builds one multi-vehicle member from a *borrowed* base scenario plus
+    /// per-member overrides — the engines construct N members without
+    /// cloning the scenario (event list included) N times.
+    pub(crate) fn for_member(
+        scenario: &Scenario,
+        label: String,
+        seed: u64,
+        ego_speed_mps: f64,
+        lead: LeadVehicle,
+        model: Option<&SelfAwarenessModel>,
+    ) -> Self {
+        let mut v = SelfAwareVehicle::with_overrides(scenario, seed, ego_speed_mps, lead);
         if let Some(model) = model {
             v.mount_learned_monitor(model);
         }
         RunContext {
             v,
             state: ScenarioState::new(scenario),
-            label: scenario.label.clone(),
+            label,
             end: Time::ZERO + scenario.duration,
             speed: Series::new(),
             ability: Series::new(),
@@ -257,7 +287,60 @@ impl RunContext {
             resolution_rate: v.coordinator.resolution_rate(),
             trace: v.tracer,
             platoon: None,
+            city: None,
         }
+    }
+}
+
+/// A single-vehicle run stepped one control period at a time.
+///
+/// [`run`] is literally `while !done { tick() }` over this handle; it is
+/// exposed so external drivers — allocation pins, benchmarks, custom
+/// co-simulation loops — can observe or interleave with the tick stream
+/// instead of paying for a whole scenario per measurement. Only the
+/// single-vehicle path is steppable; scenarios carrying a platoon or city
+/// spec go through [`run`].
+pub struct SteppedRun {
+    ctx: RunContext,
+}
+
+impl SteppedRun {
+    /// Readies `scenario`'s vehicle without advancing time.
+    ///
+    /// # Panics
+    /// Panics when the scenario carries a
+    /// [`crate::scenario::PlatoonSpec`] or [`crate::scenario::CitySpec`]
+    /// — multi-vehicle engines own their own lockstep loops.
+    pub fn new(scenario: &Scenario) -> Self {
+        assert!(
+            scenario.platoon.is_none() && scenario.city.is_none(),
+            "SteppedRun drives single-vehicle scenarios only"
+        );
+        SteppedRun {
+            ctx: RunContext::new(scenario, None),
+        }
+    }
+
+    /// Whether the scenario's time horizon has been reached.
+    pub fn done(&self) -> bool {
+        self.ctx.done()
+    }
+
+    /// Advances the vehicle by one control period (10 ms).
+    pub fn tick(&mut self) {
+        self.ctx.tick();
+    }
+
+    /// Simulated time since run start, in milliseconds. Recording and
+    /// learned-monitor scoring fire on whole-second instants; allocation
+    /// pins use this to place their measurement window between them.
+    pub fn now_millis(&self) -> u64 {
+        self.ctx.v.now.as_millis()
+    }
+
+    /// Closes the run and returns its measured [`Outcome`].
+    pub fn finish(self) -> Outcome {
+        self.ctx.finish()
     }
 }
 
@@ -276,15 +359,21 @@ pub fn run(scenario: Scenario) -> Outcome {
 /// the 1 Hz signal vector and threshold crossings escalate like any other
 /// anomaly.
 ///
-/// A scenario carrying a [`crate::scenario::PlatoonSpec`] is handed to the
-/// multi-vehicle co-simulation engine ([`crate::cosim::run_platoon`]); the
-/// model, if any, is mounted on every member.
+/// A scenario carrying a [`crate::scenario::CitySpec`] is handed to the
+/// city-scale tiered-fidelity engine ([`crate::city::run_city`]); one
+/// carrying a [`crate::scenario::PlatoonSpec`] goes to the platoon
+/// co-simulation engine ([`crate::cosim::run_platoon`]). The model, if
+/// any, is mounted on every member (every focal vehicle, for a city).
 ///
 /// # Panics
 /// Panics on a malformed [`crate::scenario::PlatoonSpec`] — zero members,
 /// a zero negotiation period, or a liar/link index beyond the member
-/// count (see [`crate::cosim::run_platoon`]).
+/// count (see [`crate::cosim::run_platoon`]) — or a malformed
+/// [`crate::scenario::CitySpec`] (see [`crate::city::run_city`]).
 pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    if scenario.city.is_some() {
+        return crate::city::run_city(scenario, model);
+    }
     if scenario.platoon.is_some() {
         return crate::cosim::run_platoon(scenario, model);
     }

@@ -19,6 +19,7 @@ use saav_can::v2v::LinkFault;
 use saav_sim::event::EventQueue;
 use saav_sim::time::{Duration, Time};
 use saav_vehicle::sensors::SensorFault;
+use saav_vehicle::surrogate::IdmParams;
 use saav_vehicle::traffic::{LeadVehicle, ProfileSegment};
 
 /// How the vehicle responds to detected problems (compared in E6/E7/E11).
@@ -164,6 +165,82 @@ impl PlatoonSpec {
     }
 }
 
+/// City-scale tiered-fidelity configuration of a scenario: when present,
+/// the runner hands the scenario to [`crate::city::run_city`] instead of
+/// the single-vehicle loop or the platoon engine.
+///
+/// The scene is one single-lane chain of `background + focal` vehicles.
+/// Background vehicles live in the struct-of-arrays
+/// [`saav_vehicle::surrogate::SurrogateTraffic`] store (batched IDM
+/// car-following, no per-vehicle heap objects); the `focal` vehicles are
+/// full [`crate::vehicle::SelfAwareVehicle`] stacks spread evenly through
+/// the chain and coupled to it through the same external-lead interface
+/// the platoon engine uses. Background vehicles entering a focal
+/// vehicle's neighborhood (within `promotion_radius_m`) are *promoted* to
+/// the full-fidelity tier and demoted back when they leave it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CitySpec {
+    /// Number of surrogate background vehicles.
+    pub background: usize,
+    /// Number of focal vehicles carrying the full self-awareness stack.
+    pub focal: usize,
+    /// Initial bumper-to-bumper gap between consecutive vehicles (m).
+    pub initial_gap_m: f64,
+    /// Nominal cruise speed every vehicle starts at (m/s).
+    pub cruise_mps: f64,
+    /// Background vehicles within this distance of a focal vehicle are
+    /// promoted to the full-fidelity tier.
+    pub promotion_radius_m: f64,
+    /// Car-following parameters of the surrogate tier.
+    pub idm: IdmParams,
+}
+
+impl CitySpec {
+    /// A city chain with `background` surrogate vehicles and `focal` full
+    /// stacks: 30 m gaps, 22 m/s cruise, 45 m promotion radius, default
+    /// IDM parameters.
+    pub fn new(background: usize, focal: usize) -> Self {
+        CitySpec {
+            background,
+            focal,
+            initial_gap_m: 30.0,
+            cruise_mps: 22.0,
+            promotion_radius_m: 45.0,
+            idm: IdmParams::default(),
+        }
+    }
+
+    /// Sets the initial inter-vehicle gap.
+    pub fn with_gap(mut self, gap_m: f64) -> Self {
+        self.initial_gap_m = gap_m;
+        self
+    }
+
+    /// Sets the promotion radius.
+    pub fn with_radius(mut self, radius_m: f64) -> Self {
+        self.promotion_radius_m = radius_m;
+        self
+    }
+
+    /// Sets the nominal cruise speed.
+    pub fn with_cruise(mut self, mps: f64) -> Self {
+        self.cruise_mps = mps;
+        self
+    }
+
+    /// Total number of vehicles in the chain (both tiers).
+    pub fn total(&self) -> usize {
+        self.background + self.focal
+    }
+
+    /// The chain slot of focal vehicle `k`: focal vehicles are spread
+    /// evenly through the chain (front is slot 0), so each keeps
+    /// background traffic ahead and behind where the chain allows.
+    pub fn focal_slot(&self, k: usize) -> usize {
+        ((k + 1) * self.total()) / (self.focal + 1)
+    }
+}
+
 /// A complete scenario description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -184,6 +261,9 @@ pub struct Scenario {
     /// Multi-vehicle platoon configuration; `None` runs the classic
     /// single-vehicle loop.
     pub platoon: Option<PlatoonSpec>,
+    /// City-scale tiered-fidelity configuration; takes precedence over
+    /// `platoon` when both are set.
+    pub city: Option<CitySpec>,
 }
 
 impl Scenario {
@@ -272,6 +352,7 @@ pub struct ScenarioBuilder {
     ego_speed_mps: f64,
     lead: LeadVehicle,
     platoon: Option<PlatoonSpec>,
+    city: Option<CitySpec>,
 }
 
 impl ScenarioBuilder {
@@ -286,6 +367,7 @@ impl ScenarioBuilder {
             ego_speed_mps: 22.0,
             lead: LeadVehicle::cruising(60.0, 22.0),
             platoon: None,
+            city: None,
         }
     }
 
@@ -331,6 +413,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Makes the scenario a city-scale tiered-fidelity co-simulation.
+    pub fn city(mut self, spec: CitySpec) -> Self {
+        self.city = Some(spec);
+        self
+    }
+
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         Scenario {
@@ -342,6 +430,7 @@ impl ScenarioBuilder {
             ego_speed_mps: self.ego_speed_mps,
             lead: self.lead,
             platoon: self.platoon,
+            city: self.city,
         }
     }
 }

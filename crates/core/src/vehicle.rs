@@ -26,7 +26,8 @@ use saav_monitor::metrics::MetricBus;
 use saav_monitor::signal::{HeartbeatMonitor, QualityMonitor};
 use saav_rte::component::{ComponentSpec, VmId};
 use saav_rte::rte::Rte;
-use saav_rte::sched::{Priority, TaskRef, TaskSpec};
+use saav_rte::sched::{JobRecord, Priority, TaskRef, TaskSpec};
+use saav_sim::name::Name;
 use saav_sim::time::{Duration, Time};
 use saav_sim::trace::Tracer;
 use saav_skills::ability::{AbilityGraph, AggregateOp, Thresholds};
@@ -69,6 +70,11 @@ pub struct SelfAwareVehicle {
     acc_task: TaskRef,
     perception_task: TaskRef,
     brake_rear_comp: saav_rte::component::ComponentId,
+    // interned names + drain buffer reused by the per-tick monitor pump,
+    // keeping the nominal tick allocation-free
+    obs_client_brake_rear: Name,
+    obs_service_can_tx: Name,
+    job_records_buf: Vec<JobRecord>,
     // cooperative (platoon) state, set by the co-simulation engine
     pub(crate) member_id: Option<usize>,
     pub(crate) platoon_active: bool,
@@ -78,9 +84,26 @@ pub struct SelfAwareVehicle {
 impl SelfAwareVehicle {
     /// Builds the reference vehicle for a scenario.
     pub fn new(scenario: &Scenario) -> Self {
-        let platform = Platform::with_embedded_pes(2, scenario.seed);
+        Self::with_overrides(
+            scenario,
+            scenario.seed,
+            scenario.ego_speed_mps,
+            scenario.lead.clone(),
+        )
+    }
+
+    /// Builds the vehicle from a borrowed scenario with per-member
+    /// overrides (seed, initial speed, lead profile) — the multi-vehicle
+    /// engines use this so N members never clone the scenario N times.
+    pub(crate) fn with_overrides(
+        scenario: &Scenario,
+        seed: u64,
+        ego_speed_mps: f64,
+        lead: saav_vehicle::traffic::LeadVehicle,
+    ) -> Self {
+        let platform = Platform::with_embedded_pes(2, seed);
         // --- execution domain -------------------------------------------
-        let mut rte = Rte::new(scenario.seed, 8_192);
+        let mut rte = Rte::new(seed, 8_192);
         let control_vm = rte.add_vm(4_096);
         let radar_comp = rte
             .install(ComponentSpec::new("radar_driver", VmId(0)).provides("sensor.radar"))
@@ -166,12 +189,12 @@ impl SelfAwareVehicle {
         }
 
         // --- communication ------------------------------------------------
-        let mut bus = CanBus::automotive_500k(scenario.seed);
+        let mut bus = CanBus::automotive_500k(seed);
         let (virt_node, pf) = bus.attach_virtualized(VirtCanConfig::calibrated(2));
         let actuator_node = bus.attach_standard(ControllerConfig::default());
 
         // --- functional level ---------------------------------------------
-        let world = VehicleWorld::new(scenario.seed, scenario.ego_speed_mps, scenario.lead.clone());
+        let world = VehicleWorld::new(seed, ego_speed_mps, lead);
         let (graph, nodes) = build_acc_graph().expect("paper graph is valid");
         let abilities = AbilityGraph::instantiate(graph, AggregateOp::Min, Thresholds::default())
             .expect("valid ability graph");
@@ -209,6 +232,9 @@ impl SelfAwareVehicle {
             acc_task,
             perception_task,
             brake_rear_comp,
+            obs_client_brake_rear: Name::from("brake_rear"),
+            obs_service_can_tx: Name::from("can.tx"),
+            job_records_buf: Vec::new(),
             member_id: None,
             platoon_active: false,
             now: Time::ZERO,
@@ -327,8 +353,8 @@ impl SelfAwareVehicle {
                     .vf_send(VfId(1), f, self.now);
                 self.access_mon.observe(&AccessObservation {
                     at: self.now,
-                    client: "brake_rear".into(),
-                    service: "can.tx".into(),
+                    client: self.obs_client_brake_rear.clone(),
+                    service: self.obs_service_can_tx.clone(),
                     allowed: true,
                 });
             }
@@ -339,8 +365,8 @@ impl SelfAwareVehicle {
         } else {
             self.access_mon.observe(&AccessObservation {
                 at: self.now,
-                client: "brake_rear".into(),
-                service: "can.tx".into(),
+                client: self.obs_client_brake_rear.clone(),
+                service: self.obs_service_can_tx.clone(),
                 allowed: true,
             });
         }
@@ -350,8 +376,10 @@ impl SelfAwareVehicle {
     /// Drains all monitors for this cycle.
     pub(crate) fn collect_anomalies(&mut self) -> Vec<Anomaly> {
         let mut anomalies = Vec::new();
-        // Execution monitoring from RTE job records.
-        for rec in self.rte.take_records() {
+        // Execution monitoring from RTE job records, drained into a reused
+        // buffer (the per-tick record traffic must not allocate).
+        self.rte.drain_records_into(&mut self.job_records_buf);
+        for rec in &self.job_records_buf {
             let obs = JobObservation {
                 at: rec.finish,
                 task: rec.name.clone(),
@@ -366,8 +394,8 @@ impl SelfAwareVehicle {
             if !ev.allowed {
                 anomalies.extend(self.access_mon.observe(&AccessObservation {
                     at: ev.at,
-                    client: format!("comp{}", ev.client.0),
-                    service: ev.service.to_string(),
+                    client: format!("comp{}", ev.client.0).into(),
+                    service: ev.service.to_string().into(),
                     allowed: false,
                 }));
             }
@@ -530,7 +558,7 @@ impl SelfAwareVehicle {
                 }
                 let own = self
                     .member_id
-                    .is_some_and(|m| subject == crate::cosim::member_subject(m));
+                    .is_some_and(|m| crate::cosim::is_member_subject(subject, m));
                 if own {
                     self.platoon_active = false;
                     self.tracer.action(

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use saav_sim::name::Name;
 use saav_sim::time::{Duration, Time};
 
 use crate::anomaly::{Anomaly, AnomalyKind};
@@ -18,10 +19,11 @@ use crate::anomaly::{Anomaly, AnomalyKind};
 pub struct AccessObservation {
     /// When the access happened.
     pub at: Time,
-    /// Requesting component (by name for report readability).
-    pub client: String,
+    /// Requesting component (by name for report readability). Interned:
+    /// the per-tick observation path clones names without allocating.
+    pub client: Name,
     /// Service addressed.
-    pub service: String,
+    pub service: Name,
     /// Whether the capability check allowed it.
     pub allowed: bool,
 }
@@ -39,7 +41,7 @@ struct ChannelState {
 /// The access monitor.
 #[derive(Debug, Clone)]
 pub struct AccessMonitor {
-    channels: HashMap<(String, String), ChannelState>,
+    channels: HashMap<(Name, Name), ChannelState>,
     window: Duration,
     /// Rate anomaly threshold: flagged when the windowed rate exceeds
     /// `nominal × factor`.
@@ -69,8 +71,8 @@ impl AccessMonitor {
     /// Declares the nominal message rate of a channel (from the contract).
     pub fn set_nominal_rate(
         &mut self,
-        client: impl Into<String>,
-        service: impl Into<String>,
+        client: impl Into<Name>,
+        service: impl Into<Name>,
         rate_per_sec: f64,
     ) {
         let state = self

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use saav_sim::name::Name;
 use saav_sim::time::Time;
 
 /// What kind of deviation a monitor detected.
@@ -58,8 +59,10 @@ impl fmt::Display for AnomalyKind {
 pub struct Anomaly {
     /// Detection instant.
     pub at: Time,
-    /// The monitored entity (task, signal, channel, component).
-    pub subject: String,
+    /// The monitored entity (task, signal, channel, component). Interned:
+    /// monitors hold their subject as a [`Name`] and raising an anomaly
+    /// clones it with a reference-count bump, not a heap allocation.
+    pub subject: Name,
     /// Deviation class.
     pub kind: AnomalyKind,
     /// Free-form detail for reports.
@@ -70,7 +73,7 @@ impl Anomaly {
     /// Creates an anomaly.
     pub fn new(
         at: Time,
-        subject: impl Into<String>,
+        subject: impl Into<Name>,
         kind: AnomalyKind,
         detail: impl Into<String>,
     ) -> Self {

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use saav_sim::name::Name;
 use saav_sim::time::{Duration, Time};
 
 use crate::anomaly::{Anomaly, AnomalyKind};
@@ -16,8 +17,9 @@ use crate::anomaly::{Anomaly, AnomalyKind};
 pub struct JobObservation {
     /// Completion time.
     pub at: Time,
-    /// Task name.
-    pub task: String,
+    /// Task name. Interned so per-tick observations clone it without
+    /// allocating.
+    pub task: Name,
     /// Speed-normalized execution demand of the job.
     pub exec_nominal: Duration,
     /// Response time.
@@ -44,8 +46,8 @@ pub struct ExecProfile {
 /// The execution monitor.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionMonitor {
-    contracts: HashMap<String, Duration>,
-    profiles: HashMap<String, ExecProfile>,
+    contracts: HashMap<Name, Duration>,
+    profiles: HashMap<Name, ExecProfile>,
 }
 
 impl ExecutionMonitor {
@@ -55,7 +57,7 @@ impl ExecutionMonitor {
     }
 
     /// Registers the contracted WCET of a task.
-    pub fn set_contract(&mut self, task: impl Into<String>, wcet: Duration) {
+    pub fn set_contract(&mut self, task: impl Into<Name>, wcet: Duration) {
         self.contracts.insert(task.into(), wcet);
     }
 
@@ -66,7 +68,7 @@ impl ExecutionMonitor {
         profile.max_exec = profile.max_exec.max(obs.exec_nominal);
         profile.max_response = profile.max_response.max(obs.response);
         let mut anomalies = Vec::new();
-        if let Some(&wcet) = self.contracts.get(&obs.task) {
+        if let Some(&wcet) = self.contracts.get(obs.task.as_str()) {
             if obs.exec_nominal > wcet {
                 profile.overruns += 1;
                 anomalies.push(Anomaly::new(

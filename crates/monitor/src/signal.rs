@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use saav_sim::name::Name;
 use saav_sim::time::{Duration, Time};
 
 use crate::anomaly::{Anomaly, AnomalyKind};
@@ -20,7 +21,7 @@ use crate::anomaly::{Anomaly, AnomalyKind};
 /// This is the SAFER-style baseline detector.
 #[derive(Debug, Clone)]
 pub struct HeartbeatMonitor {
-    subject: String,
+    subject: Name,
     period: Duration,
     timeout_factor: f64,
     last_beat: Option<Time>,
@@ -33,7 +34,7 @@ impl HeartbeatMonitor {
     ///
     /// # Panics
     /// Panics if `period` is zero or `timeout_factor < 1`.
-    pub fn new(subject: impl Into<String>, period: Duration, timeout_factor: f64) -> Self {
+    pub fn new(subject: impl Into<Name>, period: Duration, timeout_factor: f64) -> Self {
         assert!(!period.is_zero());
         assert!(timeout_factor >= 1.0, "timeout factor below 1 is nonsense");
         HeartbeatMonitor {
@@ -77,7 +78,7 @@ impl HeartbeatMonitor {
 /// Static range check: the RACE-style baseline detector.
 #[derive(Debug, Clone)]
 pub struct BoundaryMonitor {
-    subject: String,
+    subject: Name,
     min: f64,
     max: f64,
 }
@@ -87,7 +88,7 @@ impl BoundaryMonitor {
     ///
     /// # Panics
     /// Panics if `min > max`.
-    pub fn new(subject: impl Into<String>, min: f64, max: f64) -> Self {
+    pub fn new(subject: impl Into<Name>, min: f64, max: f64) -> Self {
         assert!(min <= max, "empty boundary range");
         BoundaryMonitor {
             subject: subject.into(),
@@ -115,7 +116,7 @@ impl BoundaryMonitor {
 /// over a sliding window.
 #[derive(Debug, Clone)]
 pub struct PlausibilityMonitor {
-    subject: String,
+    subject: Name,
     min: f64,
     max: f64,
     /// Maximum plausible |dv/dt| in units per second.
@@ -135,7 +136,7 @@ impl PlausibilityMonitor {
     ///
     /// # Panics
     /// Panics if `min > max` or `max_rate <= 0`.
-    pub fn new(subject: impl Into<String>, min: f64, max: f64, max_rate: f64) -> Self {
+    pub fn new(subject: impl Into<Name>, min: f64, max: f64, max_rate: f64) -> Self {
         assert!(min <= max);
         assert!(max_rate > 0.0);
         PlausibilityMonitor {
@@ -222,7 +223,7 @@ impl PlausibilityMonitor {
 /// noise, feeding the ability graph's performance metrics.
 #[derive(Debug, Clone)]
 pub struct QualityMonitor {
-    subject: String,
+    subject: Name,
     window: VecDeque<(bool, f64)>,
     window_len: usize,
     /// Noise level (std dev) considered nominal (quality 1.0).
@@ -240,7 +241,7 @@ impl QualityMonitor {
     /// Panics unless `0 <= nominal_noise < max_noise` and
     /// `threshold ∈ [0, 1]`.
     pub fn new(
-        subject: impl Into<String>,
+        subject: impl Into<Name>,
         nominal_noise: f64,
         max_noise: f64,
         threshold: f64,
@@ -289,13 +290,12 @@ impl QualityMonitor {
             return 1.0;
         }
         let n = self.window.len() as f64;
-        let valid_frac = self.window.iter().filter(|(v, _)| *v).count() as f64 / n;
-        let valid_vals: Vec<f64> = self
+        let (valid_n, sum_sq) = self
             .window
             .iter()
             .filter(|(v, _)| *v)
-            .map(|&(_, r)| r)
-            .collect();
+            .fold((0usize, 0.0), |(c, s), &(_, r)| (c + 1, s + r * r));
+        let valid_frac = valid_n as f64 / n;
         // With under two valid samples there is no noise evidence yet —
         // assume nominal rather than condemning a signal at startup. The
         // valid-fraction term still pulls quality down if everything drops
@@ -305,10 +305,10 @@ impl QualityMonitor {
         // deviation: a frozen (stuck-at) sensor produces residuals with
         // zero variance but growing bias, and only an RMS-style measure
         // sees that class of plausible-but-wrong failure.
-        let noise = if valid_vals.len() < 2 {
+        let noise = if valid_n < 2 {
             self.nominal_noise
         } else {
-            (valid_vals.iter().map(|v| v * v).sum::<f64>() / valid_vals.len() as f64).sqrt()
+            (sum_sq / valid_n as f64).sqrt()
         };
         let noise_margin = 1.0
             - ((noise - self.nominal_noise) / (self.max_noise - self.nominal_noise))

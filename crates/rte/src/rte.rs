@@ -384,6 +384,13 @@ impl Rte {
         self.scheduler.take_records()
     }
 
+    /// Drains completed job records into a caller-owned buffer, retaining
+    /// both buffers' capacity (the allocation-free variant of
+    /// [`Self::take_records`]).
+    pub fn drain_records_into(&mut self, buf: &mut Vec<JobRecord>) {
+        self.scheduler.drain_records_into(buf);
+    }
+
     /// Drains the access log.
     pub fn take_access_log(&mut self) -> Vec<crate::access::AccessEvent> {
         self.access.drain_log()

@@ -11,6 +11,7 @@
 //! The scheduler is advanced incrementally ([`Scheduler::advance`]) so the
 //! surrounding co-simulation can change the speed factor between segments.
 
+use saav_sim::name::Name;
 use saav_sim::rng::SimRng;
 use saav_sim::time::{Duration, Time};
 
@@ -37,8 +38,9 @@ pub enum BudgetEnforcement {
 /// Static description of a periodic task.
 #[derive(Debug, Clone)]
 pub struct TaskSpec {
-    /// Task name used in records and reports.
-    pub name: String,
+    /// Task name used in records and reports. Interned so every job record
+    /// can carry it without allocating.
+    pub name: Name,
     /// Component this task belongs to.
     pub component: ComponentId,
     /// Activation period.
@@ -67,7 +69,7 @@ impl TaskSpec {
     /// # Panics
     /// Panics if `period` or `wcet` is zero.
     pub fn periodic(
-        name: impl Into<String>,
+        name: impl Into<Name>,
         component: ComponentId,
         period: Duration,
         wcet: Duration,
@@ -123,8 +125,8 @@ impl TaskSpec {
 pub struct JobRecord {
     /// The task this job belonged to.
     pub task: TaskRef,
-    /// Task name (copied for convenience in monitors).
-    pub name: String,
+    /// Task name (shared with the spec; cloning is a refcount bump).
+    pub name: Name,
     /// Component owning the task.
     pub component: ComponentId,
     /// Release instant.
@@ -274,6 +276,18 @@ impl Scheduler {
     /// Drains completed job records.
     pub fn take_records(&mut self) -> Vec<JobRecord> {
         std::mem::take(&mut self.records)
+    }
+
+    /// Drains completed job records into `buf`, reusing its capacity.
+    ///
+    /// `buf` is cleared and swapped with the internal record buffer, so a
+    /// caller polling every control period ping-pongs two buffers and the
+    /// steady-state drain performs no heap allocation (unlike
+    /// [`Scheduler::take_records`], which leaves an empty `Vec` behind and
+    /// forces the next period's records to reallocate).
+    pub fn drain_records_into(&mut self, buf: &mut Vec<JobRecord>) {
+        buf.clear();
+        std::mem::swap(&mut self.records, buf);
     }
 
     /// Deadline misses of a task so far.

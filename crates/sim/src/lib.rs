@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod name;
 pub mod report;
 pub mod rng;
 pub mod series;
@@ -44,6 +45,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use name::Name;
 pub use rng::SimRng;
 pub use series::{Histogram, Series};
 pub use time::{Duration, Time};

@@ -28,14 +28,20 @@ pub enum AggregateOp {
 }
 
 impl AggregateOp {
-    fn combine(self, values: &[f64]) -> f64 {
-        if values.is_empty() {
+    /// Combines dependency levels streamed from an iterator — the hot
+    /// propagation path runs this once per node per tick, so it must not
+    /// materialize the levels into a temporary allocation.
+    fn combine(self, mut values: impl Iterator<Item = f64>) -> f64 {
+        let Some(first) = values.next() else {
             return 1.0;
-        }
+        };
         match self {
-            AggregateOp::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
-            AggregateOp::Product => values.iter().product(),
-            AggregateOp::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            AggregateOp::Min => values.fold(first, f64::min),
+            AggregateOp::Product => first * values.product::<f64>(),
+            AggregateOp::Mean => {
+                let (sum, n) = values.fold((first, 1u32), |(s, n), v| (s + v, n + 1));
+                sum / f64::from(n)
+            }
         }
     }
 }
@@ -190,8 +196,8 @@ impl AbilityGraph {
             let new_level = if children.is_empty() {
                 self.measured[node.0] * self.local_health[node.0]
             } else {
-                let child_levels: Vec<f64> = children.iter().map(|c| self.level[c.0]).collect();
-                self.op.combine(&child_levels) * self.local_health[node.0]
+                let combined = self.op.combine(children.iter().map(|c| self.level[c.0]));
+                combined * self.local_health[node.0]
             };
             let new_level = new_level.clamp(0.0, 1.0);
             self.level[node.0] = new_level;

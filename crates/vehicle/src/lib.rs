@@ -13,6 +13,8 @@
 //!   the driver HMI.
 //! * [`traffic`] — road participants: scripted lead-vehicle profiles and
 //!   externally-driven co-simulation peers.
+//! * [`surrogate`] — struct-of-arrays background traffic for city-scale
+//!   co-simulation: batched IDM car-following over contiguous lanes.
 //! * [`acc_fn`] — the ACC function: target handling, constant-time-gap
 //!   control, actuator allocation with speed caps and regen preference.
 //! * [`world`] — the closed loop with safety metrics (min gap, TTC,
@@ -36,6 +38,7 @@ pub mod acc_fn;
 pub mod actuators;
 pub mod dynamics;
 pub mod sensors;
+pub mod surrogate;
 pub mod traffic;
 pub mod world;
 
@@ -45,5 +48,6 @@ pub use acc_fn::{
 pub use actuators::{BrakeCircuit, BrakeSystem, Powertrain};
 pub use dynamics::{Longitudinal, VehicleParams};
 pub use sensors::{HmiInput, RadarReading, RadarSensor, SensorFault, Weather, WheelSpeedSensor};
+pub use surrogate::{IdmParams, SurrogateTraffic};
 pub use traffic::{LeadVehicle, Participant, ProfileSegment};
 pub use world::{SafetyMetrics, VehicleWorld};

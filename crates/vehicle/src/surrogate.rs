@@ -1,0 +1,381 @@
+//! Struct-of-arrays surrogate traffic: the cheap fidelity tier of the
+//! city-scale co-simulation.
+//!
+//! A [`SurrogateTraffic`] store holds every background vehicle of a road
+//! chain in contiguous `Vec<f64>` lanes (position, speed, acceleration,
+//! gap) and advances them all with a batched IDM-style car-following
+//! update — two linear passes over the lanes per tick, no per-vehicle heap
+//! objects and no allocation after construction. A full self-aware
+//! vehicle ([`crate::world::VehicleWorld`]) costs tens of microseconds per
+//! tick; a surrogate slot costs tens of *nano*seconds, which is what makes
+//! 1,000-vehicle scenarios tractable while a handful of focal vehicles
+//! keep the complete self-awareness stack.
+//!
+//! Focal vehicles occupy *mirrored* slots: the engine pushes their true
+//! state into the store each lockstep tick ([`SurrogateTraffic::
+//! push_state`]), exactly like the externally-driven
+//! [`crate::traffic::Participant`] coupling `run_platoon` uses — so
+//! surrogate followers react to a focal vehicle's physics and vice versa,
+//! and promotion/demotion between the tiers is just flipping the mirror
+//! bit with the state already in place.
+
+use saav_sim::time::Duration;
+
+/// IDM-style car-following parameters shared by every surrogate vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdmParams {
+    /// Desired (free-road) speed (m/s).
+    pub desired_speed_mps: f64,
+    /// Desired time headway to the leader (s).
+    pub headway_s: f64,
+    /// Minimum bumper-to-bumper gap at standstill (m).
+    pub min_gap_m: f64,
+    /// Maximum acceleration (m/s²).
+    pub max_accel_mps2: f64,
+    /// Comfortable deceleration (m/s²), used in the braking interaction
+    /// term; the actual deceleration may exceed it in emergencies.
+    pub comfort_decel_mps2: f64,
+}
+
+impl Default for IdmParams {
+    fn default() -> Self {
+        IdmParams {
+            desired_speed_mps: 22.0,
+            headway_s: 1.6,
+            min_gap_m: 4.0,
+            max_accel_mps2: 1.8,
+            comfort_decel_mps2: 2.5,
+        }
+    }
+}
+
+/// The struct-of-arrays background-traffic store: one single-lane chain,
+/// index 0 at the front, each vehicle following the slot before it.
+#[derive(Debug, Clone)]
+pub struct SurrogateTraffic {
+    params: IdmParams,
+    /// Absolute longitudinal position on the shared road (m).
+    pos_m: Vec<f64>,
+    /// Speed (m/s), never negative.
+    speed_mps: Vec<f64>,
+    /// Acceleration computed by the last update pass (m/s²).
+    accel_mps2: Vec<f64>,
+    /// Bumper-to-bumper gap to the slot ahead (m); `INFINITY` at the front.
+    gap_m: Vec<f64>,
+    /// Mirrored slots hold externally-pushed state (a focal vehicle's true
+    /// physics) and are skipped by the integration passes.
+    mirrored: Vec<bool>,
+    /// Smallest gap ever observed across the chain (m).
+    min_gap_m: f64,
+    /// Whether any gap closed to zero.
+    collision: bool,
+}
+
+impl SurrogateTraffic {
+    /// Creates an empty store with the given car-following parameters.
+    pub fn new(params: IdmParams) -> Self {
+        SurrogateTraffic {
+            params,
+            pos_m: Vec::new(),
+            speed_mps: Vec::new(),
+            accel_mps2: Vec::new(),
+            gap_m: Vec::new(),
+            mirrored: Vec::new(),
+            min_gap_m: f64::INFINITY,
+            collision: false,
+        }
+    }
+
+    /// Creates an empty store with lane capacity pre-reserved for `n`
+    /// vehicles. Capacity is a memory hint only: simulated behaviour is
+    /// bit-identical for any capacity (pinned by the determinism tests).
+    pub fn with_capacity(params: IdmParams, n: usize) -> Self {
+        let mut s = SurrogateTraffic::new(params);
+        s.pos_m.reserve(n);
+        s.speed_mps.reserve(n);
+        s.accel_mps2.reserve(n);
+        s.gap_m.reserve(n);
+        s.mirrored.reserve(n);
+        s
+    }
+
+    /// Appends a vehicle at the back of the chain and returns its slot
+    /// index. The first vehicle pushed is the front of the chain.
+    ///
+    /// # Panics
+    /// Panics if the new vehicle would start at or ahead of the current
+    /// back of the chain (the chain must stay front-to-back ordered).
+    pub fn push_vehicle(&mut self, pos_m: f64, speed_mps: f64) -> usize {
+        if let Some(&back) = self.pos_m.last() {
+            assert!(
+                pos_m < back,
+                "vehicle at {pos_m} m must start behind the chain back at {back} m"
+            );
+        }
+        let idx = self.pos_m.len();
+        self.pos_m.push(pos_m);
+        self.speed_mps.push(speed_mps.max(0.0));
+        self.accel_mps2.push(0.0);
+        self.gap_m.push(if idx == 0 {
+            f64::INFINITY
+        } else {
+            self.pos_m[idx - 1] - pos_m
+        });
+        self.mirrored.push(false);
+        idx
+    }
+
+    /// Number of vehicles in the chain (all tiers).
+    pub fn len(&self) -> usize {
+        self.pos_m.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos_m.is_empty()
+    }
+
+    /// Number of surrogate-integrated (non-mirrored) vehicles.
+    pub fn surrogate_count(&self) -> usize {
+        self.mirrored.iter().filter(|&&m| !m).count()
+    }
+
+    /// Marks slot `i` as mirrored (true: a focal vehicle's physics owns
+    /// it) or surrogate-integrated (false). Demotion back to the surrogate
+    /// tier resumes integration from the last pushed state.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range slot.
+    pub fn set_mirrored(&mut self, i: usize, mirrored: bool) {
+        self.mirrored[i] = mirrored;
+        if !mirrored {
+            self.accel_mps2[i] = 0.0;
+        }
+    }
+
+    /// Whether slot `i` is mirrored.
+    pub fn is_mirrored(&self, i: usize) -> bool {
+        self.mirrored[i]
+    }
+
+    /// Pushes externally-simulated state into a mirrored slot — the same
+    /// coupling contract as [`crate::traffic::Participant::push_state`],
+    /// called once per lockstep tick by the engine.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range slot.
+    pub fn push_state(&mut self, i: usize, pos_m: f64, speed_mps: f64) {
+        self.pos_m[i] = pos_m;
+        self.speed_mps[i] = speed_mps.max(0.0);
+    }
+
+    /// Absolute position of slot `i` (m).
+    pub fn position_m(&self, i: usize) -> f64 {
+        self.pos_m[i]
+    }
+
+    /// Speed of slot `i` (m/s).
+    pub fn speed_mps(&self, i: usize) -> f64 {
+        self.speed_mps[i]
+    }
+
+    /// Gap of slot `i` to the vehicle ahead (m); `INFINITY` at the front.
+    pub fn gap_m(&self, i: usize) -> f64 {
+        self.gap_m[i]
+    }
+
+    /// Smallest gap observed so far across the whole chain (m).
+    pub fn min_gap_m(&self) -> f64 {
+        self.min_gap_m
+    }
+
+    /// Whether any gap ever closed to zero.
+    pub fn collision(&self) -> bool {
+        self.collision
+    }
+
+    /// The IDM acceleration of a follower at speed `v` with speed
+    /// difference `dv = v - v_lead` and gap `s`.
+    fn idm_accel(&self, v: f64, dv: f64, s: f64) -> f64 {
+        let p = &self.params;
+        let free = (v / p.desired_speed_mps).powi(4);
+        if s.is_infinite() {
+            return p.max_accel_mps2 * (1.0 - free);
+        }
+        let s_star = p.min_gap_m
+            + v * p.headway_s
+            + v * dv / (2.0 * (p.max_accel_mps2 * p.comfort_decel_mps2).sqrt());
+        let interaction = (s_star.max(0.0) / s.max(0.01)).powi(2);
+        p.max_accel_mps2 * (1.0 - free - interaction)
+    }
+
+    /// Advances every surrogate vehicle by `dt` with the batched two-pass
+    /// update: pass 1 streams the position/speed lanes and fills the
+    /// acceleration lane (each follower reacts to its leader's *previous*
+    /// state, so the result is independent of evaluation order); pass 2
+    /// integrates and refreshes the gap lane. Mirrored slots are read as
+    /// leaders but never written. No allocation.
+    pub fn step(&mut self, dt: Duration) {
+        let dt_s = dt.as_secs_f64();
+        let n = self.pos_m.len();
+        // Pass 1: acceleration from the (pre-step) kinematic lanes.
+        for i in 0..n {
+            if self.mirrored[i] {
+                continue;
+            }
+            let v = self.speed_mps[i];
+            let (dv, s) = if i == 0 {
+                (0.0, f64::INFINITY)
+            } else {
+                (v - self.speed_mps[i - 1], self.pos_m[i - 1] - self.pos_m[i])
+            };
+            self.accel_mps2[i] = self.idm_accel(v, dv, s);
+        }
+        // Pass 2: kinematic integration (semi-implicit Euler, speed
+        // clamped at zero) — mirrored slots keep their pushed state.
+        for i in 0..n {
+            if self.mirrored[i] {
+                continue;
+            }
+            let v = (self.speed_mps[i] + self.accel_mps2[i] * dt_s).max(0.0);
+            self.speed_mps[i] = v;
+            self.pos_m[i] += v * dt_s;
+        }
+        // Gap lane + safety metrics over the whole chain, mirrored slots
+        // included (a focal vehicle tailgated by a surrogate counts).
+        for i in 0..n {
+            let gap = if i == 0 {
+                f64::INFINITY
+            } else {
+                self.pos_m[i - 1] - self.pos_m[i]
+            };
+            self.gap_m[i] = gap;
+            if gap < self.min_gap_m {
+                self.min_gap_m = gap;
+            }
+            if gap <= 0.0 {
+                self.collision = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: Duration = Duration::from_millis(10);
+
+    fn chain(n: usize, gap: f64, speed: f64) -> SurrogateTraffic {
+        let mut t = SurrogateTraffic::new(IdmParams::default());
+        for i in 0..n {
+            t.push_vehicle(-(i as f64) * gap, speed);
+        }
+        t
+    }
+
+    #[test]
+    fn free_front_vehicle_reaches_desired_speed() {
+        let mut t = chain(1, 30.0, 10.0);
+        for _ in 0..120 * 100 {
+            t.step(DT);
+        }
+        let v = t.speed_mps(0);
+        assert!((v - 22.0).abs() < 0.2, "front speed {v}");
+    }
+
+    #[test]
+    fn followers_hold_formation_without_collision() {
+        let mut t = chain(50, 30.0, 22.0);
+        for _ in 0..60 * 100 {
+            t.step(DT);
+        }
+        assert!(!t.collision(), "min gap {}", t.min_gap_m());
+        assert!(t.min_gap_m() > 4.0, "min gap {}", t.min_gap_m());
+        // The chain stays strictly ordered.
+        for i in 1..t.len() {
+            assert!(t.position_m(i) < t.position_m(i - 1), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn hard_braking_leader_ripples_back_without_collision() {
+        let mut t = chain(20, 35.0, 22.0);
+        t.set_mirrored(0, true);
+        let mut lead_pos = 0.0;
+        let mut lead_speed = 22.0;
+        for step in 0..60 * 100 {
+            // The mirrored leader brakes hard at t = 10 s.
+            if step >= 10 * 100 {
+                lead_speed = (lead_speed - 5.0 * DT.as_secs_f64()).max(3.0);
+            }
+            lead_pos += lead_speed * DT.as_secs_f64();
+            t.push_state(0, lead_pos, lead_speed);
+            t.step(DT);
+        }
+        assert!(!t.collision(), "min gap {}", t.min_gap_m());
+        // The tail reacted: far-back vehicles slowed toward the leader.
+        assert!(t.speed_mps(19) < 10.0, "tail speed {}", t.speed_mps(19));
+    }
+
+    #[test]
+    fn mirrored_slots_are_never_integrated() {
+        let mut t = chain(3, 30.0, 20.0);
+        t.set_mirrored(1, true);
+        t.push_state(1, -30.0, 20.0);
+        t.step(DT);
+        assert_eq!(t.position_m(1), -30.0, "mirror holds pushed state");
+        assert_eq!(t.speed_mps(1), 20.0);
+        // Its follower still reacts to it through the gap lane.
+        assert!(t.gap_m(2).is_finite());
+    }
+
+    #[test]
+    fn demotion_resumes_integration_from_pushed_state() {
+        let mut t = chain(2, 30.0, 22.0);
+        t.set_mirrored(1, true);
+        t.push_state(1, -35.0, 18.0);
+        t.set_mirrored(1, false);
+        t.step(DT);
+        // Integration continued from the pushed state, not the original.
+        assert!(t.position_m(1) > -35.0);
+        assert!(t.position_m(1) < -34.0);
+    }
+
+    #[test]
+    fn capacity_does_not_change_the_trajectory() {
+        let run = |capacity: usize| {
+            let mut t = SurrogateTraffic::with_capacity(IdmParams::default(), capacity);
+            for i in 0..10 {
+                t.push_vehicle(-(i as f64) * 25.0, 20.0);
+            }
+            for _ in 0..1_000 {
+                t.step(DT);
+            }
+            (0..t.len()).map(|i| t.position_m(i).to_bits()).collect()
+        };
+        let a: Vec<u64> = run(0);
+        let b: Vec<u64> = run(1_024);
+        assert_eq!(a, b, "capacity is a memory hint, not behaviour");
+    }
+
+    #[test]
+    fn chain_must_be_pushed_front_to_back() {
+        let mut t = chain(2, 30.0, 20.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.push_vehicle(100.0, 20.0);
+        }));
+        assert!(result.is_err(), "out-of-order push must panic");
+    }
+
+    #[test]
+    fn standstill_chain_keeps_min_gap() {
+        let mut t = chain(5, 4.5, 0.0);
+        for _ in 0..30 * 100 {
+            t.step(DT);
+        }
+        assert!(!t.collision());
+        // From near-standstill spacing the chain pulls away in order.
+        assert!(t.speed_mps(0) > t.speed_mps(4));
+    }
+}

@@ -57,7 +57,7 @@ fn cpu_analysis_bounds_simulated_responses() {
         }
         let result = analysis.analyze().expect("schedulable set");
         sched.advance(Time::from_secs(10), 1.0);
-        let mut max_response: std::collections::HashMap<String, Duration> =
+        let mut max_response: std::collections::HashMap<saav_sim::name::Name, Duration> =
             std::collections::HashMap::new();
         for rec in sched.take_records() {
             let e = max_response

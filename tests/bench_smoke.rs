@@ -4,7 +4,7 @@
 //! non-empty, renderable table.
 
 use saav_bench::{
-    exp_can, exp_fleet, exp_learn, exp_mcc, exp_monitor, exp_platoon, exp_propagation,
+    exp_can, exp_city, exp_fleet, exp_learn, exp_mcc, exp_monitor, exp_platoon, exp_propagation,
     exp_scenarios, exp_skills,
 };
 use saav_sim::report::Table;
@@ -118,6 +118,21 @@ fn e12_learned_monitor_completes() {
     assert_eq!(e12.baseline_false_positives(), 0);
     assert_populated("e12", &exp_learn::e12_runs_table(&e12));
     assert_populated("e12b", &exp_learn::e12_summary_table(&e12));
+}
+
+/// Smoke for the E14 entry point: the density sweep renders one row per
+/// density and the densest scene really exercises the surrogate tier.
+/// The latency-invariance acceptance thresholds live in `exp_city`'s own
+/// tests and CI's `repro -- e14` step.
+#[test]
+fn e14_city_density_sweep_completes() {
+    let table = exp_city::e14_table();
+    assert_eq!(
+        table.len(),
+        exp_city::E14_DENSITIES.len(),
+        "e14: one row per background density"
+    );
+    assert_populated("e14", &table);
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Allocation pins for the hot tick paths.
+//!
+//! The whole binary runs under a counting wrapper around the system
+//! allocator; each pin warms a simulation up past its start-up
+//! allocations (series buffers, scheduler queues, CAN queues), then
+//! counts heap allocations across a window of nominal ticks placed
+//! between the 1 Hz recording instants and asserts the count is zero.
+//! Any future `clone()`, `format!()` or `Vec` growth snuck into a tick
+//! path fails these tests rather than silently costing 100 Hz × fleet.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use saav::core::runner::SteppedRun;
+use saav::core::scenario::{ResponseStrategy, ScenarioFamily};
+use saav::sim::time::Duration;
+use saav::vehicle::{IdmParams, SurrogateTraffic};
+
+/// Forwards to the system allocator, counting allocations (and
+/// reallocations) while [`COUNTING`] is set.
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Serializes the tests in this binary: the counter is process-global, so
+/// another test's setup allocating mid-window would register as a false
+/// positive. Each test holds the gate for its whole body.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with allocation counting on and returns how many heap
+/// allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// The nominal single-vehicle tick path allocates nothing: platform,
+/// scheduler, plant, CAN pump, monitor scan, ability propagation — the
+/// full per-control-period stack — run allocation-free once warm. The
+/// window deliberately dodges the whole-second instants, where the 1 Hz
+/// series push is *allowed* to grow its buffers.
+#[test]
+fn nominal_tick_path_is_allocation_free() {
+    let _g = gate();
+    let mut scenario = ScenarioFamily::Baseline.build(ResponseStrategy::CrossLayer, 42);
+    scenario.duration = Duration::from_secs(30);
+    let mut sim = SteppedRun::new(&scenario);
+    // Warm up through two whole-second instants so every ring buffer,
+    // queue and series has reached steady-state capacity.
+    while sim.now_millis() < 2_000 {
+        sim.tick();
+    }
+    assert_eq!(sim.now_millis() % 1_000, 0, "warmup must end on a second");
+    let allocs = count_allocs(|| {
+        for _ in 0..99 {
+            sim.tick();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "nominal tick path allocated {allocs} times in 99 ticks"
+    );
+    assert_eq!(sim.now_millis(), 2_990);
+}
+
+/// The surrogate-tier batch update is allocation-free from the very
+/// first step: the struct-of-arrays lanes are sized at construction and
+/// the three passes touch nothing but them.
+#[test]
+fn surrogate_store_step_is_allocation_free() {
+    let _g = gate();
+    let mut store = SurrogateTraffic::new(IdmParams::default());
+    for i in 0..1_000 {
+        store.push_vehicle(-30.0 * i as f64, 22.0);
+    }
+    let dt = Duration::from_millis(10);
+    let allocs = count_allocs(|| {
+        for _ in 0..1_000 {
+            store.step(dt);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "surrogate step allocated {allocs} times in 1,000 batch ticks"
+    );
+    assert!(!store.collision(), "warm chain must stay collision-free");
+}
