@@ -1,13 +1,16 @@
 //! Criterion bench for the fleet runner: scenarios/second on one worker
-//! thread vs all available workers.
+//! thread vs all available workers, and a fully-warm memoized sweep.
 //!
 //! The job list is the full scenario library at a trimmed 10 s duration so
 //! one iteration stays cheap; the comparison isolates the thread-scaling of
 //! the batch machinery. On a single-core host the two groups converge —
-//! the speedup shows wherever `available_parallelism > 1`.
+//! the speedup shows wherever `available_parallelism > 1`. The warm-cache
+//! group re-runs the identical job list against a pre-warmed
+//! [`ResultCache`], so it measures pure hash-lookup-and-assemble cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use saav_core::cache::ResultCache;
 use saav_core::fleet::FleetRunner;
 use saav_core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
 use saav_sim::time::Duration;
@@ -40,6 +43,13 @@ fn bench_fleet_throughput(c: &mut Criterion) {
             b.iter(|| fleet.run_scenarios(jobs()))
         });
     }
+    group.bench_function("warm_cache", |b| {
+        let fleet = FleetRunner::new(7)
+            .with_threads(1)
+            .with_cache(ResultCache::in_memory());
+        let _ = fleet.run_scenarios(jobs()); // warm every slot
+        b.iter(|| fleet.run_scenarios(jobs()))
+    });
     group.finish();
 }
 

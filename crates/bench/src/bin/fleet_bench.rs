@@ -1,0 +1,282 @@
+//! Emits `BENCH_fleet_throughput.json`: the machine-readable performance
+//! trajectory of the incremental fleet engine.
+//!
+//! Usage: `fleet_bench [--test] [--out PATH]`
+//!
+//! Three phases:
+//!
+//! 1. **Memoization** — the full E11 grid (every scenario family × every
+//!    strategy) swept cold through a cache-mounted [`FleetRunner`], then
+//!    swept again warm. The warm sweep simulates nothing, so its wall
+//!    time is pure cache traffic; the acceptance floor is a ≥ 10× warm
+//!    speedup.
+//! 2. **Scheduling** — a skewed job mix (one long run amid a grid of
+//!    short ones). Per-job costs are calibrated by timing each job once
+//!    single-threaded, then the static-chunk and work-steal schedules
+//!    are replayed over those costs in virtual time, mirroring the shard
+//!    executor's exact policy (drain your own shard, then steal from the
+//!    richest). The reported makespans are therefore deterministic and
+//!    host-independent — on this single-core CI box, wall time cannot
+//!    distinguish schedulers, calibrated makespan can. Acceptance floor:
+//!    work stealing ≥ 1.3× over static chunking.
+//! 3. **Scaling** — wall time of the skewed mix at 1..N worker threads,
+//!    informational (no gate; single-core hosts converge).
+//!
+//! Outside `--test` mode the process exits nonzero if either floor is
+//! missed. `--test` shrinks every duration for CI smoke runs and skips
+//! the gates (short horizons are noisy).
+//!
+//! JSON schema (`schema_version` 1): see the README's "Fleet engine"
+//! section.
+
+use std::time::Instant;
+
+use saav_core::cache::ResultCache;
+use saav_core::executor::Scheduler;
+use saav_core::fleet::FleetRunner;
+use saav_core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav_sim::time::Duration;
+
+/// Acceptance floor: warm (cache-hit) sweep wall-time speedup over cold.
+const MIN_WARM_SPEEDUP: f64 = 10.0;
+/// Acceptance floor: work-steal makespan advantage over static chunking
+/// on the skewed mix.
+const MIN_STEAL_SPEEDUP: f64 = 1.3;
+/// Workers the scheduling phase models.
+const SCHED_WORKERS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out_path = out_path(&args);
+    let master_seed = 2024;
+
+    // --- phase 1: memoized cold vs warm sweep ----------------------------
+    let grid_jobs = || -> Vec<Scenario> {
+        let mut jobs = Vec::new();
+        for &family in &ScenarioFamily::ALL {
+            for &strategy in &ResponseStrategy::ALL {
+                let mut s = family.build(strategy, 0);
+                if test_mode {
+                    s.duration = Duration::from_secs(5);
+                }
+                jobs.push(s);
+            }
+        }
+        jobs
+    };
+    let cache = ResultCache::in_memory();
+    let runner = FleetRunner::new(master_seed).with_cache(cache.clone());
+    let start = Instant::now();
+    let cold = runner.run_scenarios(grid_jobs());
+    let cold_wall_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let warm = runner.run_scenarios(grid_jobs());
+    let warm_wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(cold.records, warm.records, "warm sweep diverged from cold");
+    let cache_stats = cache.stats();
+    let warm_speedup = cold_wall_s / warm_wall_s.max(1e-9);
+    let grid = cold.records.len();
+    eprintln!(
+        "memoization: {grid}-run grid cold {cold_wall_s:.3} s, warm {warm_wall_s:.6} s \
+         ({warm_speedup:.0}x, {} hits / {} misses)",
+        cache_stats.hits, cache_stats.misses
+    );
+
+    // --- phase 2: scheduling on a skewed mix -----------------------------
+    // One long job leading a grid of short ones: static chunking strands
+    // the long job's blockmates behind it, stealing redistributes them.
+    let (heavy_s, light_s) = if test_mode { (9, 1) } else { (45, 5) };
+    let skewed_jobs = || -> Vec<Scenario> {
+        let mut jobs = Vec::new();
+        let mut heavy = ScenarioFamily::Intrusion.build(ResponseStrategy::CrossLayer, 0);
+        heavy.duration = Duration::from_secs(heavy_s);
+        heavy.label = "skew/heavy".into();
+        jobs.push(heavy);
+        for i in 0..27 {
+            let family = ScenarioFamily::ALL[i % ScenarioFamily::ALL.len()];
+            let strategy = ResponseStrategy::ALL[i % ResponseStrategy::ALL.len()];
+            let mut s = family.build(strategy, 0);
+            s.duration = Duration::from_secs(light_s);
+            jobs.push(s);
+        }
+        jobs
+    };
+    // Calibrate per-job costs single-threaded (job results are identical
+    // under any scheduler, so the costs transfer).
+    let calib_jobs = skewed_jobs();
+    let mut costs_s = Vec::with_capacity(calib_jobs.len());
+    {
+        let mut jobs = calib_jobs;
+        for (i, s) in jobs.iter_mut().enumerate() {
+            s.seed = i as u64; // seeding is irrelevant to cost calibration
+        }
+        for s in &jobs {
+            let start = Instant::now();
+            let _ = saav_core::runner::run(s.clone());
+            costs_s.push(start.elapsed().as_secs_f64());
+        }
+    }
+    let static_makespan_s = simulate_schedule(&costs_s, SCHED_WORKERS, false);
+    let steal_makespan_s = simulate_schedule(&costs_s, SCHED_WORKERS, true);
+    let steal_speedup = static_makespan_s / steal_makespan_s.max(1e-9);
+    eprintln!(
+        "scheduling: {} jobs on {SCHED_WORKERS} workers — static makespan {:.3} s, \
+         steal makespan {:.3} s ({steal_speedup:.2}x)",
+        costs_s.len(),
+        static_makespan_s,
+        steal_makespan_s,
+    );
+    // Cross-check: both schedulers produce bit-identical batches.
+    let steal_out = FleetRunner::new(master_seed)
+        .with_threads(SCHED_WORKERS)
+        .with_scheduler(Scheduler::WorkSteal)
+        .run_scenarios(skewed_jobs());
+    let static_out = FleetRunner::new(master_seed)
+        .with_threads(SCHED_WORKERS)
+        .with_scheduler(Scheduler::StaticChunk)
+        .run_scenarios(skewed_jobs());
+    assert_eq!(
+        steal_out.records, static_out.records,
+        "schedulers must not change results"
+    );
+
+    // --- phase 3: thread scaling (informational) -------------------------
+    let mut scaling = Vec::new();
+    for threads in [1usize, 2, SCHED_WORKERS] {
+        let runner = FleetRunner::new(master_seed).with_threads(threads);
+        let start = Instant::now();
+        let out = runner.run_scenarios(skewed_jobs());
+        let wall_s = start.elapsed().as_secs_f64();
+        eprintln!(
+            "scaling: {threads} thread(s) {wall_s:.3} s ({:.1} jobs/s)",
+            out.records.len() as f64 / wall_s
+        );
+        scaling.push((threads, wall_s, out.records.len() as f64 / wall_s));
+    }
+
+    // --- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fleet_throughput\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if test_mode { "test" } else { "full" }
+    ));
+    json.push_str("  \"memoization\": {\n");
+    json.push_str(&format!("    \"grid_jobs\": {grid},\n"));
+    json.push_str(&format!("    \"cold_wall_s\": {cold_wall_s:.4},\n"));
+    json.push_str(&format!("    \"warm_wall_s\": {warm_wall_s:.6},\n"));
+    json.push_str(&format!("    \"warm_speedup\": {warm_speedup:.1},\n"));
+    json.push_str(&format!(
+        "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}}}\n",
+        cache_stats.hits, cache_stats.misses, cache_stats.insertions
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"scheduling\": {\n");
+    json.push_str(
+        "    \"methodology\": \"per-job costs calibrated single-threaded, \
+schedules replayed in virtual time mirroring the shard executor policy\",\n",
+    );
+    json.push_str(&format!("    \"workers\": {SCHED_WORKERS},\n"));
+    json.push_str(&format!("    \"jobs\": {},\n", costs_s.len()));
+    json.push_str(&format!("    \"heavy_job_s\": {heavy_s},\n"));
+    json.push_str(&format!("    \"light_job_s\": {light_s},\n"));
+    json.push_str(&format!(
+        "    \"static_makespan_s\": {static_makespan_s:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"steal_makespan_s\": {steal_makespan_s:.4},\n"
+    ));
+    json.push_str(&format!("    \"steal_speedup\": {steal_speedup:.2}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"scaling\": [\n");
+    for (i, (threads, wall_s, jobs_per_s)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"wall_s\": {wall_s:.3}, \
+             \"jobs_per_s\": {jobs_per_s:.1}}}{}\n",
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    // --- acceptance gates ------------------------------------------------
+    if !test_mode {
+        let mut failed = false;
+        if warm_speedup < MIN_WARM_SPEEDUP {
+            eprintln!(
+                "FAIL: warm sweep speedup {warm_speedup:.1}x is below the \
+                 {MIN_WARM_SPEEDUP:.0}x floor — the result cache is not paying"
+            );
+            failed = true;
+        }
+        if steal_speedup < MIN_STEAL_SPEEDUP {
+            eprintln!(
+                "FAIL: work-steal speedup {steal_speedup:.2}x is below the \
+                 {MIN_STEAL_SPEEDUP:.1}x floor on the skewed mix"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replays a schedule over calibrated per-job costs in virtual time,
+/// mirroring the shard executor's policy exactly: each worker owns the
+/// balanced contiguous shard `[w*n/W, (w+1)*n/W)`, drains it in order,
+/// and — when stealing — continues with the front job of whichever shard
+/// has the most jobs remaining. Returns the makespan (the latest worker
+/// finish time).
+fn simulate_schedule(costs_s: &[f64], workers: usize, steal: bool) -> f64 {
+    let n = costs_s.len();
+    let workers = workers.clamp(1, n.max(1));
+    let mut cursor: Vec<usize> = (0..workers).map(|w| w * n / workers).collect();
+    let end: Vec<usize> = (0..workers).map(|w| (w + 1) * n / workers).collect();
+    let mut clock = vec![0.0f64; workers];
+    let mut done = vec![false; workers];
+    // The idle worker that frees up first acts next.
+    while let Some(w) = (0..workers)
+        .filter(|&w| !done[w])
+        .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
+    {
+        let shard = if cursor[w] < end[w] {
+            Some(w)
+        } else if steal {
+            (0..workers)
+                .filter(|&v| cursor[v] < end[v])
+                .max_by_key(|&v| end[v] - cursor[v])
+        } else {
+            None
+        };
+        match shard {
+            Some(v) => {
+                clock[w] += costs_s[cursor[v]];
+                cursor[v] += 1;
+            }
+            None => done[w] = true,
+        }
+    }
+    clock.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Parses `--out PATH` / `--out=PATH`; defaults to
+/// `BENCH_fleet_throughput.json`.
+fn out_path(args: &[String]) -> String {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(v) = a.strip_prefix("--out=") {
+            return v.to_string();
+        }
+        if a == "--out" {
+            if let Some(v) = iter.next() {
+                return v.clone();
+            }
+        }
+    }
+    "BENCH_fleet_throughput.json".to_string()
+}

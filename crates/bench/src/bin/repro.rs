@@ -1,6 +1,6 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [--threads N] [e1 … e14 a1 a2 a3 | all]`
+//! Usage: `repro [--threads N] [e1 … e15 a1 a2 a3 | all]`
 //!
 //! `--threads N` pins the fleet worker count of the sweep experiments
 //! (E11/E12/E13); without it the `SAAV_THREADS` environment variable applies,
@@ -14,7 +14,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "a1", "a2", "a3",
+            "e14", "e15", "a1", "a2", "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -56,6 +56,10 @@ fn main() {
                 println!("{}", exp_cosim::e13_summary_table(&fleet).render());
             }
             "e14" => println!("{}", exp_city::e14_table().render()),
+            "e15" => {
+                println!("{}", exp_fleet::e15_table().render());
+                println!("{}", exp_fleet::e15b_table().render());
+            }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),
             "a3" => println!("{}", exp_monitor::a3_table().render()),

@@ -1,13 +1,23 @@
 //! E11: the fleet sweep — the whole scenario library × every response
-//! strategy, executed through the [`FleetRunner`].
+//! strategy, executed through the [`FleetRunner`]. E15: the incremental
+//! fleet engine on the same grid — a cold memoized sweep, a warm re-sweep
+//! served entirely from the [`ResultCache`], and the columnar results
+//! sink with its group-by latency queries.
 //!
 //! The paper's claim is that cross-layer self-awareness pays off across
 //! *many* operating conditions, not just the three headline scenarios.
 //! E11 makes that quantitative: all nine [`ScenarioFamily`] members run
 //! under all three strategies (27 runs) with deterministically derived
 //! seeds, and the fleet-level aggregates show the availability/risk trade
-//! per strategy over the full library.
+//! per strategy over the full library. E15 then pins the engine economics
+//! of iterating on that grid: a repeated sweep does zero simulation work
+//! and still reproduces the cold statistics bit for bit.
 
+use std::sync::OnceLock;
+
+use saav_core::cache::{CacheStats, ResultCache};
+use saav_core::colstore::{FleetColumns, GroupBy};
+use saav_core::csv::records_csv;
 use saav_core::fleet::{FleetOutcome, FleetRunner};
 use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
 use saav_sim::report::{fmt_f64, Table};
@@ -96,6 +106,115 @@ pub fn e11_summary_table(fleet: &FleetOutcome) -> Table {
     t
 }
 
+/// The completed E15 experiment: one cold memoized sweep, one warm
+/// re-sweep over the identical grid, the cache counter snapshots taken
+/// after each, and the warm batch in columnar form.
+pub struct E15Outcome {
+    /// The cold sweep (every job simulated, every result inserted).
+    pub cold: FleetOutcome,
+    /// The warm re-sweep (every job a cache hit).
+    pub warm: FleetOutcome,
+    /// Cache counters after the cold sweep.
+    pub cold_cache: CacheStats,
+    /// Cumulative cache counters after the warm sweep.
+    pub warm_cache: CacheStats,
+    /// The warm batch transposed into the columnar results sink.
+    pub columns: FleetColumns,
+    /// Size of the serialized columnar batch (bytes).
+    pub columnar_bytes: usize,
+    /// Size of the same batch as CSV (bytes), for scale.
+    pub csv_bytes: usize,
+}
+
+/// Runs E15 once per process (memoized, so the repro binary and the test
+/// suite share one execution): the E11 grid through a cache-mounted
+/// runner, cold then warm.
+pub fn e15_outcome() -> &'static E15Outcome {
+    static OUT: OnceLock<E15Outcome> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let cache = ResultCache::in_memory();
+        let runner = FleetRunner::new(E11_MASTER_SEED).with_cache(cache.clone());
+        let grid = || runner.sweep(&ScenarioFamily::ALL, &ResponseStrategy::ALL, 1);
+        let cold = grid();
+        let cold_cache = cache.stats();
+        let warm = grid();
+        let warm_cache = cache.stats();
+        let columns = FleetColumns::from_records(&warm.records);
+        let columnar_bytes = columns.to_bytes().len();
+        let csv_bytes = records_csv(&warm.records).len();
+        E15Outcome {
+            cold,
+            warm,
+            cold_cache,
+            warm_cache,
+            columns,
+            columnar_bytes,
+            csv_bytes,
+        }
+    })
+}
+
+/// E15: cold-vs-warm memoized sweep table — cache traffic per phase and
+/// the bit-identity of the warm aggregates.
+pub fn e15_table() -> Table {
+    let out = e15_outcome();
+    let mut t = Table::new([
+        "phase",
+        "runs",
+        "cache hits",
+        "cache misses",
+        "stats vs cold",
+    ])
+    .with_title(format!(
+        "E15: incremental fleet engine — memoized {}-run grid, warm sweep simulates nothing",
+        out.cold.records.len()
+    ));
+    t.row([
+        "cold".to_string(),
+        out.cold.stats.runs.to_string(),
+        out.cold_cache.hits.to_string(),
+        out.cold_cache.misses.to_string(),
+        "—".to_string(),
+    ]);
+    let warm_hits = out.warm_cache.hits - out.cold_cache.hits;
+    let warm_misses = out.warm_cache.misses - out.cold_cache.misses;
+    t.row([
+        "warm".to_string(),
+        out.warm.stats.runs.to_string(),
+        warm_hits.to_string(),
+        warm_misses.to_string(),
+        if out.warm.stats == out.cold.stats {
+            "bit-identical".to_string()
+        } else {
+            "DIVERGED".to_string()
+        },
+    ]);
+    t
+}
+
+/// E15b: the columnar results sink — per-family detection-latency
+/// percentiles answered straight from the column arrays, with the
+/// columnar-vs-CSV size in the title.
+pub fn e15b_table() -> Table {
+    let out = e15_outcome();
+    let mut t = Table::new(["family", "detected", "mean", "p50", "p95"]).with_title(format!(
+        "E15b: columnar sink group-by — {} runs in {} B columnar ({} B as CSV)",
+        out.columns.len(),
+        out.columnar_bytes,
+        out.csv_bytes
+    ));
+    for (family, lat) in out.columns.latency_percentiles(GroupBy::Family) {
+        t.row([
+            family,
+            lat.detected.to_string(),
+            format!("{}s", fmt_f64(lat.mean_s, 1)),
+            format!("{}s", fmt_f64(lat.p50_s, 1)),
+            format!("{}s", fmt_f64(lat.p95_s, 1)),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +245,47 @@ mod tests {
         // Both tables render from the same sweep without re-running it.
         assert!(!e11_runs_table(&fleet).is_empty());
         assert!(!e11_summary_table(&fleet).is_empty());
+    }
+
+    #[test]
+    fn e15_warm_sweep_is_pure_cache_traffic() {
+        let out = e15_outcome();
+        let grid = ScenarioFamily::ALL.len() * ResponseStrategy::ALL.len();
+        // Cold: every job missed, simulated and inserted; no hits.
+        assert_eq!(out.cold_cache.misses, grid as u64);
+        assert_eq!(out.cold_cache.insertions, grid as u64);
+        assert_eq!(out.cold_cache.hits, 0);
+        // Warm: every job a hit, nothing new missed or inserted.
+        assert_eq!(out.warm_cache.hits, grid as u64);
+        assert_eq!(out.warm_cache.misses, out.cold_cache.misses);
+        assert_eq!(out.warm_cache.insertions, out.cold_cache.insertions);
+        // The warm batch reproduces the cold batch bit for bit.
+        assert_eq!(out.warm.records, out.cold.records);
+        assert_eq!(out.warm.stats, out.cold.stats);
+        // The memoized E15 grid matches an independent uncached E11 sweep
+        // — caching changes cost, never results.
+        let plain = e11_sweep();
+        assert_eq!(out.cold.records, plain.records);
+    }
+
+    #[test]
+    fn e15_columns_agree_with_the_record_path() {
+        let out = e15_outcome();
+        // Direct-from-columns stats are bit-identical to the record path.
+        assert_eq!(out.columns.stats(), out.warm.stats);
+        // The serialized batch round-trips losslessly.
+        let decoded = FleetColumns::from_bytes(&out.columns.to_bytes()).expect("decode");
+        assert_eq!(decoded.to_records(), out.warm.records);
+        assert!(
+            out.columnar_bytes < out.csv_bytes,
+            "columnar {} B >= CSV {} B",
+            out.columnar_bytes,
+            out.csv_bytes
+        );
+        // Every family of the grid answers a group-by row.
+        let by_family = out.columns.latency_percentiles(GroupBy::Family);
+        assert_eq!(by_family.len(), ScenarioFamily::ALL.len());
+        assert!(!e15_table().is_empty());
+        assert!(!e15b_table().is_empty());
     }
 }

@@ -103,13 +103,14 @@ mod tests {
     use crate::scenario::ResponseStrategy;
     use saav_sim::time::Time;
     use saav_skills::decision::DrivingMode;
+    use std::sync::Arc;
 
     fn record() -> FleetRecord {
         FleetRecord {
             strategy: ResponseStrategy::CrossLayer,
             seed: 0xabcd,
             injected_at: Some(Time::from_secs(30)),
-            summary: Summary {
+            summary: Arc::new(Summary {
                 label: "intrusion/CrossLayer".into(),
                 collision: false,
                 distance_m: 1986.5,
@@ -120,7 +121,7 @@ mod tests {
                 final_mode: DrivingMode::Normal,
                 platoon: None,
                 city: None,
-            },
+            }),
         }
     }
 
@@ -139,9 +140,10 @@ mod tests {
     #[test]
     fn missing_detections_are_empty_fields() {
         let mut rec = record();
-        rec.summary.first_detection = None;
-        rec.summary.first_model_deviation = None;
-        rec.summary.mitigated_at = None;
+        let s = Arc::make_mut(&mut rec.summary);
+        s.first_detection = None;
+        s.first_model_deviation = None;
+        s.mitigated_at = None;
         let row = record_row(&rec);
         assert!(row.contains(",,,,"), "{row}");
     }
@@ -150,7 +152,7 @@ mod tests {
     fn platoon_rows_fill_the_cooperative_columns() {
         use crate::outcome::PlatoonSummary;
         let mut rec = record();
-        rec.summary.platoon = Some(PlatoonSummary {
+        Arc::make_mut(&mut rec.summary).platoon = Some(PlatoonSummary {
             members: 5,
             member_collisions: 1,
             converged_at: Some(Time::from_secs(1)),
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn fields_with_commas_are_quoted() {
         let mut rec = record();
-        rec.summary.label = "a,b".into();
+        Arc::make_mut(&mut rec.summary).label = "a,b".into();
         assert!(record_row(&rec).starts_with("\"a,b\","));
     }
 

@@ -1,0 +1,211 @@
+//! The fleet's shard executor: scoped worker threads over a fixed job
+//! list, with either static chunking or work stealing.
+//!
+//! Both schedulers preserve the determinism contract the fleet proptests
+//! pin: results land in fixed per-job slots, so the output vector is in
+//! job order and bit-identical regardless of worker count, scheduler, or
+//! which worker happened to execute which job. Scheduling only decides
+//! *who* runs a job, never *what* the job computes — every job is seeded
+//! before execution starts.
+//!
+//! [`Scheduler::WorkSteal`] (the default) partitions the job range into
+//! one contiguous shard per worker, each with an atomic cursor. A worker
+//! drains its own shard, then repeatedly steals from the shard with the
+//! most work remaining — so a skewed mix (one 60 s city run amid 10 s
+//! solo runs) no longer leaves the other workers idle the way
+//! [`Scheduler::StaticChunk`] does. The static scheduler is kept as the
+//! measurable baseline for `fleet_bench`.
+//!
+//! With one worker (e.g. `SAAV_THREADS=1`) no thread is spawned at all:
+//! the jobs run as a plain inline loop on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How jobs are distributed over the worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Each worker owns one contiguous block of the job range and never
+    /// helps anyone else — cheap, but a single expensive block serializes
+    /// the batch. Kept as the benchmark baseline.
+    StaticChunk,
+    /// Block-partitioned shards with an atomic cursor each; idle workers
+    /// steal from the shard with the most jobs remaining.
+    #[default]
+    WorkSteal,
+}
+
+/// One worker's contiguous shard of the job range (balanced split).
+fn shard_range(jobs: usize, workers: usize, w: usize) -> (usize, usize) {
+    (w * jobs / workers, (w + 1) * jobs / workers)
+}
+
+struct Shard {
+    cursor: AtomicUsize,
+    end: usize,
+}
+
+/// The shard with the most jobs remaining, if any shard has work left.
+fn richest(shards: &[Shard]) -> Option<usize> {
+    let mut best = None;
+    let mut best_left = 0;
+    for (i, s) in shards.iter().enumerate() {
+        let left = s.end.saturating_sub(s.cursor.load(Ordering::Relaxed));
+        if left > best_left {
+            best_left = left;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Executes `jobs` indexed jobs on `workers` threads under `scheduler`,
+/// returning the results in job order. The closure receives
+/// `(job_index, worker_index)`; the worker index exists so callers (the
+/// throughput benchmark) can observe the actual job→worker assignment.
+///
+/// `workers` is clamped to `1..=jobs`; with one worker everything runs
+/// inline on the calling thread with no spawn and no slot locking.
+pub fn run<T, F>(jobs: usize, workers: usize, scheduler: Scheduler, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs);
+    if workers == 1 {
+        return (0..jobs).map(|i| job(i, 0)).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let store = |i: usize, w: usize| {
+        *slots[i].lock().expect("worker never panics holding a slot") = Some(job(i, w));
+    };
+    match scheduler {
+        Scheduler::StaticChunk => std::thread::scope(|scope| {
+            for w in 0..workers {
+                let store = &store;
+                scope.spawn(move || {
+                    let (start, end) = shard_range(jobs, workers, w);
+                    for i in start..end {
+                        store(i, w);
+                    }
+                });
+            }
+        }),
+        Scheduler::WorkSteal => {
+            let shards: Vec<Shard> = (0..workers)
+                .map(|w| {
+                    let (start, end) = shard_range(jobs, workers, w);
+                    Shard {
+                        cursor: AtomicUsize::new(start),
+                        end,
+                    }
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let store = &store;
+                    let shards = &shards;
+                    scope.spawn(move || {
+                        let mut shard = w;
+                        loop {
+                            let i = shards[shard].cursor.fetch_add(1, Ordering::Relaxed);
+                            if i < shards[shard].end {
+                                store(i, w);
+                                continue;
+                            }
+                            // Shard drained (or a race took its last job):
+                            // move to the fullest remaining shard.
+                            match richest(shards) {
+                                Some(victim) => shard = victim,
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock not poisoned")
+                .expect("every job slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        let out: Vec<u32> = run(0, 4, Scheduler::WorkSteal, |_, _| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline_on_the_caller() {
+        let caller = std::thread::current().id();
+        let out = run(5, 1, Scheduler::WorkSteal, |i, w| {
+            assert_eq!(std::thread::current().id(), caller, "job {i} not inline");
+            (i, w)
+        });
+        assert_eq!(out, vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+    }
+
+    #[test]
+    fn results_are_in_job_order_for_both_schedulers() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for scheduler in [Scheduler::StaticChunk, Scheduler::WorkSteal] {
+            for workers in [1, 2, 3, 8, 64] {
+                let out = run(37, workers, scheduler, |i, w| {
+                    assert!(w < workers.min(37), "worker index {w} out of range");
+                    i * i
+                });
+                assert_eq!(out, expected, "{scheduler:?} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_job_range() {
+        for jobs in [1usize, 7, 16, 27, 100] {
+            for workers in 1..=8 {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (start, end) = shard_range(jobs, workers, w);
+                    assert_eq!(start, covered, "gap before shard {w}");
+                    covered = end;
+                }
+                assert_eq!(covered, jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_slow_shard() {
+        // Worker 0's shard (jobs 0..8) is slow; worker 1's (8..16) is
+        // instant. Worker 1 must finish its own shard and steal — so at
+        // least one slow job is executed by a worker other than 0.
+        let executed_by = run(16, 2, Scheduler::WorkSteal, |i, w| {
+            if i < 8 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            w
+        });
+        assert!(
+            executed_by[..8].iter().any(|&w| w != 0),
+            "no slow job was stolen: {executed_by:?}"
+        );
+        // Static chunking, by contrast, pins every job to its block owner.
+        let static_by = run(16, 2, Scheduler::StaticChunk, |i, _| usize::from(i >= 8));
+        let owners = run(16, 2, Scheduler::StaticChunk, |_, w| w);
+        assert_eq!(static_by, owners);
+    }
+}

@@ -1,18 +1,28 @@
 //! The fleet runner: batch execution of many scenarios across worker
-//! threads with deterministic seeding and fleet-level statistics.
+//! threads with deterministic seeding, memoized results and fleet-level
+//! statistics.
 //!
 //! [`FleetRunner`] turns the single-vehicle demo into a batch evaluation
 //! engine: it expands a `families × strategies × seeds` grid (or any
 //! explicit scenario list) into jobs, derives each job's RNG seed from one
 //! master seed via [`saav_sim::rng::derive_seed`], executes the jobs on
-//! `std::thread::scope` workers, and aggregates the per-run [`Summary`]s
-//! into [`FleetStats`] — collision rate, the detection-latency
-//! distribution, and distance/availability per strategy.
+//! the shard executor ([`crate::executor`] — work-stealing by default,
+//! static chunking available as a baseline), and aggregates the per-run
+//! [`Summary`]s into [`FleetStats`] — collision rate, the
+//! detection-latency distribution, and distance/availability per strategy.
+//!
+//! With [`FleetRunner::with_cache`], each job is first looked up by its
+//! content-hashed identity ([`crate::cache::job_key`]): a repeated sweep
+//! over bit-identical jobs skips the simulation entirely and assembles
+//! its [`FleetStats`] from cached [`Summary`] slots. Cached summaries are
+//! shared via [`Arc`], so a warm sweep's per-job path performs no heap
+//! allocation (pinned in `tests/zero_alloc.rs`).
 //!
 //! Determinism is by construction: job order, per-job seeds and the
 //! result slots are all fixed before any worker starts, so the aggregate
-//! statistics are bit-identical whether the fleet runs on 1 thread or N
-//! (property-tested in `tests/proptests.rs`).
+//! statistics are bit-identical whether the fleet runs on 1 thread or N,
+//! cold or warm, stolen or statically chunked (property-tested in
+//! `tests/proptests.rs`).
 //!
 //! ```
 //! use saav_core::fleet::FleetRunner;
@@ -28,14 +38,15 @@
 //! assert_eq!(outcome.stats.collision_rate, 0.0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use saav_learn::{SelfAwarenessModel, SignalTrace};
 use saav_sim::rng::derive_seed;
 use saav_sim::series::percentile_sorted;
 use saav_sim::time::Time;
 
+use crate::cache::{job_key, ResultCache};
+use crate::executor::{self, Scheduler};
 use crate::outcome::Summary;
 use crate::runner;
 use crate::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
@@ -46,7 +57,9 @@ use crate::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
 pub const THREADS_ENV: &str = "SAAV_THREADS";
 
 /// The default worker count: [`THREADS_ENV`] when set to a positive
-/// integer, otherwise all available cores.
+/// integer, otherwise all available cores. With a resolved count of 1
+/// (e.g. `SAAV_THREADS=1`) the fleet spawns no threads at all — jobs run
+/// as a pure inline loop on the calling thread.
 pub fn default_threads() -> usize {
     std::env::var(THREADS_ENV)
         .ok()
@@ -60,6 +73,9 @@ pub fn default_threads() -> usize {
 }
 
 /// One completed fleet run: the job's grid coordinates plus its summary.
+///
+/// The summary is behind an [`Arc`] so cache hits and columnar decoding
+/// share storage instead of deep-cloning label strings per job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetRecord {
     /// Strategy the run was executed under.
@@ -68,8 +84,9 @@ pub struct FleetRecord {
     pub seed: u64,
     /// When the scenario's first scripted disturbance fired, if any.
     pub injected_at: Option<Time>,
-    /// The run's compact outcome.
-    pub summary: Summary,
+    /// The run's compact outcome (shared with the cache when one is
+    /// mounted).
+    pub summary: Arc<Summary>,
 }
 
 impl FleetRecord {
@@ -119,6 +136,19 @@ pub struct LatencyStats {
     pub p95_s: f64,
 }
 
+/// Sorts the collected latencies in place and reduces them to a
+/// [`LatencyStats`]. Shared by the record-based and columnar aggregation
+/// paths so both produce bit-identical distributions.
+pub(crate) fn latency_stats_from(latencies: &mut [f64]) -> LatencyStats {
+    latencies.sort_unstable_by(f64::total_cmp);
+    LatencyStats {
+        detected: latencies.len(),
+        mean_s: mean(latencies),
+        p50_s: percentile_sorted(latencies, 0.5).unwrap_or(0.0),
+        p95_s: percentile_sorted(latencies, 0.95).unwrap_or(0.0),
+    }
+}
+
 /// Per-strategy aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StrategyStats {
@@ -158,68 +188,140 @@ pub struct FleetStats {
     pub per_strategy: Vec<StrategyStats>,
 }
 
-impl FleetStats {
-    /// Aggregates a batch of records (in their deterministic job order).
-    pub fn from_records(records: &[FleetRecord]) -> Self {
-        let runs = records.len();
-        let collisions = records.iter().filter(|r| r.summary.collision).count();
-        let latency_stats = |latency: fn(&FleetRecord) -> Option<f64>| {
-            let mut latencies: Vec<f64> = records.iter().filter_map(latency).collect();
-            latencies.sort_by(f64::total_cmp);
-            LatencyStats {
-                detected: latencies.len(),
-                mean_s: mean(&latencies),
-                p50_s: percentile_sorted(&latencies, 0.5).unwrap_or(0.0),
-                p95_s: percentile_sorted(&latencies, 0.95).unwrap_or(0.0),
+/// One row's stats-relevant view. Both aggregation paths — records here,
+/// columns in [`crate::colstore`] — reduce through this, so their float
+/// operations (and therefore their results) are identical to the bit.
+pub(crate) struct StatRow {
+    pub(crate) strategy: ResponseStrategy,
+    pub(crate) collision: bool,
+    pub(crate) stopped: bool,
+    pub(crate) distance_m: f64,
+    pub(crate) detection_latency_s: Option<f64>,
+    pub(crate) model_latency_s: Option<f64>,
+    pub(crate) peer_collisions: usize,
+    pub(crate) ejections: usize,
+}
+
+/// Streaming [`FleetStats`] accumulator with preallocated buffers: the
+/// number of heap allocations it performs is a function of the strategy
+/// count only, never of the job count — which is what lets the warm-cache
+/// zero-allocation pin in `tests/zero_alloc.rs` hold.
+pub(crate) struct StatsAccumulator {
+    runs: usize,
+    collisions: usize,
+    peer_collisions: usize,
+    ejections: usize,
+    detection: Vec<f64>,
+    model_detection: Vec<f64>,
+    groups: Vec<GroupAccumulator>,
+}
+
+struct GroupAccumulator {
+    strategy: ResponseStrategy,
+    runs: usize,
+    collided: usize,
+    stopped: usize,
+    distance_sum: f64,
+}
+
+impl StatsAccumulator {
+    pub(crate) fn with_capacity(rows: usize) -> Self {
+        StatsAccumulator {
+            runs: 0,
+            collisions: 0,
+            peer_collisions: 0,
+            ejections: 0,
+            detection: Vec::with_capacity(rows),
+            model_detection: Vec::with_capacity(rows),
+            groups: Vec::with_capacity(ResponseStrategy::ALL.len()),
+        }
+    }
+
+    pub(crate) fn push(&mut self, row: StatRow) {
+        self.runs += 1;
+        self.collisions += usize::from(row.collision);
+        self.peer_collisions += row.peer_collisions;
+        self.ejections += row.ejections;
+        if let Some(l) = row.detection_latency_s {
+            self.detection.push(l);
+        }
+        if let Some(l) = row.model_latency_s {
+            self.model_detection.push(l);
+        }
+        let group = match self.groups.iter_mut().find(|g| g.strategy == row.strategy) {
+            Some(g) => g,
+            None => {
+                self.groups.push(GroupAccumulator {
+                    strategy: row.strategy,
+                    runs: 0,
+                    collided: 0,
+                    stopped: 0,
+                    distance_sum: 0.0,
+                });
+                self.groups.last_mut().expect("just pushed")
             }
         };
-        let detection = latency_stats(FleetRecord::detection_latency_s);
-        let model_detection = latency_stats(FleetRecord::model_latency_s);
-        let platoons = records.iter().filter_map(|r| r.summary.platoon.as_ref());
-        let peer_collisions = platoons.clone().map(|p| p.member_collisions).sum();
-        let ejections = platoons.map(|p| p.ejected.len()).sum();
-        let mut per_strategy: Vec<StrategyStats> = Vec::new();
-        for rec in records {
-            if !per_strategy.iter().any(|s| s.strategy == rec.strategy) {
-                let group: Vec<&FleetRecord> = records
-                    .iter()
-                    .filter(|r| r.strategy == rec.strategy)
-                    .collect();
-                let n = group.len();
-                let collided = group.iter().filter(|r| r.summary.collision).count();
-                let stopped = group
-                    .iter()
-                    .filter(|r| {
-                        matches!(
-                            r.summary.final_mode,
-                            saav_skills::decision::DrivingMode::SafeStop
-                        )
-                    })
-                    .count();
-                let dist: f64 = group.iter().map(|r| r.summary.distance_m).sum();
-                per_strategy.push(StrategyStats {
-                    strategy: rec.strategy,
-                    runs: n,
-                    collision_rate: collided as f64 / n as f64,
-                    mean_distance_m: dist / n as f64,
-                    availability: (n - stopped) as f64 / n as f64,
-                });
-            }
-        }
+        group.runs += 1;
+        group.collided += usize::from(row.collision);
+        group.stopped += usize::from(row.stopped);
+        group.distance_sum += row.distance_m;
+    }
+
+    pub(crate) fn finish(mut self) -> FleetStats {
+        let detection = latency_stats_from(&mut self.detection);
+        let model_detection = latency_stats_from(&mut self.model_detection);
+        let per_strategy = self
+            .groups
+            .iter()
+            .map(|g| StrategyStats {
+                strategy: g.strategy,
+                runs: g.runs,
+                collision_rate: g.collided as f64 / g.runs as f64,
+                mean_distance_m: g.distance_sum / g.runs as f64,
+                availability: (g.runs - g.stopped) as f64 / g.runs as f64,
+            })
+            .collect();
         FleetStats {
-            runs,
-            collisions,
-            collision_rate: if runs == 0 {
+            runs: self.runs,
+            collisions: self.collisions,
+            collision_rate: if self.runs == 0 {
                 0.0
             } else {
-                collisions as f64 / runs as f64
+                self.collisions as f64 / self.runs as f64
             },
             detection,
             model_detection,
-            peer_collisions,
-            ejections,
+            peer_collisions: self.peer_collisions,
+            ejections: self.ejections,
             per_strategy,
         }
+    }
+}
+
+impl FleetStats {
+    /// Aggregates a batch of records (in their deterministic job order).
+    pub fn from_records(records: &[FleetRecord]) -> Self {
+        let mut acc = StatsAccumulator::with_capacity(records.len());
+        for rec in records {
+            acc.push(StatRow {
+                strategy: rec.strategy,
+                collision: rec.summary.collision,
+                stopped: matches!(
+                    rec.summary.final_mode,
+                    saav_skills::decision::DrivingMode::SafeStop
+                ),
+                distance_m: rec.summary.distance_m,
+                detection_latency_s: rec.detection_latency_s(),
+                model_latency_s: rec.model_latency_s(),
+                peer_collisions: rec
+                    .summary
+                    .platoon
+                    .as_ref()
+                    .map_or(0, |p| p.member_collisions),
+                ejections: rec.summary.platoon.as_ref().map_or(0, |p| p.ejected.len()),
+            });
+        }
+        acc.finish()
     }
 }
 
@@ -245,28 +347,52 @@ pub struct FleetOutcome {
 ///
 /// The runner owns seeding: every job's scenario seed is replaced by
 /// `derive_seed(master_seed, job_index)`, so a batch is reproducible from
-/// the master seed alone and independent of thread count.
+/// the master seed alone and independent of thread count and scheduler.
 #[derive(Debug, Clone)]
 pub struct FleetRunner {
     master_seed: u64,
     threads: usize,
+    scheduler: Scheduler,
+    cache: Option<ResultCache>,
     model: Option<Arc<SelfAwarenessModel>>,
 }
 
 impl FleetRunner {
     /// Creates a fleet runner with [`default_threads`] workers (the
-    /// `SAAV_THREADS` environment override, else all available cores).
+    /// `SAAV_THREADS` environment override, else all available cores),
+    /// the work-stealing scheduler and no cache.
     pub fn new(master_seed: u64) -> Self {
         FleetRunner {
             master_seed,
             threads: default_threads(),
+            scheduler: Scheduler::default(),
+            cache: None,
             model: None,
         }
     }
 
-    /// Overrides the worker-thread count (clamped to ≥ 1).
+    /// Overrides the worker-thread count (clamped to ≥ 1). A count of 1
+    /// runs every batch inline on the calling thread, spawning nothing.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the job scheduler (work-stealing by default; static
+    /// chunking exists as the measurable baseline).
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Mounts a memoizing result cache: each job is first looked up by
+    /// its content-hashed identity ([`crate::cache::job_key`]) and only
+    /// simulated on a miss. Batches run with a mounted learned model
+    /// ([`Self::with_model`]) bypass the cache entirely — the model is
+    /// not part of the content hash, so caching its runs would poison
+    /// lookups from model-free runners sharing the cache.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -280,6 +406,16 @@ impl FleetRunner {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured job scheduler.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// The mounted result cache, if any.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
     }
 
     /// The mounted learned model, if any.
@@ -314,18 +450,34 @@ impl FleetRunner {
     }
 
     /// Runs an explicit scenario list. Each scenario's seed is overridden
-    /// with `derive_seed(master_seed, job_index)`.
+    /// with `derive_seed(master_seed, job_index)` *before* its cache key
+    /// is computed — the derived seed is part of the job identity.
     pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> FleetOutcome {
-        let model = self.model.clone();
-        let records = self.execute(scenarios, move |scenario| {
-            let strategy = scenario.strategy;
-            let seed = scenario.seed;
-            let injected_at = scenario.events.iter().map(|&(t, _)| t).min();
-            let summary = runner::run_with_model(scenario, model.as_deref()).summary();
+        let model = self.model.as_deref();
+        let cache = if model.is_none() {
+            self.cache.as_ref()
+        } else {
+            None
+        };
+        let records = self.execute(scenarios, |scenario| {
+            let summary = match cache {
+                Some(cache) => {
+                    let key = job_key(scenario);
+                    match cache.get(key) {
+                        Some(hit) => hit,
+                        None => {
+                            let computed = Arc::new(runner::run(scenario.clone()).summary());
+                            cache.insert(key, Arc::clone(&computed));
+                            computed
+                        }
+                    }
+                }
+                None => Arc::new(runner::run_with_model(scenario.clone(), model).summary()),
+            };
             FleetRecord {
-                strategy,
-                seed,
-                injected_at,
+                strategy: scenario.strategy,
+                seed: scenario.seed,
+                injected_at: scenario.events.iter().map(|&(t, _)| t).min(),
                 summary,
             }
         });
@@ -336,45 +488,29 @@ impl FleetRunner {
     /// Runs a scenario list (seeded exactly like [`Self::run_scenarios`])
     /// and captures each run's 1 Hz [`SignalTrace`] — the trace-capture
     /// hook that feeds [`SelfAwarenessModel::train`] with nominal data.
-    /// The learned model, if any, is *not* mounted for capture runs.
+    /// The learned model, if any, is *not* mounted for capture runs, and
+    /// the cache is not consulted (traces are not part of a [`Summary`]).
     pub fn capture_traces(&self, scenarios: Vec<Scenario>) -> Vec<SignalTrace> {
-        self.execute(scenarios, |scenario| runner::run(scenario).signal_trace())
+        self.execute(scenarios, |scenario| {
+            runner::run(scenario.clone()).signal_trace()
+        })
     }
 
     /// The shared batch engine: seeds the jobs deterministically from the
-    /// master seed and job index, executes them across workers, and
-    /// returns one result per job in job order.
+    /// master seed and job index, executes them on the shard executor,
+    /// and returns one result per job in job order.
     fn execute<T, F>(&self, mut scenarios: Vec<Scenario>, job: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(Scenario) -> T + Sync,
+        F: Fn(&Scenario) -> T + Sync,
     {
         for (i, s) in scenarios.iter_mut().enumerate() {
             s.seed = derive_seed(self.master_seed, i as u64);
         }
         let workers = self.threads.min(scenarios.len()).max(1);
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= scenarios.len() {
-                        break;
-                    }
-                    *slots[i].lock().expect("worker never panics holding lock") =
-                        Some(job(scenarios[i].clone()));
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("lock not poisoned")
-                    .expect("every job slot filled")
-            })
-            .collect()
+        executor::run(scenarios.len(), workers, self.scheduler, |i, _worker| {
+            job(&scenarios[i])
+        })
     }
 }
 
@@ -411,6 +547,52 @@ mod tests {
             .run_scenarios(short_jobs());
         assert_eq!(one.records, four.records);
         assert_eq!(one.stats, four.stats);
+    }
+
+    #[test]
+    fn scheduler_does_not_change_results() {
+        let steal = FleetRunner::new(99)
+            .with_threads(3)
+            .with_scheduler(Scheduler::WorkSteal)
+            .run_scenarios(short_jobs());
+        let static_chunk = FleetRunner::new(99)
+            .with_threads(3)
+            .with_scheduler(Scheduler::StaticChunk)
+            .run_scenarios(short_jobs());
+        assert_eq!(steal.records, static_chunk.records);
+        assert_eq!(steal.stats, static_chunk.stats);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_results_exactly() {
+        let cache = ResultCache::in_memory();
+        let runner = FleetRunner::new(99)
+            .with_threads(2)
+            .with_cache(cache.clone());
+        let cold = runner.run_scenarios(short_jobs());
+        assert_eq!(cache.stats().misses, 3);
+        let warm = runner.run_scenarios(short_jobs());
+        assert_eq!(cold.records, warm.records);
+        assert_eq!(cold.stats, warm.stats);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3, "every warm job must hit");
+        assert_eq!(stats.misses, 3, "warm sweep must not miss");
+        // Warm records share the cached summaries instead of cloning them.
+        for (c, w) in cold.records.iter().zip(&warm.records) {
+            assert!(Arc::ptr_eq(&c.summary, &w.summary));
+        }
+    }
+
+    #[test]
+    fn uncached_runner_matches_cached_runner() {
+        let plain = FleetRunner::new(5)
+            .with_threads(2)
+            .run_scenarios(short_jobs());
+        let cached = FleetRunner::new(5)
+            .with_threads(2)
+            .with_cache(ResultCache::in_memory())
+            .run_scenarios(short_jobs());
+        assert_eq!(plain.records, cached.records);
     }
 
     #[test]
@@ -465,7 +647,7 @@ mod tests {
             strategy: ResponseStrategy::CrossLayer,
             seed: 0,
             injected_at: None,
-            summary: Summary {
+            summary: Arc::new(Summary {
                 label: "x".into(),
                 collision,
                 distance_m: dist,
@@ -476,7 +658,7 @@ mod tests {
                 final_mode: mode,
                 platoon: None,
                 city: None,
-            },
+            }),
         };
         let records = vec![
             mk(false, Some(10), DrivingMode::Normal, 1000.0),

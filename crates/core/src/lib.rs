@@ -37,6 +37,15 @@
 //!   threads with deterministic seed derivation and fleet-level
 //!   statistics, plus the trace-capture hook feeding `saav_learn`
 //!   training and the option to mount a learned monitor fleet-wide.
+//! * [`cache`] — content-hashed job identity ([`cache::job_key`]) and the
+//!   [`cache::ResultCache`] memo store (in-memory plus optional on-disk),
+//!   so repeated sweeps skip bit-identical re-runs.
+//! * [`executor`] — the shard executor behind the fleet: static chunking
+//!   or work stealing ([`executor::Scheduler`]), both preserving the
+//!   fixed-slot determinism contract.
+//! * [`colstore`] — the compact columnar binary results format
+//!   ([`colstore::FleetColumns`]) with direct-from-columns statistics and
+//!   group-by latency queries.
 //! * [`csv`] — machine-consumable CSV export of fleet records and
 //!   aggregates.
 //!
@@ -58,10 +67,14 @@
 
 #![warn(missing_docs)]
 
+mod binenc;
+pub mod cache;
 pub mod city;
+pub mod colstore;
 pub mod coordinator;
 pub mod cosim;
 pub mod csv;
+pub mod executor;
 pub mod fleet;
 pub mod layer;
 pub mod outcome;
@@ -79,7 +92,10 @@ pub mod assembly {
     pub use crate::vehicle::SelfAwareVehicle;
 }
 
+pub use cache::{job_key, CacheStats, JobKey, ResultCache, ENGINE_VERSION};
+pub use colstore::{FleetColumns, GroupBy};
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
+pub use executor::Scheduler;
 pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
 pub use outcome::{

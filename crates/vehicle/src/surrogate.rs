@@ -195,7 +195,10 @@ impl SurrogateTraffic {
     }
 
     /// The IDM acceleration of a follower at speed `v` with speed
-    /// difference `dv = v - v_lead` and gap `s`.
+    /// difference `dv = v - v_lead` and gap `s` — the scalar oracle
+    /// [`Self::step_reference`] uses; [`Self::step`] inlines the same
+    /// expressions into its lane passes.
+    #[cfg(test)]
     fn idm_accel(&self, v: f64, dv: f64, s: f64) -> f64 {
         let p = &self.params;
         let free = (v / p.desired_speed_mps).powi(4);
@@ -209,16 +212,91 @@ impl SurrogateTraffic {
         p.max_accel_mps2 * (1.0 - free - interaction)
     }
 
-    /// Advances every surrogate vehicle by `dt` with the batched two-pass
-    /// update: pass 1 streams the position/speed lanes and fills the
-    /// acceleration lane (each follower reacts to its leader's *previous*
-    /// state, so the result is independent of evaluation order); pass 2
-    /// integrates and refreshes the gap lane. Mirrored slots are read as
-    /// leaders but never written. No allocation.
+    /// Advances every surrogate vehicle by `dt` with the batched update:
+    /// pass 1 streams the position/speed lanes and fills the acceleration
+    /// lane (each follower reacts to its leader's *previous* state, so the
+    /// result is independent of evaluation order); pass 2 integrates; pass
+    /// 3 refreshes the gap lane and folds the safety metrics. Mirrored
+    /// slots are read as leaders but never written. No allocation.
+    ///
+    /// The passes are structured for auto-vectorization: straight-line
+    /// lane zips with branchless mirrored-slot selects and the loop-
+    /// invariant IDM denominator hoisted, instead of per-slot `continue`
+    /// branches. The arithmetic is expression-for-expression the original
+    /// scalar update, so trajectories stay bit-identical (pinned by
+    /// `vectorized_step_matches_reference_bitwise`); only the min-gap /
+    /// collision fold stays a scalar sequential loop.
     pub fn step(&mut self, dt: Duration) {
+        let n = self.pos_m.len();
+        if n == 0 {
+            return;
+        }
+        let dt_s = dt.as_secs_f64();
+        let p = self.params;
+        let denom = 2.0 * (p.max_accel_mps2 * p.comfort_decel_mps2).sqrt();
+        // Pass 1: acceleration from the (pre-step) kinematic lanes. The
+        // front slot is the only free-road case, so it peels off and the
+        // 1..n body is unconditional.
+        if !self.mirrored[0] {
+            let v = self.speed_mps[0];
+            let free = (v / p.desired_speed_mps).powi(4);
+            self.accel_mps2[0] = p.max_accel_mps2 * (1.0 - free);
+        }
+        for (((accel, &mirrored), (&v, &v_lead)), (&x, &x_lead)) in self.accel_mps2[1..]
+            .iter_mut()
+            .zip(&self.mirrored[1..])
+            .zip(self.speed_mps[1..].iter().zip(&self.speed_mps[..n - 1]))
+            .zip(self.pos_m[1..].iter().zip(&self.pos_m[..n - 1]))
+        {
+            let free = (v / p.desired_speed_mps).powi(4);
+            let dv = v - v_lead;
+            let s = x_lead - x;
+            let s_star = p.min_gap_m + v * p.headway_s + v * dv / denom;
+            let interaction = (s_star.max(0.0) / s.max(0.01)).powi(2);
+            let a = p.max_accel_mps2 * (1.0 - free - interaction);
+            *accel = if mirrored { *accel } else { a };
+        }
+        // Pass 2: kinematic integration (semi-implicit Euler, speed
+        // clamped at zero) — mirrored slots keep their pushed state via
+        // the same branchless select.
+        for ((v, x), (&a, &mirrored)) in self
+            .speed_mps
+            .iter_mut()
+            .zip(self.pos_m.iter_mut())
+            .zip(self.accel_mps2.iter().zip(&self.mirrored))
+        {
+            let v_new = (*v + a * dt_s).max(0.0);
+            let x_new = *x + v_new * dt_s;
+            *v = if mirrored { *v } else { v_new };
+            *x = if mirrored { *x } else { x_new };
+        }
+        // Pass 3a: gap lane over the whole chain, mirrored slots included
+        // (a focal vehicle tailgated by a surrogate counts).
+        self.gap_m[0] = f64::INFINITY;
+        for (gap, (&x, &x_lead)) in self.gap_m[1..]
+            .iter_mut()
+            .zip(self.pos_m[1..].iter().zip(&self.pos_m[..n - 1]))
+        {
+            *gap = x_lead - x;
+        }
+        // Pass 3b: the safety fold — kept scalar and in ascending slot
+        // order so the min reduction is the original comparison sequence.
+        for &gap in &self.gap_m {
+            if gap < self.min_gap_m {
+                self.min_gap_m = gap;
+            }
+            if gap <= 0.0 {
+                self.collision = true;
+            }
+        }
+    }
+
+    /// The original per-slot branching update, kept verbatim as the
+    /// bit-identity oracle for the vectorization-friendly [`Self::step`].
+    #[cfg(test)]
+    fn step_reference(&mut self, dt: Duration) {
         let dt_s = dt.as_secs_f64();
         let n = self.pos_m.len();
-        // Pass 1: acceleration from the (pre-step) kinematic lanes.
         for i in 0..n {
             if self.mirrored[i] {
                 continue;
@@ -231,8 +309,6 @@ impl SurrogateTraffic {
             };
             self.accel_mps2[i] = self.idm_accel(v, dv, s);
         }
-        // Pass 2: kinematic integration (semi-implicit Euler, speed
-        // clamped at zero) — mirrored slots keep their pushed state.
         for i in 0..n {
             if self.mirrored[i] {
                 continue;
@@ -241,8 +317,6 @@ impl SurrogateTraffic {
             self.speed_mps[i] = v;
             self.pos_m[i] += v * dt_s;
         }
-        // Gap lane + safety metrics over the whole chain, mirrored slots
-        // included (a focal vehicle tailgated by a surrogate counts).
         for i in 0..n {
             let gap = if i == 0 {
                 f64::INFINITY
@@ -366,6 +440,63 @@ mod tests {
             t.push_vehicle(100.0, 20.0);
         }));
         assert!(result.is_err(), "out-of-order push must panic");
+    }
+
+    #[test]
+    fn vectorized_step_matches_reference_bitwise() {
+        // A mix of mirrored and integrated slots, a braking mirrored
+        // leader and a mid-chain mirror: every branch of the old per-slot
+        // update is exercised, and the lane-zipped step must reproduce it
+        // bit-for-bit over thousands of ticks.
+        let build = || {
+            let mut t = chain(40, 28.0, 21.0);
+            t.set_mirrored(0, true);
+            t.set_mirrored(17, true);
+            t
+        };
+        let mut fast = build();
+        let mut reference = build();
+        let mut lead_pos = 0.0;
+        let mut lead_speed = 21.0;
+        for tick in 0..5_000 {
+            if tick >= 500 {
+                lead_speed = (lead_speed - 4.0 * DT.as_secs_f64()).max(2.0);
+            }
+            lead_pos += lead_speed * DT.as_secs_f64();
+            let mirror_pos = reference.position_m(16) - 30.0;
+            for t in [&mut fast, &mut reference] {
+                t.push_state(0, lead_pos, lead_speed);
+                if t.is_mirrored(17) {
+                    t.push_state(17, mirror_pos, lead_speed);
+                }
+            }
+            fast.step(DT);
+            reference.step_reference(DT);
+            // Mid-run demotion: slot 17 rejoins the surrogate tier.
+            if tick == 2_500 {
+                fast.set_mirrored(17, false);
+                reference.set_mirrored(17, false);
+            }
+        }
+        for i in 0..fast.len() {
+            assert_eq!(
+                fast.position_m(i).to_bits(),
+                reference.position_m(i).to_bits(),
+                "position lane diverged at slot {i}"
+            );
+            assert_eq!(
+                fast.speed_mps(i).to_bits(),
+                reference.speed_mps(i).to_bits(),
+                "speed lane diverged at slot {i}"
+            );
+            assert_eq!(
+                fast.gap_m(i).to_bits(),
+                reference.gap_m(i).to_bits(),
+                "gap lane diverged at slot {i}"
+            );
+        }
+        assert_eq!(fast.min_gap_m().to_bits(), reference.min_gap_m().to_bits());
+        assert_eq!(fast.collision(), reference.collision());
     }
 
     #[test]

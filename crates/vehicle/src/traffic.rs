@@ -155,6 +155,18 @@ impl Participant {
     pub fn speed_mps(&self) -> f64 {
         self.speed_mps
     }
+
+    /// The speed the profile started from (m/s). Unlike
+    /// [`Participant::speed_mps`] this never changes after construction,
+    /// which is what content-addressed job identities hash.
+    pub fn initial_speed_mps(&self) -> f64 {
+        self.initial_speed_mps
+    }
+
+    /// The scripted speed profile (empty for cruisers and external peers).
+    pub fn segments(&self) -> &[ProfileSegment] {
+        &self.segments
+    }
 }
 
 #[cfg(test)]

@@ -10,16 +10,23 @@
 //!
 //! Run with: `cargo run --example fleet_sweep --release`
 //!
-//! Besides the human-readable report, the sweep is exported as CSV
-//! (per-run records and per-strategy aggregates) so downstream tooling
-//! can consume it; `SAAV_THREADS` pins the worker count.
+//! The runner mounts a content-hashed result cache, so the demo sweeps
+//! the grid twice: the cold pass simulates everything, the warm pass is
+//! served entirely from memoized summaries and reproduces the cold
+//! statistics bit for bit. Besides the human-readable report, the sweep
+//! is exported as CSV (per-run records and per-strategy aggregates) and
+//! as the compact columnar binary batch so downstream tooling can
+//! consume it; `SAAV_THREADS` pins the worker count.
 
+use saav::core::cache::ResultCache;
+use saav::core::colstore::FleetColumns;
 use saav::core::csv;
 use saav::core::fleet::FleetRunner;
 use saav::core::scenario::{ResponseStrategy, ScenarioFamily};
 
 fn main() {
-    let fleet = FleetRunner::new(2024);
+    let cache = ResultCache::in_memory();
+    let fleet = FleetRunner::new(2024).with_cache(cache.clone());
     println!(
         "sweeping {} scenario families x {} strategies on {} worker thread(s)…\n",
         ScenarioFamily::ALL.len(),
@@ -68,12 +75,37 @@ fn main() {
     println!("minimizes it, and the cross-layer response keeps most of the");
     println!("mission while staying inside the derived capability envelope.");
 
-    // Machine-consumable export: one CSV per aggregation level.
+    // Warm pass: the identical grid again, now answered from the cache.
+    let warm_started = std::time::Instant::now();
+    let warm = fleet.sweep(&ScenarioFamily::ALL, &ResponseStrategy::ALL, 1);
+    let warm_elapsed = warm_started.elapsed();
+    let cs = cache.stats();
+    assert_eq!(
+        warm.stats, outcome.stats,
+        "warm sweep must be bit-identical"
+    );
+    println!(
+        "\nwarm re-sweep: {} runs in {:.2?} ({} cache hits, {} misses) — \
+         statistics bit-identical to the cold pass",
+        warm.stats.runs, warm_elapsed, cs.hits, cs.misses
+    );
+
+    // Machine-consumable export: CSV per aggregation level, plus the
+    // columnar binary batch (the compact form the stats path can read
+    // back directly).
+    let columns = FleetColumns::from_records(&outcome.records);
     let dir = std::path::Path::new("target");
     let _ = std::fs::create_dir_all(dir);
     for (name, content) in [
-        ("fleet_sweep_runs.csv", csv::records_csv(&outcome.records)),
-        ("fleet_sweep_strategies.csv", csv::strategy_csv(stats)),
+        (
+            "fleet_sweep_runs.csv",
+            csv::records_csv(&outcome.records).into_bytes(),
+        ),
+        (
+            "fleet_sweep_strategies.csv",
+            csv::strategy_csv(stats).into_bytes(),
+        ),
+        ("fleet_sweep.col", columns.to_bytes()),
     ] {
         let path = dir.join(name);
         match std::fs::write(&path, content) {

@@ -120,6 +120,36 @@ fn e12_learned_monitor_completes() {
     assert_populated("e12b", &exp_learn::e12_summary_table(&e12));
 }
 
+/// Smoke for the E15 entry point: a cache-mounted slice of the grid runs
+/// cold then warm, the warm pass is pure cache traffic, and the columnar
+/// sink round-trips it. The full 27-run cold/warm grid and its
+/// bit-identity assertions live in `exp_fleet`'s own tests and CI's
+/// `repro -- e15` step.
+#[test]
+fn e15_memoized_sweep_completes() {
+    use saav_core::cache::ResultCache;
+    use saav_core::colstore::FleetColumns;
+    use saav_core::fleet::FleetRunner;
+    use saav_core::scenario::{ResponseStrategy, ScenarioFamily};
+    let cache = ResultCache::in_memory();
+    let runner = FleetRunner::new(exp_fleet::E11_MASTER_SEED).with_cache(cache.clone());
+    let grid = || {
+        runner.sweep(
+            &[ScenarioFamily::Baseline, ScenarioFamily::Intrusion],
+            &ResponseStrategy::ALL,
+            1,
+        )
+    };
+    let cold = grid();
+    let warm = grid();
+    assert_eq!(warm.records, cold.records);
+    assert_eq!(cache.stats().hits, 6, "e15: warm slice must be all hits");
+    let decoded = FleetColumns::from_bytes(&FleetColumns::from_records(&warm.records).to_bytes())
+        .expect("e15: columnar round trip");
+    assert_eq!(decoded.to_records(), warm.records);
+    assert_eq!(decoded.stats(), warm.stats);
+}
+
 /// Smoke for the E14 entry point: the density sweep renders one row per
 /// density and the densest scene really exercises the surrogate tier.
 /// The latency-invariance acceptance thresholds live in `exp_city`'s own

@@ -12,8 +12,10 @@ use saav::can::bitstream::{
 };
 use saav::can::controller::TxQueue;
 use saav::can::frame::{CanFrame, FrameId};
+use saav::core::cache::ResultCache;
 use saav::core::coordinator::{Coordinator, EscalationPolicy};
-use saav::core::fleet::{FleetRunner, FleetStats};
+use saav::core::executor::Scheduler;
+use saav::core::fleet::{FleetOutcome, FleetRunner, FleetStats};
 use saav::core::layer::{Containment, Layer, ProblemKind};
 use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioEvent};
 use saav::learn::{Binning, LearnConfig, Quantizer, SelfAwarenessModel, SignalTrace};
@@ -81,6 +83,38 @@ fn mini_fleet_stats(master_seed: u64, threads: usize, platoon: bool) -> FleetSta
                 .with_threads(threads)
                 .run_scenarios(jobs)
                 .stats
+        })
+        .clone()
+}
+
+/// The mini fleet jobs rotated by `rot` — a cheap stand-in for shuffled
+/// job order. Seeds derive from the job *index*, so a rotation is a
+/// genuinely different batch; cold and warm runs of the same rotation
+/// must still agree bit for bit.
+fn rotated_mini_jobs(rot: usize) -> Vec<Scenario> {
+    let mut jobs = mini_fleet_jobs();
+    let rot = rot % jobs.len().max(1);
+    jobs.rotate_left(rot);
+    jobs
+}
+
+/// Memoized cold cache-mounted run per `(master_seed, rot)`: the cold
+/// sweep executes once; every proptest case then replays warm sweeps
+/// against the shared [`ResultCache`].
+fn cold_mini_fleet(master_seed: u64, rot: usize) -> (FleetOutcome, ResultCache) {
+    type Key = (u64, usize);
+    static CACHE: OnceLock<Mutex<HashMap<Key, (FleetOutcome, ResultCache)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("cold-fleet lock");
+    cache
+        .entry((master_seed, rot))
+        .or_insert_with(|| {
+            let results = ResultCache::in_memory();
+            let cold = FleetRunner::new(master_seed)
+                .with_threads(2)
+                .with_cache(results.clone())
+                .run_scenarios(rotated_mini_jobs(rot));
+            (cold, results)
         })
         .clone()
 }
@@ -294,6 +328,33 @@ proptest! {
         let single = mini_fleet_stats(master_seed, 1, false);
         let multi = mini_fleet_stats(master_seed, threads, false);
         prop_assert_eq!(single, multi);
+    }
+
+    /// Warm (cache-hit) sweeps are bit-identical to their cold sweep for
+    /// any worker count, either scheduler and any job-order rotation —
+    /// and the warm pass is pure cache traffic: every job hits, nothing
+    /// new is simulated or inserted.
+    #[test]
+    fn warm_fleet_sweep_is_bit_identical_to_cold(
+        master_seed in 0u64..2,
+        threads in 1usize..5,
+        rot in 0usize..3,
+        steal in any::<bool>(),
+    ) {
+        let (cold, results) = cold_mini_fleet(master_seed, rot);
+        let before = results.stats();
+        let scheduler = if steal { Scheduler::WorkSteal } else { Scheduler::StaticChunk };
+        let warm = FleetRunner::new(master_seed)
+            .with_threads(threads)
+            .with_scheduler(scheduler)
+            .with_cache(results.clone())
+            .run_scenarios(rotated_mini_jobs(rot));
+        prop_assert_eq!(&cold.records, &warm.records);
+        prop_assert_eq!(&cold.stats, &warm.stats);
+        let after = results.stats();
+        prop_assert_eq!(after.hits - before.hits, warm.records.len() as u64);
+        prop_assert_eq!(after.misses, before.misses, "warm sweep must not miss");
+        prop_assert_eq!(after.insertions, before.insertions);
     }
 
     /// The same determinism holds for multi-vehicle co-simulation batches:

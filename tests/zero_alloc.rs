@@ -12,8 +12,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use saav::core::cache::ResultCache;
+use saav::core::fleet::FleetRunner;
 use saav::core::runner::SteppedRun;
-use saav::core::scenario::{ResponseStrategy, ScenarioFamily};
+use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
 use saav::sim::time::Duration;
 use saav::vehicle::{IdmParams, SurrogateTraffic};
 
@@ -100,6 +102,79 @@ fn nominal_tick_path_is_allocation_free() {
         "nominal tick path allocated {allocs} times in 99 ticks"
     );
     assert_eq!(sim.now_millis(), 2_990);
+}
+
+/// A fully-warm cache-hit fleet sweep performs zero allocations *per
+/// job*: hashing the job identity, the cache lookup and the `Arc` share
+/// of the cached summary are all allocation-free, so a warm sweep's
+/// total allocation count is a small constant (result vector, stats
+/// buffers) that does not grow with the job count. Pinned by exact
+/// equality between a 6-job and a 24-job warm sweep on the inline
+/// single-thread path, and by a tight bound on the work-stealing path.
+#[test]
+fn warm_cache_sweep_allocations_are_independent_of_job_count() {
+    let _g = gate();
+    // Index i in both batch sizes maps to the same scenario, so the
+    // 24-job batch's first 6 jobs are identical to the 6-job batch
+    // (seeds derive from the index) and one cache serves both.
+    let jobs = |n: usize| -> Vec<Scenario> {
+        (0..n)
+            .map(|i| {
+                let family = [
+                    ScenarioFamily::Baseline,
+                    ScenarioFamily::Intrusion,
+                    ScenarioFamily::StopAndGo,
+                ][i % 3];
+                let mut s = family.build(ResponseStrategy::ALL[i % 3], 0);
+                s.duration = Duration::from_secs(4);
+                s
+            })
+            .collect()
+    };
+    let cache = ResultCache::in_memory();
+    let inline = FleetRunner::new(11)
+        .with_threads(1)
+        .with_cache(cache.clone());
+    // Cold passes populate every slot of both batch sizes.
+    let _ = inline.run_scenarios(jobs(6));
+    let _ = inline.run_scenarios(jobs(24));
+    assert_eq!(cache.stats().misses, 24, "6-job batch is a prefix of 24");
+
+    // Jobs are built outside the counting window; the sweep itself runs
+    // inside it. Keep the outcome alive past the window so its drop (not
+    // counted anyway) cannot confuse the comparison.
+    let (small, large) = (jobs(6), jobs(24));
+    // Preallocated so `keep.push` itself never allocates mid-window.
+    let mut keep = Vec::with_capacity(4);
+    let allocs_6 = count_allocs(|| keep.push(inline.run_scenarios(small)));
+    let (small2, large2) = (jobs(6), jobs(24));
+    let allocs_24 = count_allocs(|| keep.push(inline.run_scenarios(large)));
+    assert_eq!(
+        allocs_6, allocs_24,
+        "inline warm sweep allocations grew with job count: \
+         {allocs_6} at 6 jobs vs {allocs_24} at 24 jobs"
+    );
+    assert!(
+        allocs_24 <= 16,
+        "inline warm sweep performed {allocs_24} allocations — \
+         the per-sweep constant overhead grew"
+    );
+
+    // The work-stealing multi-thread path: per-job steal/lookup is
+    // allocation-free too, so the count is bounded by the per-sweep and
+    // per-worker constants — never by the job count.
+    let stealing = FleetRunner::new(11)
+        .with_threads(3)
+        .with_cache(cache.clone());
+    let allocs_6_mt = count_allocs(|| keep.push(stealing.run_scenarios(small2)));
+    let allocs_24_mt = count_allocs(|| keep.push(stealing.run_scenarios(large2)));
+    assert!(
+        allocs_24_mt <= allocs_6_mt + 8,
+        "work-steal warm sweep allocations grew with job count: \
+         {allocs_6_mt} at 6 jobs vs {allocs_24_mt} at 24 jobs"
+    );
+    assert_eq!(cache.stats().misses, 24, "warm sweeps must never miss");
+    drop(keep);
 }
 
 /// The surrogate-tier batch update is allocation-free from the very
