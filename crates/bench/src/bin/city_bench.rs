@@ -22,6 +22,7 @@ use std::time::Instant;
 use saav_core::outcome::CityOutcome;
 use saav_core::runner;
 use saav_core::scenario::{CitySpec, Scenario};
+use saav_core::telemetry::{Counter, Telemetry};
 use saav_sim::time::Duration;
 
 /// Acceptance floor for the full/surrogate per-vehicle-tick cost ratio.
@@ -113,6 +114,28 @@ fn main() {
         })
         .collect();
 
+    // --- observability (informational) -----------------------------------
+    // The flagship 1,000v/2f row rerun with a telemetry sink mounted; the
+    // gated version of this comparison lives in `fleet_bench`, this block
+    // just records the cost alongside the sweep it perturbs.
+    let flagship = rows
+        .iter()
+        .find(|r| r.vehicles == 1_000 && r.focal == 2)
+        .expect("sweep covers 1000v/2f");
+    let sink = Telemetry::default();
+    let start = Instant::now();
+    let _ = runner::run_observed(scenario(1_000, 2, horizon_s), None, &sink);
+    let mounted_wall_s = start.elapsed().as_secs_f64();
+    let obs = sink.snapshot();
+    let obs_overhead = mounted_wall_s / flagship.wall_s.max(1e-9) - 1.0;
+    eprintln!(
+        "observability: 1000v/2f mounted {mounted_wall_s:.3} s vs unmounted {:.3} s \
+         ({:+.1}%, {} trace events)",
+        flagship.wall_s,
+        obs_overhead * 100.0,
+        obs.events_recorded,
+    );
+
     // --- JSON ------------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
@@ -161,7 +184,24 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"observability_overhead\": {\n");
+    json.push_str("    \"scenario\": \"city 1000v/2f\",\n");
+    json.push_str("    \"informational\": true,\n");
+    json.push_str(&format!(
+        "    \"unmounted_wall_s\": {:.3},\n",
+        flagship.wall_s
+    ));
+    json.push_str(&format!("    \"mounted_wall_s\": {mounted_wall_s:.3},\n"));
+    json.push_str(&format!("    \"overhead_frac\": {obs_overhead:.4},\n"));
+    json.push_str(&format!(
+        "    \"mounted_counters\": {{\"tier_promotions\": {}, \"tier_demotions\": {}, \
+         \"events_recorded\": {}}}\n",
+        obs.counter(Counter::TierPromotions),
+        obs.counter(Counter::TierDemotions),
+        obs.events_recorded,
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 

@@ -21,10 +21,14 @@
 //!    work stealing ≥ 1.3× over static chunking.
 //! 3. **Scaling** — wall time of the skewed mix at 1..N worker threads,
 //!    informational (no gate; single-core hosts converge).
+//! 4. **Observability** — the flagship 1,000-vehicle / 2-focal city run
+//!    timed unmounted vs with a [`Telemetry`] sink mounted (best of
+//!    several reps each). Acceptance ceiling: mounted overhead ≤ 5%, so
+//!    tracing never becomes something you switch off before measuring.
 //!
-//! Outside `--test` mode the process exits nonzero if either floor is
-//! missed. `--test` shrinks every duration for CI smoke runs and skips
-//! the gates (short horizons are noisy).
+//! Outside `--test` mode the process exits nonzero if any floor (or the
+//! overhead ceiling) is missed. `--test` shrinks every duration for CI
+//! smoke runs and skips the gates (short horizons are noisy).
 //!
 //! JSON schema (`schema_version` 1): see the README's "Fleet engine"
 //! section.
@@ -34,7 +38,8 @@ use std::time::Instant;
 use saav_core::cache::ResultCache;
 use saav_core::executor::Scheduler;
 use saav_core::fleet::FleetRunner;
-use saav_core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav_core::scenario::{CitySpec, ResponseStrategy, Scenario, ScenarioFamily};
+use saav_core::telemetry::{Counter, Telemetry};
 use saav_sim::time::Duration;
 
 /// Acceptance floor: warm (cache-hit) sweep wall-time speedup over cold.
@@ -44,6 +49,11 @@ const MIN_WARM_SPEEDUP: f64 = 10.0;
 const MIN_STEAL_SPEEDUP: f64 = 1.3;
 /// Workers the scheduling phase models.
 const SCHED_WORKERS: usize = 4;
+/// Acceptance ceiling: mounted-telemetry wall-time overhead on the
+/// flagship city run.
+const MAX_OBS_OVERHEAD: f64 = 0.05;
+/// Repetitions per arm of the observability measurement (best-of).
+const OBS_REPS: usize = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -155,6 +165,42 @@ fn main() {
         scaling.push((threads, wall_s, out.records.len() as f64 / wall_s));
     }
 
+    // --- phase 4: observability overhead on the flagship city run --------
+    // Unmounted vs mounted wall time, best of OBS_REPS each; best-of is
+    // the most noise-robust statistic for a ratio gate on a shared host.
+    let flagship_s = if test_mode { 5 } else { 60 };
+    let flagship = || -> Scenario {
+        Scenario::builder("obs/1000v2f")
+            .seed(master_seed)
+            .duration(Duration::from_secs(flagship_s))
+            .city(CitySpec::new(998, 2))
+            .build()
+    };
+    let best_of = |run: &dyn Fn()| -> f64 {
+        (0..OBS_REPS)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let unmounted_wall_s = best_of(&|| {
+        let _ = saav_core::runner::run(flagship());
+    });
+    let sink = Telemetry::default();
+    let mounted_wall_s = best_of(&|| {
+        let _ = saav_core::runner::run_observed(flagship(), None, &sink);
+    });
+    let obs_overhead = mounted_wall_s / unmounted_wall_s.max(1e-9) - 1.0;
+    let obs = sink.snapshot();
+    eprintln!(
+        "observability: flagship 1000v/2f {flagship_s} s — unmounted {unmounted_wall_s:.3} s, \
+         mounted {mounted_wall_s:.3} s ({:+.1}% overhead, {} events/rep)",
+        obs_overhead * 100.0,
+        obs.events_recorded / OBS_REPS as u64,
+    );
+
     // --- JSON ------------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
@@ -199,7 +245,27 @@ schedules replayed in virtual time mirroring the shard executor policy\",\n",
             if i + 1 < scaling.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"observability_overhead\": {\n");
+    json.push_str("    \"scenario\": \"city 1000v/2f\",\n");
+    json.push_str(&format!("    \"horizon_s\": {flagship_s},\n"));
+    json.push_str(&format!("    \"reps\": {OBS_REPS},\n"));
+    json.push_str(&format!(
+        "    \"unmounted_wall_s\": {unmounted_wall_s:.4},\n"
+    ));
+    json.push_str(&format!("    \"mounted_wall_s\": {mounted_wall_s:.4},\n"));
+    json.push_str(&format!("    \"overhead_frac\": {obs_overhead:.4},\n"));
+    json.push_str(&format!("    \"max_overhead_frac\": {MAX_OBS_OVERHEAD},\n"));
+    json.push_str(&format!(
+        "    \"mounted_counters\": {{\"anomalies_raised\": {}, \"escalations_routed\": {}, \
+         \"tier_promotions\": {}, \"tier_demotions\": {}, \"events_recorded\": {}}}\n",
+        obs.counter(Counter::AnomaliesRaised),
+        obs.counter(Counter::EscalationsRouted),
+        obs.counter(Counter::TierPromotions),
+        obs.counter(Counter::TierDemotions),
+        obs.events_recorded,
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
@@ -217,6 +283,15 @@ schedules replayed in virtual time mirroring the shard executor policy\",\n",
             eprintln!(
                 "FAIL: work-steal speedup {steal_speedup:.2}x is below the \
                  {MIN_STEAL_SPEEDUP:.1}x floor on the skewed mix"
+            );
+            failed = true;
+        }
+        if obs_overhead > MAX_OBS_OVERHEAD {
+            eprintln!(
+                "FAIL: mounted-telemetry overhead {:.1}% exceeds the {:.0}% ceiling \
+                 on the flagship city run — tracing has become too expensive to leave on",
+                obs_overhead * 100.0,
+                MAX_OBS_OVERHEAD * 100.0
             );
             failed = true;
         }

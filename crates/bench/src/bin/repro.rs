@@ -1,6 +1,9 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [--threads N] [e1 … e15 a1 a2 a3 | all]`
+//! Usage: `repro [--threads N] [e1 … e16 a1 a2 a3 | all]`
+//!
+//! `e16` additionally writes the combined chrome-tracing export to
+//! `./trace.json` (openable in Perfetto).
 //!
 //! `--threads N` pins the fleet worker count of the sweep experiments
 //! (E11/E12/E13); without it the `SAAV_THREADS` environment variable applies,
@@ -14,7 +17,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "a1", "a2", "a3",
+            "e14", "e15", "e16", "a1", "a2", "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -59,6 +62,15 @@ fn main() {
             "e15" => {
                 println!("{}", exp_fleet::e15_table().render());
                 println!("{}", exp_fleet::e15b_table().render());
+            }
+            "e16" => {
+                println!("{}", exp_obs::e16_table().render());
+                println!("{}", exp_obs::e16b_table().render());
+                // The combined chrome trace, for Perfetto / the CI artifact.
+                match std::fs::write("trace.json", exp_obs::e16_trace_json()) {
+                    Ok(()) => println!("wrote trace.json (open at ui.perfetto.dev)"),
+                    Err(e) => eprintln!("could not write trace.json: {e}"),
+                }
             }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),

@@ -18,6 +18,7 @@
 //! | E12 | [`exp_learn`] | learned self-awareness: train on nominal fleet runs, score online, compare to contracts |
 //! | E13 | [`exp_cosim`] | platoon co-simulation: V2V negotiation, trust-based ejection, cooperative containment |
 //! | E14 | [`exp_city`] | city-scale tiered fidelity: focal detection latency invariant as background density grows 0 → 1,000 |
+//! | E16 | [`exp_obs`] | engine telemetry: virtual-time escalation traces per subsystem, bit-identical across reruns and thread counts |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
@@ -33,6 +34,7 @@ pub mod exp_fleet;
 pub mod exp_learn;
 pub mod exp_mcc;
 pub mod exp_monitor;
+pub mod exp_obs;
 pub mod exp_platoon;
 pub mod exp_propagation;
 pub mod exp_scenarios;

@@ -114,6 +114,7 @@ pub struct V2vChannel {
     dropped: u64,
     delivered: u64,
     spoofed: u64,
+    delayed: u64,
 }
 
 impl V2vChannel {
@@ -128,6 +129,7 @@ impl V2vChannel {
             dropped: 0,
             delivered: 0,
             spoofed: 0,
+            delayed: 0,
         }
     }
 
@@ -171,6 +173,9 @@ impl V2vChannel {
             }
             None => claim_mps,
         };
+        if !fault.delay.is_zero() {
+            self.delayed += 1;
+        }
         self.in_flight.schedule(
             now + fault.delay,
             V2vMessage {
@@ -216,6 +221,11 @@ impl V2vChannel {
     pub fn spoofed(&self) -> u64 {
         self.spoofed
     }
+
+    /// Broadcasts that entered the queue late (a nonzero per-link delay).
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +256,7 @@ mod tests {
         let due = ch.poll_due(Time::from_millis(100));
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].sent_at, Time::ZERO);
+        assert_eq!(ch.delayed(), 1);
     }
 
     #[test]

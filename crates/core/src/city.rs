@@ -39,6 +39,7 @@ use saav_vehicle::traffic::LeadVehicle;
 use crate::outcome::{CityOutcome, Outcome};
 use crate::runner::RunContext;
 use crate::scenario::{CitySpec, Scenario};
+use crate::telemetry::{RunTelemetry, Stage, TelemetryEvent};
 use crate::vehicle::CONTROL_PERIOD;
 
 /// Seed-space offset separating promoted background vehicles from focal
@@ -64,6 +65,17 @@ struct FullVehicle {
 /// Panics if the scenario carries no [`CitySpec`], the chain is empty, or
 /// the initial gap is not positive.
 pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    run_city_observed(scenario, model, None)
+}
+
+/// [`run_city`] with optional mounted telemetry: the batched surrogate
+/// update charges the surrogate stage, focal ticks charge the
+/// runner/monitor stages, and tier transitions become trace events.
+pub(crate) fn run_city_observed(
+    scenario: Scenario,
+    model: Option<&SelfAwarenessModel>,
+    mut tel: Option<&mut RunTelemetry>,
+) -> Outcome {
     let spec = scenario.city.clone().expect("city scenario");
     let total = spec.total();
     assert!(total >= 1, "city chain needs at least one vehicle");
@@ -124,7 +136,11 @@ pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outco
         // 1. One batched surrogate update: mirrored slots are read as
         //    leaders (at their last mirrored state — the standard one-tick
         //    co-simulation delay) but never written.
+        let surrogate_t0 = tel.as_deref().and_then(|t| t.stage_enter());
         store.step(CONTROL_PERIOD);
+        if let Some(t) = tel.as_deref_mut() {
+            t.stage_exit(Stage::Surrogate, surrogate_t0);
+        }
         surrogate_vehicle_ticks += store.surrogate_count() as u64;
         full_vehicle_ticks += full.len() as u64;
         // 2. Full-fidelity vehicles, front to back (Gauss–Seidel: a full
@@ -138,7 +154,7 @@ pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outco
                     .world
                     .push_lead_state(store.position_m(slot - 1), store.speed_mps(slot - 1));
             }
-            fv.ctx.tick();
+            fv.ctx.tick(tel.as_deref_mut());
             store.push_state(
                 slot,
                 fv.ctx.v.world.abs_position_m(),
@@ -166,6 +182,14 @@ pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outco
                 } else {
                     store.set_mirrored(fv.slot, false);
                     demotions += 1;
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.record(
+                            now,
+                            TelemetryEvent::TierDemotion {
+                                slot: fv.slot as u32,
+                            },
+                        );
+                    }
                     false
                 }
             });
@@ -174,6 +198,9 @@ pub fn run_city(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outco
                     continue;
                 }
                 promotions += 1;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.record(now, TelemetryEvent::TierPromotion { slot: slot as u32 });
+                }
                 let speed = store.speed_mps(slot);
                 let lead = if slot == 0 {
                     scenario.lead.clone()

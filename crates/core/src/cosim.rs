@@ -40,6 +40,7 @@ use saav_vehicle::traffic::LeadVehicle;
 use crate::outcome::{Outcome, PlatoonOutcome};
 use crate::runner::RunContext;
 use crate::scenario::{PlatoonSpec, Scenario};
+use crate::telemetry::{Counter, RunTelemetry, Stage, TelemetryEvent};
 
 /// Runs a platoon scenario to completion and returns the composed
 /// multi-vehicle [`Outcome`] (leader series + fleet-level safety fields +
@@ -49,6 +50,18 @@ use crate::scenario::{PlatoonSpec, Scenario};
 /// Panics if the scenario carries no [`PlatoonSpec`] or the spec is
 /// degenerate (zero members or a zero negotiation period).
 pub fn run_platoon(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    run_platoon_observed(scenario, model, None)
+}
+
+/// [`run_platoon`] with optional mounted telemetry: member ticks charge
+/// the runner/monitor stages, each negotiation round charges the platoon
+/// stage, ejections become trace events and the V2V channel's traffic
+/// counters land in the registry at run end.
+pub(crate) fn run_platoon_observed(
+    scenario: Scenario,
+    model: Option<&SelfAwarenessModel>,
+    mut tel: Option<&mut RunTelemetry>,
+) -> Outcome {
     let spec = scenario.platoon.clone().expect("platoon scenario");
     assert!(spec.members >= 1, "platoon needs at least one member");
     assert!(
@@ -143,12 +156,13 @@ pub fn run_platoon(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Ou
                 };
                 members[i].v.world.push_lead_state(ahead_pos, ahead_speed);
             }
-            members[i].tick();
+            members[i].tick(tel.as_deref_mut());
         }
         if now >= next_round {
             while next_round <= now {
                 next_round += spec.negotiation_period;
             }
+            let round_t0 = tel.as_deref().and_then(|t| t.stage_enter());
             negotiate_round(
                 now,
                 &spec,
@@ -160,8 +174,18 @@ pub fn run_platoon(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Ou
                 &mut converged_at,
                 &mut ejections,
                 &mut final_agreed,
+                tel.as_deref_mut(),
             );
+            if let Some(t) = tel.as_deref_mut() {
+                t.stage_exit(Stage::Platoon, round_t0);
+            }
         }
+    }
+
+    if let Some(t) = tel {
+        t.count(Counter::V2vSent, channel.sent());
+        t.count(Counter::V2vDropped, channel.dropped());
+        t.count(Counter::V2vDelayed, channel.delayed());
     }
 
     compose_outcome(
@@ -228,6 +252,7 @@ fn negotiate_round(
     converged_at: &mut Option<Time>,
     ejections: &mut Vec<(usize, Time)>,
     final_agreed: &mut Option<f64>,
+    mut tel: Option<&mut RunTelemetry>,
 ) {
     let n = members.len();
     // 1. Every cooperating member broadcasts its safe-speed claim. The
@@ -277,20 +302,31 @@ fn negotiate_round(
             //    the cooperative containment.
             for id in &neg.ejected {
                 ejections.push((id.0, now));
+                if let Some(t) = tel.as_deref_mut() {
+                    t.record(
+                        now,
+                        TelemetryEvent::PlatoonEjection {
+                            member: id.0 as u32,
+                        },
+                    );
+                }
                 for member in members.iter_mut() {
                     if !member.v.platoon_active() {
                         continue;
                     }
-                    member.raise(Anomaly::new(
-                        now,
-                        member_subject(id.0),
-                        AnomalyKind::PeerMisbehavior,
-                        format!(
-                            "trust collapsed after repeated deviation from the \
+                    member.raise(
+                        tel.as_deref_mut(),
+                        Anomaly::new(
+                            now,
+                            member_subject(id.0),
+                            AnomalyKind::PeerMisbehavior,
+                            format!(
+                                "trust collapsed after repeated deviation from the \
                              agreed {:.1} m/s",
-                            neg.agreement.agreed_value()
+                                neg.agreement.agreed_value()
+                            ),
                         ),
-                    ));
+                    );
                 }
             }
         }

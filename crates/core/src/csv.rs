@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::fleet::{FleetRecord, FleetStats};
+use crate::telemetry::{Counter, Stage, TelemetrySnapshot, HIST_BUCKETS, LATENCY_BOUNDS_S};
 
 /// Header of the per-run CSV (one column per [`FleetRecord`] field the
 /// tables report). The platoon columns are empty for single-vehicle runs.
@@ -18,6 +19,9 @@ platoon_members,peer_collisions,converged_s,first_ejection_s,ejected,agreed_mps"
 
 /// Header of the per-strategy aggregate CSV.
 pub const STRATEGY_HEADER: &str = "strategy,runs,collision_rate,availability,mean_distance_m";
+
+/// Header of the telemetry metrics CSV (long format: one metric per row).
+pub const TELEMETRY_HEADER: &str = "metric,value";
 
 fn quote(field: &str) -> String {
     if field.contains([',', '"', '\n']) {
@@ -92,6 +96,40 @@ pub fn strategy_csv(stats: &FleetStats) -> String {
             "{:?},{},{},{},{}",
             s.strategy, s.runs, s.collision_rate, s.availability, s.mean_distance_m
         );
+    }
+    out
+}
+
+/// The telemetry-registry CSV document: every counter, the per-stage
+/// profile (`stage_<name>_ns` / `stage_<name>_calls`), the cache hit
+/// rate when lookups happened, the trace-ring totals and the fixed
+/// detection-latency buckets (`detection_latency_le_<bound>s`). Long
+/// `metric,value` format so the schema never needs widening.
+pub fn telemetry_csv(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from(TELEMETRY_HEADER);
+    out.push('\n');
+    for c in Counter::ALL {
+        let _ = writeln!(out, "{},{}", c.name(), snap.counter(c));
+    }
+    for s in Stage::ALL {
+        let _ = writeln!(out, "stage_{}_ns,{}", s.name(), snap.stage_nanos_of(s));
+        let _ = writeln!(out, "stage_{}_calls,{}", s.name(), snap.stage_calls_of(s));
+    }
+    if let Some(rate) = snap.cache_hit_rate() {
+        let _ = writeln!(out, "cache_hit_rate,{rate}");
+    }
+    let _ = writeln!(out, "trace_events_recorded,{}", snap.events_recorded);
+    let _ = writeln!(out, "trace_events_evicted,{}", snap.events_evicted);
+    for (i, &count) in snap.detection_latency.counts().iter().enumerate() {
+        if i < HIST_BUCKETS - 1 {
+            let _ = writeln!(out, "detection_latency_le_{}s,{count}", LATENCY_BOUNDS_S[i]);
+        } else {
+            let _ = writeln!(
+                out,
+                "detection_latency_gt_{}s,{count}",
+                LATENCY_BOUNDS_S[i - 1]
+            );
+        }
     }
     out
 }
@@ -173,6 +211,28 @@ mod tests {
         let mut rec = record();
         Arc::make_mut(&mut rec.summary).label = "a,b".into();
         assert!(record_row(&rec).starts_with("\"a,b\","));
+    }
+
+    #[test]
+    fn telemetry_csv_lists_every_counter_and_stage() {
+        use crate::telemetry::{Telemetry, TelemetryEvent};
+        let tel = Telemetry::default();
+        let mut run = tel.begin_run(0);
+        run.record(Time::ZERO, TelemetryEvent::CacheHit);
+        run.record(Time::ZERO, TelemetryEvent::CacheMiss);
+        run.record_detection_latency(0.3);
+        tel.absorb(run);
+        let csv = telemetry_csv(&tel.snapshot());
+        assert!(csv.starts_with("metric,value\n"));
+        for c in Counter::ALL {
+            assert!(csv.contains(c.name()), "missing {}", c.name());
+        }
+        for s in Stage::ALL {
+            assert!(csv.contains(&format!("stage_{}_ns", s.name())));
+        }
+        assert!(csv.contains("cache_hit_rate,0.5"));
+        assert!(csv.contains("detection_latency_le_0.5s,1"));
+        assert!(csv.lines().skip(1).all(|l| l.split(',').count() == 2));
     }
 
     #[test]

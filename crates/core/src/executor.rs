@@ -19,7 +19,7 @@
 //! With one worker (e.g. `SAAV_THREADS=1`) no thread is spawned at all:
 //! the jobs run as a plain inline loop on the calling thread.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How jobs are distributed over the worker threads.
@@ -71,6 +71,28 @@ where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    run_counted(jobs, workers, scheduler, None, job)
+}
+
+/// [`run`] with steal observability: when `steals` is provided, every job
+/// a worker executes from a shard other than its own adds one to the
+/// counter (each worker accumulates locally and flushes once at exit, so
+/// the hot loop touches no shared cache line). Steal counts are genuine
+/// scheduling noise — they vary run to run — which is why they surface
+/// only through this counter and never through the deterministic results.
+/// With one worker (or [`Scheduler::StaticChunk`]) nothing can be stolen
+/// and the counter is never incremented.
+pub fn run_counted<T, F>(
+    jobs: usize,
+    workers: usize,
+    scheduler: Scheduler,
+    steals: Option<&AtomicU64>,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     if jobs == 0 {
         return Vec::new();
     }
@@ -110,9 +132,13 @@ where
                     let shards = &shards;
                     scope.spawn(move || {
                         let mut shard = w;
+                        let mut stolen: u64 = 0;
                         loop {
                             let i = shards[shard].cursor.fetch_add(1, Ordering::Relaxed);
                             if i < shards[shard].end {
+                                if shard != w {
+                                    stolen += 1;
+                                }
                                 store(i, w);
                                 continue;
                             }
@@ -121,6 +147,11 @@ where
                             match richest(shards) {
                                 Some(victim) => shard = victim,
                                 None => break,
+                            }
+                        }
+                        if stolen > 0 {
+                            if let Some(counter) = steals {
+                                counter.fetch_add(stolen, Ordering::Relaxed);
                             }
                         }
                     });
@@ -207,5 +238,30 @@ mod tests {
         let static_by = run(16, 2, Scheduler::StaticChunk, |i, _| usize::from(i >= 8));
         let owners = run(16, 2, Scheduler::StaticChunk, |_, w| w);
         assert_eq!(static_by, owners);
+    }
+
+    #[test]
+    fn steal_counter_counts_cross_shard_jobs_only() {
+        // A slow front shard forces the fast worker to steal.
+        let steals = AtomicU64::new(0);
+        let executed_by = run_counted(16, 2, Scheduler::WorkSteal, Some(&steals), |i, w| {
+            if i < 8 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            w
+        });
+        let cross_shard = executed_by[..8].iter().filter(|&&w| w != 0).count()
+            + executed_by[8..].iter().filter(|&&w| w != 1).count();
+        assert_eq!(steals.load(Ordering::Relaxed), cross_shard as u64);
+        assert!(cross_shard > 0, "no steal happened: {executed_by:?}");
+    }
+
+    #[test]
+    fn single_worker_and_static_chunk_never_steal() {
+        let steals = AtomicU64::new(0);
+        run_counted(16, 1, Scheduler::WorkSteal, Some(&steals), |_, _| ());
+        assert_eq!(steals.load(Ordering::Relaxed), 0, "inline loop stole");
+        run_counted(16, 4, Scheduler::StaticChunk, Some(&steals), |_, _| ());
+        assert_eq!(steals.load(Ordering::Relaxed), 0, "static chunk stole");
     }
 }

@@ -50,6 +50,7 @@ use crate::executor::{self, Scheduler};
 use crate::outcome::Summary;
 use crate::runner;
 use crate::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use crate::telemetry::{Telemetry, TelemetryEvent, TelemetrySnapshot};
 
 /// Environment variable overriding the default fleet worker count, so CI
 /// smoke runs are schedulable without touching call sites. An explicit
@@ -186,6 +187,11 @@ pub struct FleetStats {
     pub ejections: usize,
     /// Aggregates per strategy, in first-appearance order.
     pub per_strategy: Vec<StrategyStats>,
+    /// The batch's engine-telemetry snapshot (counters, histograms, stage
+    /// profile) — `Some` only when the batch ran with a mounted
+    /// [`Telemetry`] sink ([`FleetRunner::with_telemetry`]), so unmounted
+    /// batches stay bit-comparable across cache states and refactors.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// One row's stats-relevant view. Both aggregation paths — records here,
@@ -294,6 +300,7 @@ impl StatsAccumulator {
             peer_collisions: self.peer_collisions,
             ejections: self.ejections,
             per_strategy,
+            telemetry: None,
         }
     }
 }
@@ -355,6 +362,7 @@ pub struct FleetRunner {
     scheduler: Scheduler,
     cache: Option<ResultCache>,
     model: Option<Arc<SelfAwarenessModel>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl FleetRunner {
@@ -368,6 +376,7 @@ impl FleetRunner {
             scheduler: Scheduler::default(),
             cache: None,
             model: None,
+            telemetry: None,
         }
     }
 
@@ -403,6 +412,17 @@ impl FleetRunner {
         self
     }
 
+    /// Mounts an engine-telemetry sink: every batch records its escalation
+    /// trace, registry counters and per-stage profile into `sink`, and the
+    /// batch's [`FleetStats::telemetry`] carries the snapshot delta. The
+    /// simulated results are bit-identical to an unmounted runner's —
+    /// telemetry observes, never perturbs (property-tested in
+    /// `tests/proptests.rs`).
+    pub fn with_telemetry(mut self, sink: Telemetry) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -421,6 +441,11 @@ impl FleetRunner {
     /// The mounted learned model, if any.
     pub fn model(&self) -> Option<&SelfAwarenessModel> {
         self.model.as_deref()
+    }
+
+    /// The mounted telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The master seed all per-run seeds derive from.
@@ -459,29 +484,60 @@ impl FleetRunner {
         } else {
             None
         };
-        let records = self.execute(scenarios, |scenario| {
+        let sink = self.telemetry.as_ref();
+        let before = sink.map(Telemetry::snapshot);
+        let records = self.execute(scenarios, |job_index, scenario| {
+            let mut tel = sink.map(|s| s.begin_run(job_index as u32));
             let summary = match cache {
                 Some(cache) => {
                     let key = job_key(scenario);
                     match cache.get(key) {
-                        Some(hit) => hit,
+                        Some(hit) => {
+                            if let Some(t) = tel.as_mut() {
+                                t.record(Time::ZERO, TelemetryEvent::CacheHit);
+                            }
+                            hit
+                        }
                         None => {
-                            let computed = Arc::new(runner::run(scenario.clone()).summary());
+                            if let Some(t) = tel.as_mut() {
+                                t.record(Time::ZERO, TelemetryEvent::CacheMiss);
+                            }
+                            let computed = Arc::new(
+                                runner::run_with_model_observed(
+                                    scenario.clone(),
+                                    None,
+                                    tel.as_mut(),
+                                )
+                                .summary(),
+                            );
                             cache.insert(key, Arc::clone(&computed));
                             computed
                         }
                     }
                 }
-                None => Arc::new(runner::run_with_model(scenario.clone(), model).summary()),
+                None => Arc::new(
+                    runner::run_with_model_observed(scenario.clone(), model, tel.as_mut())
+                        .summary(),
+                ),
             };
-            FleetRecord {
+            let record = FleetRecord {
                 strategy: scenario.strategy,
                 seed: scenario.seed,
                 injected_at: scenario.events.iter().map(|&(t, _)| t).min(),
                 summary,
+            };
+            if let Some(mut t) = tel {
+                if let Some(latency) = record.detection_latency_s() {
+                    t.record_detection_latency(latency);
+                }
+                sink.expect("sink exists when tel does").absorb(t);
             }
+            record
         });
-        let stats = FleetStats::from_records(&records);
+        let mut stats = FleetStats::from_records(&records);
+        if let (Some(sink), Some(before)) = (sink, before) {
+            stats.telemetry = Some(sink.snapshot().minus(&before));
+        }
         FleetOutcome { records, stats }
     }
 
@@ -491,26 +547,32 @@ impl FleetRunner {
     /// The learned model, if any, is *not* mounted for capture runs, and
     /// the cache is not consulted (traces are not part of a [`Summary`]).
     pub fn capture_traces(&self, scenarios: Vec<Scenario>) -> Vec<SignalTrace> {
-        self.execute(scenarios, |scenario| {
+        self.execute(scenarios, |_i, scenario| {
             runner::run(scenario.clone()).signal_trace()
         })
     }
 
     /// The shared batch engine: seeds the jobs deterministically from the
     /// master seed and job index, executes them on the shard executor,
-    /// and returns one result per job in job order.
+    /// and returns one result per job in job order. With telemetry
+    /// mounted, executor steals land on the sink's shared counter.
     fn execute<T, F>(&self, mut scenarios: Vec<Scenario>, job: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&Scenario) -> T + Sync,
+        F: Fn(usize, &Scenario) -> T + Sync,
     {
         for (i, s) in scenarios.iter_mut().enumerate() {
             s.seed = derive_seed(self.master_seed, i as u64);
         }
         let workers = self.threads.min(scenarios.len()).max(1);
-        executor::run(scenarios.len(), workers, self.scheduler, |i, _worker| {
-            job(&scenarios[i])
-        })
+        let steals = self.telemetry.as_ref().map(Telemetry::steal_counter);
+        executor::run_counted(
+            scenarios.len(),
+            workers,
+            self.scheduler,
+            steals,
+            |i, _worker| job(i, &scenarios[i]),
+        )
     }
 }
 

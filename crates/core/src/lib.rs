@@ -48,6 +48,11 @@
 //!   group-by latency queries.
 //! * [`csv`] — machine-consumable CSV export of fleet records and
 //!   aggregates.
+//! * [`telemetry`] — the engine's own observability: a deterministic,
+//!   virtual-time-stamped trace ring ([`telemetry::TraceRing`]),
+//!   allocation-free counters/histograms ([`telemetry::Counter`]) and a
+//!   per-stage profiler, merged into a mountable [`telemetry::Telemetry`]
+//!   sink with a chrome-tracing (Perfetto) exporter.
 //!
 //! ```
 //! use saav_core::coordinator::{Coordinator, EscalationPolicy};
@@ -80,6 +85,7 @@ pub mod layer;
 pub mod outcome;
 pub mod runner;
 pub mod scenario;
+pub mod telemetry;
 pub mod vehicle;
 
 /// Backward-compatible façade over the modules the old `assembly` monolith
@@ -104,5 +110,9 @@ pub use outcome::{
 pub use scenario::{
     CitySpec, PeerLie, PlatoonSpec, ResponseStrategy, Scenario, ScenarioBuilder, ScenarioEvent,
     ScenarioFamily, ScenarioState,
+};
+pub use telemetry::{
+    Counter, ProfilerMode, Stage, Telemetry, TelemetryConfig, TelemetryEvent, TelemetrySnapshot,
+    TraceRecord, TraceRing,
 };
 pub use vehicle::SelfAwareVehicle;

@@ -21,6 +21,7 @@ use saav_vehicle::traffic::LeadVehicle;
 use crate::layer::{Containment, Layer};
 use crate::outcome::Outcome;
 use crate::scenario::{Scenario, ScenarioState};
+use crate::telemetry::{Counter, RunTelemetry, Stage, Telemetry, TelemetryEvent};
 use crate::vehicle::{SelfAwareVehicle, CONTROL_PERIOD};
 
 /// What the run has detected and done so far — threaded through the
@@ -45,6 +46,7 @@ fn handle_anomaly(
     v: &mut SelfAwareVehicle,
     state: &mut ScenarioState,
     log: &mut DetectionLog,
+    mut tel: Option<&mut RunTelemetry>,
     anomaly: Anomaly,
 ) {
     let learned = matches!(anomaly.kind, AnomalyKind::ModelDeviation);
@@ -64,6 +66,15 @@ fn handle_anomaly(
             .fault(v.now, source, format!("first anomaly: {anomaly}"));
     }
     let (origin, kind) = v.anomaly_to_problem(state, &anomaly);
+    if let Some(t) = tel.as_deref_mut() {
+        t.record(
+            v.now,
+            TelemetryEvent::AnomalyRaised {
+                kind: anomaly.kind,
+                origin,
+            },
+        );
+    }
     // Interned subject: every per-hop clone below is a refcount bump.
     let subject = anomaly.subject.clone();
     let problem = v.coordinator.detect(v.now, origin, subject.clone(), kind);
@@ -72,9 +83,16 @@ fn handle_anomaly(
     // outcome buffer is reused across anomalies.
     let outcomes = &mut log.outcomes_buf;
     outcomes.clear();
+    let mut contracts_seen = state.acc_reconfigured;
     for &layer in v.coordinator.route_slice(origin) {
         let outcome = v.contain(state, layer, kind, &subject);
         let resolved = matches!(outcome, Containment::Resolved { .. });
+        if !contracts_seen && state.acc_reconfigured {
+            contracts_seen = true;
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(v.now, TelemetryEvent::ContractSwitch { layer });
+            }
+        }
         outcomes.push((layer, outcome));
         if resolved {
             break;
@@ -83,6 +101,20 @@ fn handle_anomaly(
     let resolved_now = outcomes
         .iter()
         .any(|(_, o)| matches!(o, Containment::Resolved { .. }));
+    if let Some(t) = tel {
+        let resolved_by = resolved_now
+            .then(|| outcomes.last().map(|(l, _)| *l))
+            .flatten();
+        t.record(
+            v.now,
+            TelemetryEvent::EscalationRouted {
+                kind,
+                origin,
+                resolved_by,
+                hops: outcomes.len() as u8,
+            },
+        );
+    }
     for (_, o) in outcomes.iter() {
         if let Containment::Resolved { action } | Containment::Mitigated { action } = o {
             if !log.actions.contains(action) {
@@ -177,14 +209,19 @@ impl RunContext {
     /// Raises an externally-detected anomaly (e.g. peer misbehavior from
     /// the platoon negotiation) through the identical escalation path the
     /// onboard monitors use.
-    pub(crate) fn raise(&mut self, anomaly: Anomaly) {
-        handle_anomaly(&mut self.v, &mut self.state, &mut self.log, anomaly);
+    pub(crate) fn raise(&mut self, tel: Option<&mut RunTelemetry>, anomaly: Anomaly) {
+        handle_anomaly(&mut self.v, &mut self.state, &mut self.log, tel, anomaly);
     }
 
     /// Advances the vehicle by one [`CONTROL_PERIOD`]: scripted events,
     /// platform, execution domain, plant, communication, monitors, ability
     /// propagation and the 1 Hz recording/scoring instant.
-    pub(crate) fn tick(&mut self) {
+    ///
+    /// With telemetry mounted (`tel`), the tick additionally charges the
+    /// runner/monitor stage profile, counts deadline misses and records
+    /// escalation trace events — all into preallocated per-run storage.
+    pub(crate) fn tick(&mut self, mut tel: Option<&mut RunTelemetry>) {
+        let tick_t0 = tel.as_deref().and_then(|t| t.stage_enter());
         let v = &mut self.v;
         let state = &mut self.state;
         v.now += CONTROL_PERIOD;
@@ -206,15 +243,22 @@ impl RunContext {
         // 5. communication traffic
         v.pump_can_traffic(state);
         // 6. monitors → anomalies → problems → cross-layer resolution
+        let monitor_t0 = tel.as_deref().and_then(|t| t.stage_enter());
         let anomalies = v.collect_anomalies();
         for anomaly in &anomalies {
             if matches!(anomaly.kind, AnomalyKind::DeadlineMiss) {
                 self.misses_window += 1;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.count(Counter::DeadlineMisses, 1);
+                }
             }
         }
         self.jobs_window += 1;
         for anomaly in anomalies {
-            handle_anomaly(v, state, &mut self.log, anomaly);
+            handle_anomaly(v, state, &mut self.log, tel.as_deref_mut(), anomaly);
+        }
+        if let Some(t) = tel.as_deref_mut() {
+            t.stage_exit(Stage::Monitor, monitor_t0);
         }
         // 7. ability propagation from sensor quality + mode decision
         let q = v.radar_quality.quality();
@@ -255,9 +299,12 @@ impl RunContext {
                 v.metrics
                     .publish(v.now, "monitor.learned", "model_score", report.score);
                 if let Some(anomaly) = report.anomaly {
-                    handle_anomaly(v, state, &mut self.log, anomaly);
+                    handle_anomaly(v, state, &mut self.log, tel.as_deref_mut(), anomaly);
                 }
             }
+        }
+        if let Some(t) = tel {
+            t.stage_exit(Stage::Runner, tick_t0);
         }
     }
 
@@ -302,6 +349,8 @@ impl RunContext {
 /// spec go through [`run`].
 pub struct SteppedRun {
     ctx: RunContext,
+    tel: Option<RunTelemetry>,
+    sink: Option<Telemetry>,
 }
 
 impl SteppedRun {
@@ -318,7 +367,22 @@ impl SteppedRun {
         );
         SteppedRun {
             ctx: RunContext::new(scenario, None),
+            tel: None,
+            sink: None,
         }
+    }
+
+    /// Like [`SteppedRun::new`] with `sink`'s telemetry mounted: every
+    /// tick records into a per-run ring/registry (allocated here, once),
+    /// folded back into the sink by [`SteppedRun::finish`].
+    ///
+    /// # Panics
+    /// Panics like [`SteppedRun::new`] on a multi-vehicle scenario.
+    pub fn with_telemetry(scenario: &Scenario, sink: &Telemetry) -> Self {
+        let mut run = SteppedRun::new(scenario);
+        run.tel = Some(sink.begin_run(0));
+        run.sink = Some(sink.clone());
+        run
     }
 
     /// Whether the scenario's time horizon has been reached.
@@ -328,7 +392,7 @@ impl SteppedRun {
 
     /// Advances the vehicle by one control period (10 ms).
     pub fn tick(&mut self) {
-        self.ctx.tick();
+        self.ctx.tick(self.tel.as_mut());
     }
 
     /// Simulated time since run start, in milliseconds. Recording and
@@ -338,9 +402,23 @@ impl SteppedRun {
         self.ctx.v.now.as_millis()
     }
 
-    /// Closes the run and returns its measured [`Outcome`].
+    /// Closes the run and returns its measured [`Outcome`], absorbing any
+    /// mounted telemetry into its sink.
     pub fn finish(self) -> Outcome {
-        self.ctx.finish()
+        let out = self.ctx.finish();
+        if let (Some(mut tel), Some(sink)) = (self.tel, self.sink) {
+            record_outcome_latency(&mut tel, &out);
+            sink.absorb(tel);
+        }
+        out
+    }
+}
+
+/// Folds an outcome's detection latency (scenario start → first
+/// detection) into the run's histogram.
+pub(crate) fn record_outcome_latency(tel: &mut RunTelemetry, out: &Outcome) {
+    if let Some(t) = out.first_detection {
+        tel.record_detection_latency(t.as_secs_f64());
     }
 }
 
@@ -371,15 +449,44 @@ pub fn run(scenario: Scenario) -> Outcome {
 /// count (see [`crate::cosim::run_platoon`]) — or a malformed
 /// [`crate::scenario::CitySpec`] (see [`crate::city::run_city`]).
 pub fn run_with_model(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Outcome {
+    run_with_model_observed(scenario, model, None)
+}
+
+/// Runs a scenario to completion with `sink`'s telemetry mounted: the
+/// run's escalation trace, registry counters and stage profile are folded
+/// into the sink. The measured [`Outcome`] is bit-identical to
+/// [`run_with_model`]'s — telemetry observes, never perturbs.
+///
+/// # Panics
+/// Panics like [`run_with_model`] on a malformed multi-vehicle spec.
+pub fn run_observed(
+    scenario: Scenario,
+    model: Option<&SelfAwarenessModel>,
+    sink: &Telemetry,
+) -> Outcome {
+    let mut tel = sink.begin_run(0);
+    let out = run_with_model_observed(scenario, model, Some(&mut tel));
+    record_outcome_latency(&mut tel, &out);
+    sink.absorb(tel);
+    out
+}
+
+/// The shared implementation behind [`run_with_model`] (unmounted) and
+/// [`run_observed`] / the fleet runner (mounted).
+pub(crate) fn run_with_model_observed(
+    scenario: Scenario,
+    model: Option<&SelfAwarenessModel>,
+    mut tel: Option<&mut RunTelemetry>,
+) -> Outcome {
     if scenario.city.is_some() {
-        return crate::city::run_city(scenario, model);
+        return crate::city::run_city_observed(scenario, model, tel);
     }
     if scenario.platoon.is_some() {
-        return crate::cosim::run_platoon(scenario, model);
+        return crate::cosim::run_platoon_observed(scenario, model, tel);
     }
     let mut ctx = RunContext::new(&scenario, model);
     while !ctx.done() {
-        ctx.tick();
+        ctx.tick(tel.as_deref_mut());
     }
     ctx.finish()
 }

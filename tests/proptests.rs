@@ -18,6 +18,7 @@ use saav::core::executor::Scheduler;
 use saav::core::fleet::{FleetOutcome, FleetRunner, FleetStats};
 use saav::core::layer::{Containment, Layer, ProblemKind};
 use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioEvent};
+use saav::core::telemetry::{Counter, Telemetry, TelemetryEvent, TelemetrySnapshot, TraceRing};
 use saav::learn::{Binning, LearnConfig, Quantizer, SelfAwarenessModel, SignalTrace};
 use saav::platoon::agreement::{robust_min, trimmed_mean_agreement, Behavior};
 use saav::sim::series::Series;
@@ -115,6 +116,38 @@ fn cold_mini_fleet(master_seed: u64, rot: usize) -> (FleetOutcome, ResultCache) 
                 .with_cache(results.clone())
                 .run_scenarios(rotated_mini_jobs(rot));
             (cold, results)
+        })
+        .clone()
+}
+
+/// Memoized mini-fleet run per `(master_seed, threads, mounted?)`: the
+/// outcome plus — when a telemetry sink was mounted — its snapshot with
+/// the schedule-dependent steal counter zeroed.
+fn observed_mini_fleet(
+    master_seed: u64,
+    threads: usize,
+    mounted: bool,
+) -> (FleetOutcome, Option<TelemetrySnapshot>) {
+    type Key = (u64, usize, bool);
+    type Val = (FleetOutcome, Option<TelemetrySnapshot>);
+    static CACHE: OnceLock<Mutex<HashMap<Key, Val>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("observed-fleet lock");
+    cache
+        .entry((master_seed, threads, mounted))
+        .or_insert_with(|| {
+            let mut runner = FleetRunner::new(master_seed).with_threads(threads);
+            let sink = mounted.then(Telemetry::default);
+            if let Some(sink) = &sink {
+                runner = runner.with_telemetry(sink.clone());
+            }
+            let out = runner.run_scenarios(mini_fleet_jobs());
+            let snap = sink.map(|s| {
+                let mut snap = s.snapshot();
+                snap.counters[Counter::ShardSteals as usize] = 0;
+                snap
+            });
+            (out, snap)
         })
         .clone()
 }
@@ -440,6 +473,56 @@ proptest! {
         for t in &mk() {
             prop_assert!(a.score_trace(t) < a.threshold());
         }
+    }
+
+    /// Trace-ring wraparound round-trip: for any capacity and push count,
+    /// the survivors are exactly the newest `capacity` records in push
+    /// order, sequence numbers stay dense and monotone, and the
+    /// recorded/evicted totals account for every push.
+    #[test]
+    fn trace_ring_evicts_oldest_and_keeps_seq_monotone(
+        capacity in 0usize..9,
+        pushes in 0usize..48,
+    ) {
+        let mut ring = TraceRing::with_capacity(capacity);
+        for i in 0..pushes {
+            // Stamp each record with its own index so survivorship is
+            // checkable: at == seq (in ms) by construction.
+            ring.push(Time::from_millis(i as u64), 7, TelemetryEvent::CacheHit);
+        }
+        prop_assert_eq!(ring.recorded(), pushes as u64);
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.evicted(), pushes.saturating_sub(capacity) as u64);
+        let seqs: Vec<u64> = ring.iter().map(|r| r.seq).collect();
+        let expected: Vec<u64> =
+            (pushes.saturating_sub(capacity) as u64..pushes as u64).collect();
+        prop_assert_eq!(seqs, expected, "survivors must be the newest, in order");
+        for r in ring.iter() {
+            prop_assert_eq!(r.at.as_millis(), r.seq);
+            prop_assert_eq!(r.job_slot, 7);
+        }
+    }
+
+    /// Mounting a telemetry sink never perturbs the simulation: the
+    /// per-run summaries (and aggregate statistics, apart from the
+    /// attached snapshot) are bit-identical to an unmounted batch at any
+    /// worker count — and the snapshot itself is thread-count-invariant
+    /// once the (deliberately schedule-dependent) steal counter is set
+    /// aside.
+    #[test]
+    fn mounted_telemetry_never_perturbs_results(
+        master_seed in 0u64..2,
+        threads in 1usize..5,
+    ) {
+        let (unmounted, _) = observed_mini_fleet(master_seed, 1, false);
+        let (mounted, snap) = observed_mini_fleet(master_seed, threads, true);
+        prop_assert_eq!(&unmounted.records, &mounted.records);
+        let mut stats = mounted.stats.clone();
+        prop_assert!(stats.telemetry.is_some(), "mounted stats carry a snapshot");
+        stats.telemetry = None;
+        prop_assert_eq!(&unmounted.stats, &stats);
+        let (_, single_snap) = observed_mini_fleet(master_seed, 1, true);
+        prop_assert_eq!(snap, single_snap);
     }
 
     /// Duration arithmetic round-trips through the unit constructors.

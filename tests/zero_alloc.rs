@@ -16,6 +16,7 @@ use saav::core::cache::ResultCache;
 use saav::core::fleet::FleetRunner;
 use saav::core::runner::SteppedRun;
 use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav::core::telemetry::{Stage, Telemetry};
 use saav::sim::time::Duration;
 use saav::vehicle::{IdmParams, SurrogateTraffic};
 
@@ -77,9 +78,11 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 
 /// The nominal single-vehicle tick path allocates nothing: platform,
 /// scheduler, plant, CAN pump, monitor scan, ability propagation — the
-/// full per-control-period stack — run allocation-free once warm. The
-/// window deliberately dodges the whole-second instants, where the 1 Hz
-/// series push is *allowed* to grow its buffers.
+/// full per-control-period stack — run allocation-free once warm. With
+/// no telemetry sink mounted this also pins the unmounted-telemetry
+/// plumbing (the `Option<&mut RunTelemetry>` threading) at zero cost.
+/// The window deliberately dodges the whole-second instants, where the
+/// 1 Hz series push is *allowed* to grow its buffers.
 #[test]
 fn nominal_tick_path_is_allocation_free() {
     let _g = gate();
@@ -102,6 +105,37 @@ fn nominal_tick_path_is_allocation_free() {
         "nominal tick path allocated {allocs} times in 99 ticks"
     );
     assert_eq!(sim.now_millis(), 2_990);
+}
+
+/// A *mounted* telemetry sink stays off the heap too: the trace ring is
+/// sized once at `begin_run`, counters and histograms are fixed arrays,
+/// and the virtual-time profiler charges constants instead of reading
+/// clocks — so the steady-state tick is allocation-free with telemetry
+/// on, not just off.
+#[test]
+fn mounted_telemetry_tick_is_allocation_free() {
+    let _g = gate();
+    let mut scenario = ScenarioFamily::Baseline.build(ResponseStrategy::CrossLayer, 42);
+    scenario.duration = Duration::from_secs(30);
+    let sink = Telemetry::default();
+    let mut sim = SteppedRun::with_telemetry(&scenario, &sink);
+    while sim.now_millis() < 2_000 {
+        sim.tick();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..99 {
+            sim.tick();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "mounted-telemetry tick path allocated {allocs} times in 99 ticks"
+    );
+    let _ = sim.finish();
+    assert!(
+        sink.snapshot().stage_calls_of(Stage::Runner) > 0,
+        "profiler saw no runner ticks"
+    );
 }
 
 /// A fully-warm cache-hit fleet sweep performs zero allocations *per
