@@ -23,18 +23,23 @@
 //!    informational (no gate; single-core hosts converge).
 //! 4. **Observability** — the flagship 1,000-vehicle / 2-focal city run
 //!    timed unmounted vs with a [`Telemetry`] sink mounted (best of
-//!    several reps each). Acceptance ceiling: mounted overhead ≤ 5%, so
-//!    tracing never becomes something you switch off before measuring.
+//!    several reps each), once through the sequential city engine and
+//!    once through the parallel engine (4 intra-run threads). Acceptance
+//!    ceiling on both arms: mounted overhead ≤ 5%, so tracing never
+//!    becomes something you switch off before measuring — not even on
+//!    the multi-core path, where telemetry runs through per-cluster
+//!    scratches.
 //!
 //! Outside `--test` mode the process exits nonzero if any floor (or the
 //! overhead ceiling) is missed. `--test` shrinks every duration for CI
 //! smoke runs and skips the gates (short horizons are noisy).
 //!
-//! JSON schema (`schema_version` 1): see the README's "Fleet engine"
+//! JSON schema (`schema_version` 2): see the README's "Fleet engine"
 //! section.
 
 use std::time::Instant;
 
+use saav_bench::replay::simulate_schedule;
 use saav_core::cache::ResultCache;
 use saav_core::executor::Scheduler;
 use saav_core::fleet::FleetRunner;
@@ -169,11 +174,17 @@ fn main() {
     // Unmounted vs mounted wall time, best of OBS_REPS each; best-of is
     // the most noise-robust statistic for a ratio gate on a shared host.
     let flagship_s = if test_mode { 5 } else { 60 };
-    let flagship = || -> Scenario {
+    let flagship = |threads: usize| -> Scenario {
+        let mut spec = CitySpec::new(998, 2).with_threads(threads);
+        if threads > 1 {
+            // Chunks sized so a 1,000-lane store actually splits at the
+            // modeled widths (the 1,024 default leaves it whole).
+            spec = spec.with_surrogate_chunk(256);
+        }
         Scenario::builder("obs/1000v2f")
             .seed(master_seed)
             .duration(Duration::from_secs(flagship_s))
-            .city(CitySpec::new(998, 2))
+            .city(spec)
             .build()
     };
     let best_of = |run: &dyn Fn()| -> f64 {
@@ -185,12 +196,13 @@ fn main() {
             })
             .fold(f64::INFINITY, f64::min)
     };
+    // Sequential arm: the single-thread engine (pure inline loop).
     let unmounted_wall_s = best_of(&|| {
-        let _ = saav_core::runner::run(flagship());
+        let _ = saav_core::runner::run(flagship(1));
     });
     let sink = Telemetry::default();
     let mounted_wall_s = best_of(&|| {
-        let _ = saav_core::runner::run_observed(flagship(), None, &sink);
+        let _ = saav_core::runner::run_observed(flagship(1), None, &sink);
     });
     let obs_overhead = mounted_wall_s / unmounted_wall_s.max(1e-9) - 1.0;
     let obs = sink.snapshot();
@@ -200,12 +212,30 @@ fn main() {
         obs_overhead * 100.0,
         obs.events_recorded / OBS_REPS as u64,
     );
+    // Parallel arm: the same run through the 4-thread engine, where
+    // telemetry flows through forked per-cluster scratches. The trace is
+    // bit-identical to the sequential arm's by construction; this arm
+    // gates its *cost*.
+    const OBS_PAR_THREADS: usize = 4;
+    let par_unmounted_wall_s = best_of(&|| {
+        let _ = saav_core::runner::run(flagship(OBS_PAR_THREADS));
+    });
+    let par_sink = Telemetry::default();
+    let par_mounted_wall_s = best_of(&|| {
+        let _ = saav_core::runner::run_observed(flagship(OBS_PAR_THREADS), None, &par_sink);
+    });
+    let par_obs_overhead = par_mounted_wall_s / par_unmounted_wall_s.max(1e-9) - 1.0;
+    eprintln!(
+        "observability: parallel ({OBS_PAR_THREADS} threads) — unmounted {par_unmounted_wall_s:.3} s, \
+         mounted {par_mounted_wall_s:.3} s ({:+.1}% overhead)",
+        par_obs_overhead * 100.0,
+    );
 
     // --- JSON ------------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"fleet_throughput\",\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if test_mode { "test" } else { "full" }
@@ -257,6 +287,12 @@ schedules replayed in virtual time mirroring the shard executor policy\",\n",
     json.push_str(&format!("    \"overhead_frac\": {obs_overhead:.4},\n"));
     json.push_str(&format!("    \"max_overhead_frac\": {MAX_OBS_OVERHEAD},\n"));
     json.push_str(&format!(
+        "    \"parallel\": {{\"threads\": {OBS_PAR_THREADS}, \
+         \"unmounted_wall_s\": {par_unmounted_wall_s:.4}, \
+         \"mounted_wall_s\": {par_mounted_wall_s:.4}, \
+         \"overhead_frac\": {par_obs_overhead:.4}}},\n"
+    ));
+    json.push_str(&format!(
         "    \"mounted_counters\": {{\"anomalies_raised\": {}, \"escalations_routed\": {}, \
          \"tier_promotions\": {}, \"tier_demotions\": {}, \"events_recorded\": {}}}\n",
         obs.counter(Counter::AnomaliesRaised),
@@ -295,48 +331,20 @@ schedules replayed in virtual time mirroring the shard executor policy\",\n",
             );
             failed = true;
         }
+        if par_obs_overhead > MAX_OBS_OVERHEAD {
+            eprintln!(
+                "FAIL: mounted-telemetry overhead {:.1}% exceeds the {:.0}% ceiling \
+                 on the parallel ({OBS_PAR_THREADS}-thread) city run — per-cluster \
+                 telemetry scratches have become too expensive to leave on",
+                par_obs_overhead * 100.0,
+                MAX_OBS_OVERHEAD * 100.0
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
     }
-}
-
-/// Replays a schedule over calibrated per-job costs in virtual time,
-/// mirroring the shard executor's policy exactly: each worker owns the
-/// balanced contiguous shard `[w*n/W, (w+1)*n/W)`, drains it in order,
-/// and — when stealing — continues with the front job of whichever shard
-/// has the most jobs remaining. Returns the makespan (the latest worker
-/// finish time).
-fn simulate_schedule(costs_s: &[f64], workers: usize, steal: bool) -> f64 {
-    let n = costs_s.len();
-    let workers = workers.clamp(1, n.max(1));
-    let mut cursor: Vec<usize> = (0..workers).map(|w| w * n / workers).collect();
-    let end: Vec<usize> = (0..workers).map(|w| (w + 1) * n / workers).collect();
-    let mut clock = vec![0.0f64; workers];
-    let mut done = vec![false; workers];
-    // The idle worker that frees up first acts next.
-    while let Some(w) = (0..workers)
-        .filter(|&w| !done[w])
-        .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
-    {
-        let shard = if cursor[w] < end[w] {
-            Some(w)
-        } else if steal {
-            (0..workers)
-                .filter(|&v| cursor[v] < end[v])
-                .max_by_key(|&v| end[v] - cursor[v])
-        } else {
-            None
-        };
-        match shard {
-            Some(v) => {
-                clock[w] += costs_s[cursor[v]];
-                cursor[v] += 1;
-            }
-            None => done[w] = true,
-        }
-    }
-    clock.iter().cloned().fold(0.0, f64::max)
 }
 
 /// Parses `--out PATH` / `--out=PATH`; defaults to

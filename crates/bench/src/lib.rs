@@ -39,3 +39,4 @@ pub mod exp_platoon;
 pub mod exp_propagation;
 pub mod exp_scenarios;
 pub mod exp_skills;
+pub mod replay;

@@ -1,0 +1,125 @@
+//! Deterministic virtual-time schedule replay, shared by the bench
+//! emitters.
+//!
+//! On a single-core CI host, wall time cannot distinguish schedulers or
+//! thread counts — every width degenerates to the sequential wall. The
+//! bench gates therefore follow a calibrate-then-replay methodology:
+//! per-unit costs are measured once single-threaded (where they are
+//! exact), then the parallel schedule is replayed over those costs in
+//! virtual time, mirroring the runtime's actual policy. The replayed
+//! makespans are deterministic and host-independent; measured walls ride
+//! along as informational fields.
+//!
+//! Two replays live here:
+//!
+//! * [`simulate_schedule`] — the shard executor's policy (balanced
+//!   contiguous shards, drain in order, steal from the richest), used by
+//!   `fleet_bench`'s scheduling gate and as the building block below.
+//!   The intra-run [`TickPool`](saav_core::executor::TickPool) shares
+//!   this exact shard/steal policy, so the same replay covers both
+//!   layers.
+//! * [`simulate_city_tick`] — one tick of the parallel city engine: the
+//!   three barrier-separated chunked surrogate passes, then the cluster
+//!   phase, then the serial residue (slot-ordered mirror pass, 1 Hz
+//!   re-evaluation amortized per tick).
+
+/// Replays a schedule over calibrated per-job costs in virtual time,
+/// mirroring the shard executor's policy exactly: each worker owns the
+/// balanced contiguous shard `[w*n/W, (w+1)*n/W)`, drains it in order,
+/// and — when stealing — continues with the front job of whichever shard
+/// has the most jobs remaining. Returns the makespan (the latest worker
+/// finish time).
+pub fn simulate_schedule(costs_s: &[f64], workers: usize, steal: bool) -> f64 {
+    let n = costs_s.len();
+    let workers = workers.clamp(1, n.max(1));
+    let mut cursor: Vec<usize> = (0..workers).map(|w| w * n / workers).collect();
+    let end: Vec<usize> = (0..workers).map(|w| (w + 1) * n / workers).collect();
+    let mut clock = vec![0.0f64; workers];
+    let mut done = vec![false; workers];
+    // The idle worker that frees up first acts next.
+    while let Some(w) = (0..workers)
+        .filter(|&w| !done[w])
+        .min_by(|&a, &b| clock[a].total_cmp(&clock[b]))
+    {
+        let shard = if cursor[w] < end[w] {
+            Some(w)
+        } else if steal {
+            (0..workers)
+                .filter(|&v| cursor[v] < end[v])
+                .max_by_key(|&v| end[v] - cursor[v])
+        } else {
+            None
+        };
+        match shard {
+            Some(v) => {
+                clock[w] += costs_s[cursor[v]];
+                cursor[v] += 1;
+            }
+            None => done[w] = true,
+        }
+    }
+    clock.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Replays one tick of the parallel city engine at `threads` workers over
+/// single-thread-calibrated costs:
+///
+/// * `surrogate_pass_s` — per-chunk cost of **one** surrogate lane pass;
+///   the engine runs three barrier-separated passes over the same chunks,
+///   so the chunk schedule replays three times.
+/// * `cluster_s` — per-cluster cost of the full-fidelity phase (cluster
+///   sizes × the calibrated full-stack vehicle-tick cost).
+/// * `serial_s` — the unparallelized residue: the slot-ordered mirror
+///   pass, the amortized 1 Hz re-evaluation, and pool dispatch overhead.
+///
+/// Returns the modeled tick wall time. At `threads == 1` this collapses
+/// to the exact sum of all costs — the calibration input — so modeled
+/// speedups are self-consistent by construction.
+pub fn simulate_city_tick(
+    surrogate_pass_s: &[f64],
+    cluster_s: &[f64],
+    serial_s: f64,
+    threads: usize,
+) -> f64 {
+    3.0 * simulate_schedule(surrogate_pass_s, threads, true)
+        + simulate_schedule(cluster_s, threads, true)
+        + serial_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_makespan_is_the_sum() {
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(simulate_schedule(&costs, 1, false), 14.0);
+        assert_eq!(simulate_schedule(&costs, 1, true), 14.0);
+    }
+
+    #[test]
+    fn stealing_beats_static_on_a_skewed_mix() {
+        // One heavy job leading seven light ones: static chunking strands
+        // the heavy worker's blockmates behind it.
+        let costs = [8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let static_ms = simulate_schedule(&costs, 4, false);
+        let steal_ms = simulate_schedule(&costs, 4, true);
+        assert!(steal_ms < static_ms, "{steal_ms} !< {static_ms}");
+        // The heavy job bounds the makespan either way.
+        assert!(steal_ms >= 8.0);
+    }
+
+    #[test]
+    fn city_tick_collapses_to_the_serial_sum_at_one_thread() {
+        let chunks = [0.2, 0.2, 0.2, 0.1];
+        let clusters = [1.0, 0.8, 0.9, 1.1];
+        let serial = 0.3;
+        let t1 = simulate_city_tick(&chunks, &clusters, serial, 1);
+        let exact = 3.0 * chunks.iter().sum::<f64>() + clusters.iter().sum::<f64>() + serial;
+        assert!((t1 - exact).abs() < 1e-12, "{t1} vs {exact}");
+        // More threads never model slower.
+        let t4 = simulate_city_tick(&chunks, &clusters, serial, 4);
+        assert!(t4 < t1, "{t4} !< {t1}");
+        assert!(t4 >= serial + clusters.iter().cloned().fold(0.0, f64::max));
+    }
+}

@@ -235,6 +235,10 @@ fn hash_platoon(h: &mut KeyHasher, p: &PlatoonSpec) {
     }
 }
 
+// `CitySpec::threads` and `CitySpec::surrogate_chunk` are deliberately
+// NOT hashed: outcomes are bit-identical for every thread count and chunk
+// size (pinned by the city determinism suite), so runs that differ only
+// in parallelism must share one cache entry.
 fn hash_city(h: &mut KeyHasher, c: &CitySpec) {
     h.write_u64(c.background as u64);
     h.write_u64(c.focal as u64);
@@ -631,6 +635,19 @@ mod tests {
     #[test]
     fn identical_scenarios_share_a_key() {
         assert_eq!(job_key(&base_scenario()), job_key(&base_scenario()));
+    }
+
+    #[test]
+    fn parallelism_knobs_do_not_change_the_key() {
+        // Thread count and surrogate chunk size are behaviour-neutral by
+        // the determinism contract, so a warm cache must serve runs that
+        // differ only in parallelism.
+        let base = job_key(&base_scenario());
+        let mut threaded = base_scenario();
+        threaded.city = threaded
+            .city
+            .map(|c| c.with_threads(4).with_surrogate_chunk(64));
+        assert_eq!(job_key(&threaded), base);
     }
 
     #[test]

@@ -25,9 +25,44 @@
 //! the (rare) tier transitions; the steady-state tick path allocates
 //! nothing.
 //!
+//! # Intra-run parallelism
+//!
+//! A single city run scales with cores while staying bit-identical to
+//! the sequential engine (`CitySpec::threads` / `SAAV_THREADS`; the
+//! fleet runner divides its thread budget across concurrent jobs so the
+//! two layers compose without oversubscription). Three mechanisms, all
+//! determinism-preserving by construction:
+//!
+//! * **Chunked surrogate passes** — the store's lane passes split into
+//!   contiguous chunks on a persistent
+//!   [`TickPool`], with the min-gap /
+//!   collision fold reduced per chunk and merged in ascending slot order
+//!   ([`SurrogateTraffic::step_chunked`]).
+//! * **Cluster-parallel focal stepping** — the full-fidelity vehicles
+//!   partition into maximal runs of *adjacent* slots. A cluster head's
+//!   leader is always a surrogate slot (frozen during the phase), and
+//!   in-cluster followers read their predecessor's freshly-ticked state
+//!   in the exact Gauss–Seidel order the sequential loop uses — so
+//!   clusters are mutually independent and step in parallel, and the
+//!   slot-ordered mirror pass afterwards publishes states in a fixed
+//!   order.
+//! * **Forked telemetry scratches** — each cluster records into its own
+//!   scratch [`RunTelemetry`], folded back in ascending cluster order,
+//!   which reassigns trace sequence numbers exactly as the sequential
+//!   engine would have issued them. Pool steal/barrier activity surfaces
+//!   only through the registry side channels
+//!   ([`Counter::ShardSteals`](crate::telemetry::Counter) /
+//!   [`Counter::TickBarriers`](crate::telemetry::Counter)), never the
+//!   trace.
+//!
+//! With one thread the engine is the original pure inline loop: no pool
+//! dispatch, no scratches, zero steady-state allocations (pinned by
+//! `tests/zero_alloc.rs` through the steppable [`CityRun`]).
+//!
 //! [`SurrogateTraffic`]: saav_vehicle::surrogate::SurrogateTraffic
 
 use saav_learn::SelfAwarenessModel;
+use saav_sim::pool::SendPtr;
 use saav_sim::rng::derive_seed;
 use saav_sim::series::Series;
 use saav_sim::time::Time;
@@ -36,10 +71,11 @@ use saav_skills::decision::DrivingMode;
 use saav_vehicle::surrogate::SurrogateTraffic;
 use saav_vehicle::traffic::LeadVehicle;
 
+use crate::executor::TickPool;
 use crate::outcome::{CityOutcome, Outcome};
-use crate::runner::RunContext;
+use crate::runner::{record_outcome_latency, RunContext};
 use crate::scenario::{CitySpec, Scenario};
-use crate::telemetry::{RunTelemetry, Stage, TelemetryEvent};
+use crate::telemetry::{RunTelemetry, Stage, Telemetry, TelemetryEvent};
 use crate::vehicle::CONTROL_PERIOD;
 
 /// Seed-space offset separating promoted background vehicles from focal
@@ -55,6 +91,42 @@ struct FullVehicle {
     /// `Some(k)` for focal vehicle `k`; `None` for promoted background.
     focal_index: Option<usize>,
     ctx: RunContext,
+}
+
+// The parallel cluster phase hands `FullVehicle`s and telemetry
+// scratches to pool workers through raw pointers, which bypasses the
+// auto-trait checks — assert them at compile time instead.
+fn _assert_parallel_tick_state_is_send()
+where
+    FullVehicle: Send,
+    RunTelemetry: Send,
+    SurrogateTraffic: Sync,
+{
+}
+
+/// Whether `pos` lies within `radius` of any focal position, given the
+/// focal positions sorted ascending ([`f64::total_cmp`] order). A
+/// binary-search window prefilter — bounds widened by a few ulps to
+/// absorb the rounding of `pos ± radius` — feeds the *original* exact
+/// predicate `(pos - f).abs() <= radius`, so decisions are bit-identical
+/// to the linear scan it replaces (pinned against
+/// `near_focal_linear` below) at O(log f + hits) instead of O(f).
+fn near_focal_window(focal_sorted: &[f64], pos: f64, radius: f64) -> bool {
+    let slack = (pos.abs() + radius) * (4.0 * f64::EPSILON);
+    let lo = pos - radius - slack;
+    let hi = pos + radius + slack;
+    let start = focal_sorted.partition_point(|&f| f < lo);
+    focal_sorted[start..]
+        .iter()
+        .take_while(|&&f| f <= hi)
+        .any(|&f| (pos - f).abs() <= radius)
+}
+
+/// The original O(focal) promotion scan, kept as the decision oracle for
+/// [`near_focal_window`].
+#[cfg(test)]
+fn near_focal_linear(focal_pos: &[f64], pos: f64, radius: f64) -> bool {
+    focal_pos.iter().any(|&f| (pos - f).abs() <= radius)
 }
 
 /// Runs a city scenario to completion and returns the composed
@@ -76,112 +148,304 @@ pub(crate) fn run_city_observed(
     model: Option<&SelfAwarenessModel>,
     mut tel: Option<&mut RunTelemetry>,
 ) -> Outcome {
-    let spec = scenario.city.clone().expect("city scenario");
-    let total = spec.total();
-    assert!(total >= 1, "city chain needs at least one vehicle");
-    assert!(
-        spec.initial_gap_m > 0.0,
-        "initial gap must be positive, got {}",
-        spec.initial_gap_m
-    );
+    let mut engine = CityEngine::new(scenario, model);
+    while !engine.done() {
+        engine.tick(tel.as_deref_mut());
+    }
+    engine.finish()
+}
 
-    // --- the chain: every vehicle starts in the surrogate store ---------
-    let mut store = SurrogateTraffic::with_capacity(spec.idm, total);
-    for slot in 0..total {
-        store.push_vehicle(-(slot as f64) * spec.initial_gap_m, spec.cruise_mps);
+/// The city engine's live state: the chain, the full-fidelity tier, the
+/// intra-run tick pool and the running tier statistics.
+struct CityEngine {
+    scenario: Scenario,
+    spec: CitySpec,
+    store: SurrogateTraffic,
+    /// Full-fidelity vehicles, ascending by slot.
+    full: Vec<FullVehicle>,
+    /// The persistent intra-run worker pool (inline loop at 1 thread).
+    pool: TickPool,
+    /// Chunk size of the parallel surrogate passes.
+    chunk: usize,
+    /// Maximal runs of adjacent slots in `full`, as index ranges —
+    /// mutually independent within one tick, recomputed only when the
+    /// tier membership changes (1 Hz at most).
+    clusters: Vec<(usize, usize)>,
+    /// One telemetry scratch per cluster (mounted parallel runs only),
+    /// reused tick after tick.
+    scratch_tel: Vec<RunTelemetry>,
+    /// Focal positions sorted ascending, for the window promotion scan.
+    focal_sorted: Vec<f64>,
+    now: Time,
+    end: Time,
+    total: usize,
+    ticks: u64,
+    surrogate_vehicle_ticks: u64,
+    full_vehicle_ticks: u64,
+    promotions: u64,
+    demotions: u64,
+    max_full_tier: usize,
+}
+
+impl CityEngine {
+    // `model` is threaded into the focal stacks at construction; promoted
+    // background vehicles deliberately run without learned monitors.
+    fn new(scenario: Scenario, model: Option<&SelfAwarenessModel>) -> Self {
+        let spec = scenario.city.clone().expect("city scenario");
+        let total = spec.total();
+        assert!(total >= 1, "city chain needs at least one vehicle");
+        assert!(
+            spec.initial_gap_m > 0.0,
+            "initial gap must be positive, got {}",
+            spec.initial_gap_m
+        );
+        // Explicit spec width wins; otherwise `SAAV_THREADS` / the host
+        // core count (the fleet runner pre-resolves its composition rule
+        // into the spec before the scenario reaches this point).
+        let threads = spec
+            .threads
+            .unwrap_or_else(crate::fleet::default_threads)
+            .max(1);
+        let chunk = spec.surrogate_chunk.max(1);
+
+        // --- the chain: every vehicle starts in the surrogate store -----
+        let mut store = SurrogateTraffic::with_capacity(spec.idm, total);
+        for slot in 0..total {
+            store.push_vehicle(-(slot as f64) * spec.initial_gap_m, spec.cruise_mps);
+        }
+
+        // --- focal vehicles: full stacks on mirrored slots --------------
+        // Seeds derive from the *focal index*, not the slot, so a focal
+        // vehicle's noise streams are identical at any background density
+        // — the E14 invariance property.
+        let full: Vec<FullVehicle> = (0..spec.focal)
+            .map(|k| {
+                let slot = spec.focal_slot(k);
+                let mut ctx = RunContext::for_member(
+                    &scenario,
+                    format!("{}#f{k}", scenario.label),
+                    derive_seed(scenario.seed, k as u64),
+                    spec.cruise_mps,
+                    chain_lead(&scenario, &spec, slot),
+                    model,
+                );
+                ctx.v
+                    .world
+                    .set_road_offset_m(-(slot as f64) * spec.initial_gap_m);
+                store.set_mirrored(slot, true);
+                FullVehicle {
+                    slot,
+                    focal_index: Some(k),
+                    ctx,
+                }
+            })
+            .collect();
+        debug_assert!(full.windows(2).all(|w| w[0].slot < w[1].slot));
+
+        let end = Time::ZERO + scenario.duration;
+        let max_full_tier = full.len();
+        let mut engine = CityEngine {
+            scenario,
+            spec,
+            store,
+            full,
+            pool: TickPool::new(threads),
+            chunk,
+            clusters: Vec::new(),
+            scratch_tel: Vec::new(),
+            focal_sorted: Vec::new(),
+            now: Time::ZERO,
+            end,
+            total,
+            ticks: 0,
+            surrogate_vehicle_ticks: 0,
+            full_vehicle_ticks: 0,
+            promotions: 0,
+            demotions: 0,
+            max_full_tier,
+        };
+        engine.recompute_clusters();
+        engine
     }
 
-    // --- focal vehicles: full stacks on mirrored slots ------------------
-    // Seeds derive from the *focal index*, not the slot, so a focal
-    // vehicle's noise streams are identical at any background density —
-    // the E14 invariance property.
-    let mut full: Vec<FullVehicle> = (0..spec.focal)
-        .map(|k| {
-            let slot = spec.focal_slot(k);
-            let mut ctx = RunContext::for_member(
-                &scenario,
-                format!("{}#f{k}", scenario.label),
-                derive_seed(scenario.seed, k as u64),
-                spec.cruise_mps,
-                chain_lead(&scenario, &spec, slot),
-                model,
-            );
-            ctx.v
-                .world
-                .set_road_offset_m(-(slot as f64) * spec.initial_gap_m);
-            store.set_mirrored(slot, true);
-            FullVehicle {
-                slot,
-                focal_index: Some(k),
-                ctx,
+    /// Whether the scenario's time horizon has been reached.
+    fn done(&self) -> bool {
+        self.now >= self.end
+    }
+
+    /// Simulated time since run start, in milliseconds.
+    fn now_millis(&self) -> u64 {
+        self.now.as_millis()
+    }
+
+    /// Rebuilds the cluster ranges: maximal runs of adjacent slots in
+    /// `full`. Called only when tier membership changes, so the per-tick
+    /// path never allocates.
+    fn recompute_clusters(&mut self) {
+        self.clusters.clear();
+        let mut i = 0;
+        while i < self.full.len() {
+            let start = i;
+            while i + 1 < self.full.len() && self.full[i + 1].slot == self.full[i].slot + 1 {
+                i += 1;
             }
-        })
-        .collect();
-    debug_assert!(full.windows(2).all(|w| w[0].slot < w[1].slot));
+            i += 1;
+            self.clusters.push((start, i));
+        }
+    }
 
-    let mut ticks: u64 = 0;
-    let mut surrogate_vehicle_ticks: u64 = 0;
-    let mut full_vehicle_ticks: u64 = 0;
-    let mut promotions: u64 = 0;
-    let mut demotions: u64 = 0;
-    let mut max_full_tier = full.len();
-    let mut focal_pos: Vec<f64> = Vec::with_capacity(spec.focal);
-
-    // --- lockstep loop ---------------------------------------------------
-    let end = Time::ZERO + scenario.duration;
-    let mut now = Time::ZERO;
-    while now < end {
-        now += CONTROL_PERIOD;
-        ticks += 1;
+    /// Advances the city by one control period (10 ms).
+    fn tick(&mut self, mut tel: Option<&mut RunTelemetry>) {
+        self.now += CONTROL_PERIOD;
+        self.ticks += 1;
+        let mut par_steals: u64 = 0;
+        let mut barriers: u64 = 0;
         // 1. One batched surrogate update: mirrored slots are read as
         //    leaders (at their last mirrored state — the standard one-tick
         //    co-simulation delay) but never written.
         let surrogate_t0 = tel.as_deref().and_then(|t| t.stage_enter());
-        store.step(CONTROL_PERIOD);
+        if self.pool.threads() > 1 {
+            if let Some(stolen) =
+                self.store
+                    .step_chunked(CONTROL_PERIOD, &mut self.pool, self.chunk)
+            {
+                par_steals += stolen;
+                barriers += 3;
+            }
+        } else {
+            self.store.step(CONTROL_PERIOD);
+        }
         if let Some(t) = tel.as_deref_mut() {
             t.stage_exit(Stage::Surrogate, surrogate_t0);
         }
-        surrogate_vehicle_ticks += store.surrogate_count() as u64;
-        full_vehicle_ticks += full.len() as u64;
+        self.surrogate_vehicle_ticks += self.store.surrogate_count() as u64;
+        self.full_vehicle_ticks += self.full.len() as u64;
         // 2. Full-fidelity vehicles, front to back (Gauss–Seidel: a full
         //    vehicle behind another reads its already-mirrored fresh
         //    state): couple to the slot ahead, tick, mirror back.
-        for fv in &mut full {
-            let slot = fv.slot;
-            if slot > 0 {
-                fv.ctx
-                    .v
-                    .world
-                    .push_lead_state(store.position_m(slot - 1), store.speed_mps(slot - 1));
+        let clusters_n = self.clusters.len();
+        if self.pool.threads() == 1 || clusters_n <= 1 {
+            // The sequential engine, verbatim: a pure inline loop.
+            for fv in &mut self.full {
+                let slot = fv.slot;
+                if slot > 0 {
+                    fv.ctx.v.world.push_lead_state(
+                        self.store.position_m(slot - 1),
+                        self.store.speed_mps(slot - 1),
+                    );
+                }
+                fv.ctx.tick(tel.as_deref_mut());
+                self.store.push_state(
+                    slot,
+                    fv.ctx.v.world.abs_position_m(),
+                    fv.ctx.v.world.ego.speed_mps(),
+                );
             }
-            fv.ctx.tick(tel.as_deref_mut());
-            store.push_state(
-                slot,
-                fv.ctx.v.world.abs_position_m(),
-                fv.ctx.v.world.ego.speed_mps(),
-            );
+        } else {
+            // Parallel cluster phase. A cluster head's leader (slot - 1)
+            // is never full-fidelity — it would be in the same cluster —
+            // so heads read the store's frozen surrogate lanes; in-cluster
+            // followers read their predecessor's freshly-ticked context
+            // state, clamped exactly like `push_state` would publish it.
+            // The store is read-only for the whole dispatch; mirroring
+            // happens in the slot-ordered pass below.
+            if let Some(t) = tel.as_deref() {
+                while self.scratch_tel.len() < clusters_n {
+                    self.scratch_tel.push(t.fork());
+                }
+            }
+            let mounted = tel.is_some();
+            let full_ptr = SendPtr(self.full.as_mut_ptr());
+            let scratch_ptr = SendPtr(self.scratch_tel.as_mut_ptr());
+            let store = &self.store;
+            let clusters = &self.clusters;
+            let stolen = self.pool.run(clusters_n, &move |c| {
+                let (start, end) = clusters[c];
+                // SAFETY: cluster `c` exclusively owns scratch slot `c`
+                // and the `full[start..end]` range; ranges are disjoint
+                // across jobs and the store is frozen for the dispatch.
+                let mut scratch = mounted.then(|| unsafe { &mut *scratch_ptr.get().add(c) });
+                for idx in start..end {
+                    let fv = unsafe { &mut *full_ptr.get().add(idx) };
+                    if idx == start {
+                        if fv.slot > 0 {
+                            fv.ctx.v.world.push_lead_state(
+                                store.position_m(fv.slot - 1),
+                                store.speed_mps(fv.slot - 1),
+                            );
+                        }
+                    } else {
+                        let pred = unsafe { &*full_ptr.get().add(idx - 1) };
+                        fv.ctx.v.world.push_lead_state(
+                            pred.ctx.v.world.abs_position_m(),
+                            pred.ctx.v.world.ego.speed_mps().max(0.0),
+                        );
+                    }
+                    fv.ctx.tick(scratch.as_deref_mut());
+                }
+            });
+            par_steals += stolen;
+            barriers += 1;
+            // Slot-ordered mirror pass: fixed publish order, so the lanes
+            // are bit-identical to the sequential engine's.
+            for fv in &self.full {
+                self.store.push_state(
+                    fv.slot,
+                    fv.ctx.v.world.abs_position_m(),
+                    fv.ctx.v.world.ego.speed_mps(),
+                );
+            }
+            // Fold the scratches back in ascending cluster (= slot)
+            // order: sequence numbers land exactly as the sequential
+            // engine would have issued them.
+            if let Some(t) = tel.as_deref_mut() {
+                for part in self.scratch_tel[..clusters_n].iter_mut() {
+                    t.absorb_ordered(part);
+                }
+            }
+        }
+        if let Some(t) = tel.as_deref_mut() {
+            if par_steals > 0 {
+                t.count_par_steals(par_steals);
+            }
+            if barriers > 0 {
+                t.count_tick_barriers(barriers);
+            }
         }
         // 3. Neighborhood re-evaluation at 1 Hz: promote background
         //    vehicles that entered a focal neighborhood, demote promoted
         //    vehicles that left every focal neighborhood.
-        if now.as_millis().is_multiple_of(1_000) && spec.focal > 0 {
-            focal_pos.clear();
-            focal_pos.extend(
-                full.iter()
-                    .filter(|fv| fv.focal_index.is_some())
-                    .map(|fv| store.position_m(fv.slot)),
-            );
-            let near_focal = |pos: f64, focal_pos: &[f64]| {
-                focal_pos
-                    .iter()
-                    .any(|&f| (pos - f).abs() <= spec.promotion_radius_m)
-            };
-            full.retain(|fv| {
-                if fv.focal_index.is_some() || near_focal(store.position_m(fv.slot), &focal_pos) {
+        if self.now.as_millis().is_multiple_of(1_000) && self.spec.focal > 0 {
+            self.reevaluate(tel);
+        }
+    }
+
+    /// The 1 Hz promotion/demotion pass, using the sorted-window focal
+    /// scan.
+    fn reevaluate(&mut self, mut tel: Option<&mut RunTelemetry>) {
+        self.focal_sorted.clear();
+        self.focal_sorted.extend(
+            self.full
+                .iter()
+                .filter(|fv| fv.focal_index.is_some())
+                .map(|fv| self.store.position_m(fv.slot)),
+        );
+        self.focal_sorted.sort_unstable_by(f64::total_cmp);
+        let radius = self.spec.promotion_radius_m;
+        let before = self.full.len();
+        {
+            let store = &mut self.store;
+            let demotions = &mut self.demotions;
+            let focal_sorted = &self.focal_sorted;
+            let now = self.now;
+            self.full.retain(|fv| {
+                if fv.focal_index.is_some()
+                    || near_focal_window(focal_sorted, store.position_m(fv.slot), radius)
+                {
                     true
                 } else {
                     store.set_mirrored(fv.slot, false);
-                    demotions += 1;
+                    *demotions += 1;
                     if let Some(t) = tel.as_deref_mut() {
                         t.record(
                             now,
@@ -193,60 +457,143 @@ pub(crate) fn run_city_observed(
                     false
                 }
             });
-            for slot in 0..total {
-                if store.is_mirrored(slot) || !near_focal(store.position_m(slot), &focal_pos) {
-                    continue;
-                }
-                promotions += 1;
-                if let Some(t) = tel.as_deref_mut() {
-                    t.record(now, TelemetryEvent::TierPromotion { slot: slot as u32 });
-                }
-                let speed = store.speed_mps(slot);
-                let lead = if slot == 0 {
-                    scenario.lead.clone()
-                } else {
-                    LeadVehicle::external(store.gap_m(slot), store.speed_mps(slot - 1))
-                };
-                let mut ctx = RunContext::for_member(
-                    &scenario,
-                    format!("{}#bg{slot}", scenario.label),
-                    derive_seed(scenario.seed, PROMOTED_SEED_BASE + slot as u64),
-                    speed,
-                    lead,
-                    // Promoted background keeps the hand-written monitors
-                    // only; learned monitors stay a focal concern.
-                    None,
-                );
-                ctx.v.world.set_road_offset_m(store.position_m(slot));
-                store.set_mirrored(slot, true);
-                let at = full
-                    .binary_search_by_key(&slot, |fv| fv.slot)
-                    .expect_err("slot is not yet full-fidelity");
-                full.insert(
-                    at,
-                    FullVehicle {
-                        slot,
-                        focal_index: None,
-                        ctx,
-                    },
+        }
+        for slot in 0..self.total {
+            if self.store.is_mirrored(slot)
+                || !near_focal_window(&self.focal_sorted, self.store.position_m(slot), radius)
+            {
+                continue;
+            }
+            self.promotions += 1;
+            if let Some(t) = tel.as_deref_mut() {
+                t.record(
+                    self.now,
+                    TelemetryEvent::TierPromotion { slot: slot as u32 },
                 );
             }
-            max_full_tier = max_full_tier.max(full.len());
+            let speed = self.store.speed_mps(slot);
+            let lead = if slot == 0 {
+                self.scenario.lead.clone()
+            } else {
+                LeadVehicle::external(self.store.gap_m(slot), self.store.speed_mps(slot - 1))
+            };
+            let mut ctx = RunContext::for_member(
+                &self.scenario,
+                format!("{}#bg{slot}", self.scenario.label),
+                derive_seed(self.scenario.seed, PROMOTED_SEED_BASE + slot as u64),
+                speed,
+                lead,
+                // Promoted background keeps the hand-written monitors
+                // only; learned monitors stay a focal concern.
+                None,
+            );
+            ctx.v.world.set_road_offset_m(self.store.position_m(slot));
+            self.store.set_mirrored(slot, true);
+            let at = self
+                .full
+                .binary_search_by_key(&slot, |fv| fv.slot)
+                .expect_err("slot is not yet full-fidelity");
+            self.full.insert(
+                at,
+                FullVehicle {
+                    slot,
+                    focal_index: None,
+                    ctx,
+                },
+            );
+        }
+        self.max_full_tier = self.max_full_tier.max(self.full.len());
+        if self.full.len() != before {
+            self.recompute_clusters();
         }
     }
 
-    compose_city(
-        scenario,
-        &spec,
-        full,
-        &store,
-        ticks,
-        surrogate_vehicle_ticks,
-        full_vehicle_ticks,
-        promotions,
-        demotions,
-        max_full_tier,
-    )
+    /// Closes the run: composes the focal outcomes and chain metrics.
+    fn finish(self) -> Outcome {
+        compose_city(
+            self.scenario,
+            &self.spec,
+            self.full,
+            &self.store,
+            self.ticks,
+            self.surrogate_vehicle_ticks,
+            self.full_vehicle_ticks,
+            self.promotions,
+            self.demotions,
+            self.max_full_tier,
+        )
+    }
+}
+
+/// A city run stepped one control period at a time — the city-engine
+/// counterpart of [`crate::runner::SteppedRun`], exposed so external
+/// drivers (allocation pins, benchmarks, custom co-simulation loops) can
+/// observe or interleave with the tick stream.
+///
+/// The intra-run thread count comes from the scenario's
+/// [`CitySpec::threads`] (or `SAAV_THREADS` / the host core count when
+/// unset), exactly like [`run_city`].
+pub struct CityRun {
+    engine: CityEngine,
+    tel: Option<RunTelemetry>,
+    sink: Option<Telemetry>,
+}
+
+impl CityRun {
+    /// Readies `scenario`'s city chain without advancing time.
+    ///
+    /// # Panics
+    /// Panics when the scenario carries no [`CitySpec`] (single-vehicle
+    /// scenarios step through [`crate::runner::SteppedRun`]).
+    pub fn new(scenario: &Scenario) -> Self {
+        assert!(
+            scenario.city.is_some(),
+            "CityRun drives city scenarios only"
+        );
+        CityRun {
+            engine: CityEngine::new(scenario.clone(), None),
+            tel: None,
+            sink: None,
+        }
+    }
+
+    /// Like [`CityRun::new`] with `sink`'s telemetry mounted: ticks
+    /// record into a per-run ring/registry, folded back into the sink by
+    /// [`CityRun::finish`].
+    pub fn with_telemetry(scenario: &Scenario, sink: &Telemetry) -> Self {
+        let mut run = CityRun::new(scenario);
+        run.tel = Some(sink.begin_run(0));
+        run.sink = Some(sink.clone());
+        run
+    }
+
+    /// Whether the scenario's time horizon has been reached.
+    pub fn done(&self) -> bool {
+        self.engine.done()
+    }
+
+    /// Advances the city by one control period (10 ms).
+    pub fn tick(&mut self) {
+        self.engine.tick(self.tel.as_mut());
+    }
+
+    /// Simulated time since run start, in milliseconds. Tier
+    /// re-evaluation fires on whole-second instants; allocation pins use
+    /// this to place their measurement window between them.
+    pub fn now_millis(&self) -> u64 {
+        self.engine.now_millis()
+    }
+
+    /// Closes the run and returns its composed [`Outcome`], absorbing any
+    /// mounted telemetry into its sink.
+    pub fn finish(self) -> Outcome {
+        let out = self.engine.finish();
+        if let (Some(mut tel), Some(sink)) = (self.tel, self.sink) {
+            record_outcome_latency(&mut tel, &out);
+            sink.absorb(tel);
+        }
+        out
+    }
 }
 
 /// The lead coupling of a full-fidelity vehicle at `slot`: the front of
@@ -460,6 +807,79 @@ mod tests {
         let b = crate::runner::run(short_city(30, 2, 5));
         assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
         assert_eq!(a.city.as_ref().unwrap(), b.city.as_ref().unwrap());
+    }
+
+    #[test]
+    fn intra_thread_count_and_chunk_size_are_behaviour_neutral() {
+        // The tentpole contract in miniature: outcomes are bit-identical
+        // for any intra-run thread count and surrogate chunk size (the
+        // full grid is property-tested in tests/city_cosim.rs).
+        let run = |threads: usize, chunk: usize| {
+            let mut s = short_city(30, 2, 5);
+            s.city = s
+                .city
+                .map(|c| c.with_threads(threads).with_surrogate_chunk(chunk));
+            crate::runner::run(s)
+        };
+        let base = run(1, 1024);
+        for (threads, chunk) in [(2, 7), (3, 16), (4, 1)] {
+            let par = run(threads, chunk);
+            assert_eq!(
+                base.distance_m.to_bits(),
+                par.distance_m.to_bits(),
+                "{threads} threads, chunk {chunk}"
+            );
+            assert_eq!(base.min_gap_m.to_bits(), par.min_gap_m.to_bits());
+            assert_eq!(base.city.as_ref().unwrap(), par.city.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn steppable_city_run_matches_run_city() {
+        let scenario = {
+            let mut s = short_city(20, 2, 11);
+            s.city = s.city.map(|c| c.with_threads(2));
+            s
+        };
+        let direct = crate::runner::run(scenario.clone());
+        let mut stepped = CityRun::new(&scenario);
+        assert!(!stepped.done());
+        while !stepped.done() {
+            stepped.tick();
+        }
+        assert_eq!(stepped.now_millis(), 10_000);
+        let out = stepped.finish();
+        assert_eq!(out.distance_m.to_bits(), direct.distance_m.to_bits());
+        assert_eq!(out.city.as_ref().unwrap(), direct.city.as_ref().unwrap());
+    }
+
+    #[test]
+    fn window_scan_matches_linear_oracle() {
+        // Exact-boundary cases included: probes sitting precisely at
+        // focal ± radius must promote under both scans.
+        let radius = 45.0;
+        let focal: Vec<f64> = vec![-317.5, -60.25, 0.0, 88.125, 88.125, 451.75];
+        let mut sorted = focal.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mut probes: Vec<f64> = Vec::new();
+        let mut p = -500.0;
+        while p <= 600.0 {
+            probes.push(p);
+            p += 0.73;
+        }
+        for &f in &focal {
+            for nudge in [-f64::EPSILON, 0.0, f64::EPSILON] {
+                probes.push(f - radius + nudge * f.abs().max(1.0));
+                probes.push(f + radius + nudge * f.abs().max(1.0));
+            }
+        }
+        for &pos in &probes {
+            assert_eq!(
+                near_focal_window(&sorted, pos, radius),
+                near_focal_linear(&focal, pos, radius),
+                "scan divergence at pos {pos}"
+            );
+        }
     }
 
     #[test]

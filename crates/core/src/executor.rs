@@ -18,9 +18,16 @@
 //!
 //! With one worker (e.g. `SAAV_THREADS=1`) no thread is spawned at all:
 //! the jobs run as a plain inline loop on the calling thread.
+//!
+//! The sharding machinery itself ([`shard_range`], [`Shard`],
+//! [`richest`], [`drain`]) lives in [`saav_sim::pool`], shared with the
+//! persistent [`TickPool`] that parallelizes *within* a single city run
+//! (see `city.rs`) — one implementation, two dispatch shapes.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+pub use saav_sim::pool::{drain, richest, shard_range, Shard, TickPool};
 
 /// How jobs are distributed over the worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,30 +40,6 @@ pub enum Scheduler {
     /// steal from the shard with the most jobs remaining.
     #[default]
     WorkSteal,
-}
-
-/// One worker's contiguous shard of the job range (balanced split).
-fn shard_range(jobs: usize, workers: usize, w: usize) -> (usize, usize) {
-    (w * jobs / workers, (w + 1) * jobs / workers)
-}
-
-struct Shard {
-    cursor: AtomicUsize,
-    end: usize,
-}
-
-/// The shard with the most jobs remaining, if any shard has work left.
-fn richest(shards: &[Shard]) -> Option<usize> {
-    let mut best = None;
-    let mut best_left = 0;
-    for (i, s) in shards.iter().enumerate() {
-        let left = s.end.saturating_sub(s.cursor.load(Ordering::Relaxed));
-        if left > best_left {
-            best_left = left;
-            best = Some(i);
-        }
-    }
-    best
 }
 
 /// Executes `jobs` indexed jobs on `workers` threads under `scheduler`,
@@ -120,10 +103,7 @@ where
             let shards: Vec<Shard> = (0..workers)
                 .map(|w| {
                     let (start, end) = shard_range(jobs, workers, w);
-                    Shard {
-                        cursor: AtomicUsize::new(start),
-                        end,
-                    }
+                    Shard::new(start, end)
                 })
                 .collect();
             std::thread::scope(|scope| {
@@ -131,24 +111,13 @@ where
                     let store = &store;
                     let shards = &shards;
                     scope.spawn(move || {
-                        let mut shard = w;
                         let mut stolen: u64 = 0;
-                        loop {
-                            let i = shards[shard].cursor.fetch_add(1, Ordering::Relaxed);
-                            if i < shards[shard].end {
-                                if shard != w {
-                                    stolen += 1;
-                                }
-                                store(i, w);
-                                continue;
+                        drain(shards, w, |i, stole| {
+                            if stole {
+                                stolen += 1;
                             }
-                            // Shard drained (or a race took its last job):
-                            // move to the fullest remaining shard.
-                            match richest(shards) {
-                                Some(victim) => shard = victim,
-                                None => break,
-                            }
-                        }
+                            store(i, w);
+                        });
                         if stolen > 0 {
                             if let Some(counter) = steals {
                                 counter.fetch_add(stolen, Ordering::Relaxed);

@@ -382,6 +382,11 @@ impl FleetRunner {
 
     /// Overrides the worker-thread count (clamped to ≥ 1). A count of 1
     /// runs every batch inline on the calling thread, spawning nothing.
+    ///
+    /// City jobs that leave [`crate::scenario::CitySpec::threads`] unset
+    /// inherit `threads / workers` as their intra-run width, so batch
+    /// and intra-run parallelism share this one budget (see
+    /// [`Self::run_scenarios`]'s executor) instead of multiplying.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -561,10 +566,21 @@ impl FleetRunner {
         T: Send,
         F: Fn(usize, &Scenario) -> T + Sync,
     {
+        let workers = self.threads.min(scenarios.len()).max(1);
+        // City jobs that did not pin an intra-run width split the fleet's
+        // thread budget across the concurrent jobs, so the two layers of
+        // parallelism compose without oversubscribing the host. The
+        // resolved width never reaches the cache key (`hash_city` excludes
+        // it), so this cannot perturb results or caching.
+        let intra = (self.threads / workers).max(1);
         for (i, s) in scenarios.iter_mut().enumerate() {
             s.seed = derive_seed(self.master_seed, i as u64);
+            if let Some(city) = &mut s.city {
+                if city.threads.is_none() {
+                    city.threads = Some(intra);
+                }
+            }
         }
-        let workers = self.threads.min(scenarios.len()).max(1);
         let steals = self.telemetry.as_ref().map(Telemetry::steal_counter);
         executor::run_counted(
             scenarios.len(),

@@ -99,6 +99,7 @@ pub mod assembly {
 }
 
 pub use cache::{job_key, CacheStats, JobKey, ResultCache, ENGINE_VERSION};
+pub use city::{run_city, CityRun};
 pub use colstore::{FleetColumns, GroupBy};
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
 pub use executor::Scheduler;

@@ -438,10 +438,13 @@ pub fn run(scenario: Scenario) -> Outcome {
 /// anomaly.
 ///
 /// A scenario carrying a [`crate::scenario::CitySpec`] is handed to the
-/// city-scale tiered-fidelity engine ([`crate::city::run_city`]); one
-/// carrying a [`crate::scenario::PlatoonSpec`] goes to the platoon
-/// co-simulation engine ([`crate::cosim::run_platoon`]). The model, if
-/// any, is mounted on every member (every focal vehicle, for a city).
+/// city-scale tiered-fidelity engine ([`crate::city::run_city`]), which
+/// may step the run on several intra-run threads
+/// ([`crate::scenario::CitySpec::threads`]) — the outcome is
+/// bit-identical at any width. One carrying a
+/// [`crate::scenario::PlatoonSpec`] goes to the platoon co-simulation
+/// engine ([`crate::cosim::run_platoon`]). The model, if any, is mounted
+/// on every member (every focal vehicle, for a city).
 ///
 /// # Panics
 /// Panics on a malformed [`crate::scenario::PlatoonSpec`] — zero members,

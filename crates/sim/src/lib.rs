@@ -15,6 +15,8 @@
 //!   benchmark harness reports.
 //! * [`trace`] — structured fault/action traces queried by experiments.
 //! * [`report`] — aligned text tables for regenerated paper tables.
+//! * [`pool`] — work-stealing shards and the persistent [`pool::TickPool`]
+//!   for deterministic intra-run parallelism.
 //!
 //! ## Example
 //!
@@ -38,6 +40,7 @@
 
 pub mod event;
 pub mod name;
+pub mod pool;
 pub mod report;
 pub mod rng;
 pub mod series;

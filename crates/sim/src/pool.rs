@@ -1,0 +1,512 @@
+//! Reusable tick-parallel work-stealing primitives: the sharding
+//! machinery shared with the fleet executor, plus [`TickPool`] — a
+//! persistent worker pool for *intra-run* parallelism over barrier-tight
+//! per-tick job ranges.
+//!
+//! The fleet executor (`saav_core::executor`) parallelizes *across*
+//! jobs: a handful of long-lived scenario runs dispatched once. A city
+//! tick is the opposite shape — thousands of tiny slot-indexed jobs
+//! dispatched millions of times, with a barrier after every pass.
+//! Spawning scoped threads per tick would dominate the work, so
+//! [`TickPool`] keeps its workers parked between dispatches and reuses
+//! one fixed set of shards, making the steady-state dispatch
+//! allocation-free.
+//!
+//! Determinism contract: the pool never decides *what* a job computes or
+//! *where* its output lands — callers index fixed output slots by job
+//! index, so results are bit-identical for any thread count or steal
+//! schedule. The only schedule-dependent observable is the stolen-job
+//! count [`TickPool::run`] returns, which callers surface through the
+//! telemetry steal counter exactly like the fleet executor does — never
+//! through run results.
+//!
+//! With one thread (or at most one job) [`TickPool::run`] degenerates to
+//! a plain inline loop on the caller: no spawn, no atomics, no barrier.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One worker's contiguous shard of a job range (balanced split): jobs
+/// `w * jobs / workers .. (w + 1) * jobs / workers`.
+pub fn shard_range(jobs: usize, workers: usize, w: usize) -> (usize, usize) {
+    (w * jobs / workers, (w + 1) * jobs / workers)
+}
+
+/// One contiguous shard of the job range with an atomic claim cursor.
+/// Owned by one worker, stolen from by the rest once their own shards
+/// drain. Re-armable in place via [`reset`](Shard::reset) so a persistent
+/// pool allocates shards exactly once.
+pub struct Shard {
+    cursor: AtomicUsize,
+    end: AtomicUsize,
+}
+
+impl Shard {
+    /// A shard over `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Shard {
+            cursor: AtomicUsize::new(start),
+            end: AtomicUsize::new(end),
+        }
+    }
+
+    /// Re-arms the shard over a new range. Only sound between dispatches,
+    /// when no worker is claiming — [`TickPool`] guarantees that by
+    /// re-arming before publishing an epoch, with the epoch bump
+    /// providing the happens-before edge to the workers.
+    pub fn reset(&self, start: usize, end: usize) {
+        self.end.store(end, Ordering::Relaxed);
+        self.cursor.store(start, Ordering::Relaxed);
+    }
+
+    /// Claims the next job index, or `None` once the shard is drained.
+    /// The cursor may overshoot `end` under contention; overshoot never
+    /// yields a job.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (i < self.end.load(Ordering::Relaxed)).then_some(i)
+    }
+
+    /// Jobs not yet claimed (racy by nature — a scheduling hint only).
+    pub fn remaining(&self) -> usize {
+        self.end
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.cursor.load(Ordering::Relaxed))
+    }
+}
+
+/// The shard with the most jobs remaining, if any shard has work left.
+pub fn richest(shards: &[Shard]) -> Option<usize> {
+    let mut best = None;
+    let mut best_left = 0;
+    for (i, s) in shards.iter().enumerate() {
+        let left = s.remaining();
+        if left > best_left {
+            best_left = left;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Drains shards from the perspective of worker `home`: claim from the
+/// home shard until empty, then repeatedly steal from the richest
+/// remaining shard. `job` receives `(job_index, was_stolen)` — stolen
+/// means claimed from a shard other than `home`.
+pub fn drain(shards: &[Shard], home: usize, mut job: impl FnMut(usize, bool)) {
+    let mut shard = home;
+    loop {
+        match shards[shard].claim() {
+            Some(i) => job(i, shard != home),
+            // Shard drained (or a race took its last job): move to the
+            // fullest remaining shard.
+            None => match richest(shards) {
+                Some(victim) => shard = victim,
+                None => break,
+            },
+        }
+    }
+}
+
+/// A raw pointer that asserts thread-safety of the *access pattern*, not
+/// the pointee: parallel tick phases hand each worker disjoint
+/// slot-indexed views of one buffer, which the borrow checker cannot see
+/// through a shared closure. Callers must guarantee every job index
+/// touches disjoint slots, or only reads state frozen for the whole
+/// dispatch.
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: asserted by the contract above — every use in this workspace
+// indexes disjoint slots per job index, or reads state frozen for the
+// dispatch.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer.
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// The task currently published to the workers: a borrowed job closure
+/// laundered to `'static`. Sound because [`TickPool::run`] does not
+/// return until every worker has reported done for the epoch, so the
+/// borrow outlives every dereference.
+type TaskRef = &'static (dyn Fn(usize) + Sync);
+
+/// State shared between the dispatching caller and the parked workers.
+struct PoolShared {
+    /// The published task for the current epoch (`None` between runs).
+    task: Mutex<Option<TaskRef>>,
+    /// Bumped once per dispatch; workers run each epoch exactly once.
+    epoch: AtomicU64,
+    /// Parked workers wait here (paired with `task`).
+    start: Condvar,
+    /// Workers finished with the current epoch.
+    done: AtomicUsize,
+    /// Pairs with `finished` for the caller's completion wait.
+    done_lock: Mutex<()>,
+    finished: Condvar,
+    /// Stolen-job count the workers accumulated this epoch.
+    stolen: AtomicU64,
+    /// Set when a worker's job panicked; the caller re-panics.
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+    /// One shard per participant (caller = participant 0), re-armed in
+    /// place before each dispatch — no per-tick allocation.
+    shards: Vec<Shard>,
+}
+
+/// A persistent pool of `threads - 1` parked worker threads plus the
+/// calling thread, dispatching one shared job closure over an indexed
+/// job range per [`run`](TickPool::run) call.
+///
+/// Construction is the only allocation; dispatches reuse the fixed
+/// shards and park/unpark via condvar, so a warm pool adds zero
+/// steady-state allocations per tick (pinned by `tests/zero_alloc.rs`).
+pub struct TickPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+/// Iterations spun on an atomic before parking on the condvar. Kept
+/// small: on an oversubscribed host a hot spin starves the thread it is
+/// waiting for.
+const SPIN: usize = 64;
+
+fn worker_loop(shared: Arc<PoolShared>, home: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        // Spin briefly for the next epoch, then park on the condvar.
+        let mut spun = 0;
+        let epoch = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != last_epoch {
+                break e;
+            }
+            if spun < SPIN {
+                spun += 1;
+                std::hint::spin_loop();
+            } else {
+                let guard = shared.task.lock().expect("pool task lock");
+                let _guard = shared
+                    .start
+                    .wait_while(guard, |_| {
+                        shared.epoch.load(Ordering::Acquire) == last_epoch
+                            && !shared.shutdown.load(Ordering::Acquire)
+                    })
+                    .expect("pool start wait");
+            }
+        };
+        last_epoch = epoch;
+        let task = shared
+            .task
+            .lock()
+            .expect("pool task lock")
+            .expect("task published for the epoch");
+        let mut stolen = 0u64;
+        // A panicking job must not deadlock the dispatching caller: count
+        // this worker done regardless and let the caller re-panic.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            drain(&shared.shards, home, |i, steal| {
+                if steal {
+                    stolen += 1;
+                }
+                task(i);
+            });
+        }));
+        if result.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        if stolen > 0 {
+            shared.stolen.fetch_add(stolen, Ordering::Relaxed);
+        }
+        // Increment under the lock so the caller's check-then-wait on
+        // `finished` cannot miss the wakeup.
+        let _g = shared.done_lock.lock().expect("pool done lock");
+        shared.done.fetch_add(1, Ordering::Release);
+        shared.finished.notify_all();
+    }
+}
+
+impl TickPool {
+    /// A pool dispatching over `threads` participants: the calling thread
+    /// plus `threads - 1` parked workers (none for `threads <= 1`).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            task: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+            start: Condvar::new(),
+            done: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            finished: Condvar::new(),
+            stolen: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            shards: (0..threads).map(|_| Shard::new(0, 0)).collect(),
+        });
+        let workers = (1..threads)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("saav-tick-{home}"))
+                    .spawn(move || worker_loop(shared, home))
+                    .expect("spawn tick worker")
+            })
+            .collect();
+        TickPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of participants (calling thread included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Dispatches `job` over `0..jobs` across all participants and blocks
+    /// until every index has run (a full barrier). Returns the number of
+    /// stolen jobs — schedule noise, never part of deterministic results.
+    ///
+    /// With one participant or at most one job this is a pure inline
+    /// loop: no atomics, no wakeup, no barrier.
+    ///
+    /// The caller participates as worker 0, so the pool makes progress
+    /// even when the OS schedules no other thread.
+    pub fn run(&mut self, jobs: usize, job: &(dyn Fn(usize) + Sync)) -> u64 {
+        if self.threads == 1 || jobs <= 1 {
+            for i in 0..jobs {
+                job(i);
+            }
+            return 0;
+        }
+        let shared = &*self.shared;
+        // Re-arm the fixed shards. `&mut self` plus the completed previous
+        // epoch guarantee no worker is claiming concurrently.
+        for (w, shard) in shared.shards.iter().enumerate() {
+            let (start, end) = shard_range(jobs, self.threads, w);
+            shard.reset(start, end);
+        }
+        shared.stolen.store(0, Ordering::Relaxed);
+        // Publish: reset the done count, install the task, bump the
+        // epoch (Release orders the re-armed shards before it), wake.
+        {
+            let mut task = shared.task.lock().expect("pool task lock");
+            shared.done.store(0, Ordering::Relaxed);
+            // SAFETY: this call blocks below until every worker reports
+            // done for the epoch, so the borrow outlives every deref.
+            *task = Some(unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), TaskRef>(job) });
+            shared.epoch.fetch_add(1, Ordering::Release);
+            shared.start.notify_all();
+        }
+        // Participate as worker 0. A panic here must still wait out the
+        // workers (they borrow `job`) before unwinding.
+        let mut stolen = 0u64;
+        let caller = catch_unwind(AssertUnwindSafe(|| {
+            drain(&shared.shards, 0, |i, steal| {
+                if steal {
+                    stolen += 1;
+                }
+                job(i);
+            });
+        }));
+        // Barrier: spin briefly, then park until all workers report done.
+        let target = self.threads - 1;
+        let mut spun = 0;
+        while shared.done.load(Ordering::Acquire) < target {
+            if spun < SPIN {
+                spun += 1;
+                std::hint::spin_loop();
+            } else {
+                let guard = shared.done_lock.lock().expect("pool done lock");
+                let _guard = shared
+                    .finished
+                    .wait_while(guard, |_| shared.done.load(Ordering::Acquire) < target)
+                    .expect("pool finished wait");
+                break;
+            }
+        }
+        *shared.task.lock().expect("pool task lock") = None;
+        let worker_panicked = shared.panicked.swap(false, Ordering::AcqRel);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("TickPool worker panicked");
+        }
+        stolen + shared.stolen.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // Notify under the task lock so a worker mid-check cannot
+            // miss the shutdown wakeup.
+            let _guard = self.shared.task.lock().expect("pool task lock");
+            self.shared.start.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_job_range() {
+        for jobs in [0usize, 1, 7, 16, 27, 1000] {
+            for workers in 1..=8 {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (start, end) = shard_range(jobs, workers, w);
+                    assert_eq!(start, covered, "gap before shard {w}");
+                    covered = end;
+                }
+                assert_eq!(covered, jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn drain_visits_every_job_exactly_once() {
+        let shards: Vec<Shard> = (0..4)
+            .map(|w| {
+                let (s, e) = shard_range(37, 4, w);
+                Shard::new(s, e)
+            })
+            .collect();
+        let mut seen = vec![0u32; 37];
+        let mut steals = 0;
+        drain(&shards, 2, |i, stolen| {
+            seen[i] += 1;
+            if stolen {
+                steals += 1;
+            }
+        });
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+        // A lone drainer steals everything outside its home shard.
+        let (home_start, home_end) = shard_range(37, 4, 2);
+        assert_eq!(steals, 37 - (home_end - home_start));
+    }
+
+    #[test]
+    fn shard_reset_rearms_in_place() {
+        let shard = Shard::new(0, 2);
+        assert_eq!(shard.claim(), Some(0));
+        assert_eq!(shard.claim(), Some(1));
+        assert_eq!(shard.claim(), None);
+        shard.reset(5, 7);
+        assert_eq!(shard.remaining(), 2);
+        assert_eq!(shard.claim(), Some(5));
+        assert_eq!(shard.claim(), Some(6));
+        assert_eq!(shard.claim(), None);
+        assert_eq!(shard.remaining(), 0);
+    }
+
+    #[test]
+    fn pool_runs_every_index_exactly_once_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 4] {
+            let mut pool = TickPool::new(threads);
+            for round in 0..3 {
+                let jobs = 100 + round * 37;
+                let hits: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(jobs, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "{threads} threads, round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_on_the_caller() {
+        let caller = std::thread::current().id();
+        let mut pool = TickPool::new(1);
+        let stolen = pool.run(5, &|i| {
+            assert_eq!(std::thread::current().id(), caller, "job {i} not inline");
+        });
+        assert_eq!(stolen, 0);
+    }
+
+    #[test]
+    fn run_is_a_barrier_between_passes() {
+        // Pass 2 reads pass 1's output for *other* indices; only a full
+        // barrier between runs makes the result deterministic.
+        let mut pool = TickPool::new(4);
+        for _ in 0..50 {
+            let n = 64;
+            let a: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let b: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|i| {
+                a[i].store(i + 1, Ordering::Relaxed);
+            });
+            pool.run(n, &|i| {
+                let left = a[(i + n - 1) % n].load(Ordering::Relaxed);
+                b[i].store(left * 2, Ordering::Relaxed);
+            });
+            for (i, out) in b.iter().enumerate() {
+                let left = (i + n - 1) % n + 1;
+                assert_eq!(out.load(Ordering::Relaxed), left * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = TickPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(32, &|i| {
+                if i == 17 {
+                    panic!("job 17 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic did not propagate");
+        // The pool must still dispatch cleanly afterwards.
+        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(16, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_dispatches_are_inline() {
+        let mut pool = TickPool::new(4);
+        assert_eq!(pool.run(0, &|_| unreachable!()), 0);
+        let hit = AtomicUsize::new(0);
+        assert_eq!(
+            pool.run(1, &|i| {
+                assert_eq!(i, 0);
+                hit.fetch_add(1, Ordering::Relaxed);
+            }),
+            0
+        );
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

@@ -13,9 +13,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use saav::core::cache::ResultCache;
+use saav::core::city::CityRun;
 use saav::core::fleet::FleetRunner;
 use saav::core::runner::SteppedRun;
-use saav::core::scenario::{ResponseStrategy, Scenario, ScenarioFamily};
+use saav::core::scenario::{CitySpec, ResponseStrategy, Scenario, ScenarioFamily};
 use saav::core::telemetry::{Stage, Telemetry};
 use saav::sim::time::Duration;
 use saav::vehicle::{IdmParams, SurrogateTraffic};
@@ -209,6 +210,95 @@ fn warm_cache_sweep_allocations_are_independent_of_job_count() {
     );
     assert_eq!(cache.stats().misses, 24, "warm sweeps must never miss");
     drop(keep);
+}
+
+/// A city scenario with the given intra-run width: 40 background + 2
+/// focal vehicles, long enough that the steady-state window sits well
+/// past the promotion churn of the first seconds.
+fn city_scenario(threads: usize, chunk: usize) -> Scenario {
+    Scenario::builder("alloc/city")
+        .seed(3)
+        .duration(Duration::from_secs(30))
+        .city(
+            CitySpec::new(40, 2)
+                .with_threads(threads)
+                .with_surrogate_chunk(chunk),
+        )
+        .build()
+}
+
+/// The single-thread city engine — the acceptance criterion's pure
+/// inline loop — allocates nothing in steady state, unmounted or with a
+/// telemetry sink mounted. The window dodges the whole-second instants,
+/// where promotion/demotion and the 1 Hz series pushes are *allowed* to
+/// allocate.
+#[test]
+fn city_tick_path_is_allocation_free_single_thread() {
+    let _g = gate();
+    let scenario = city_scenario(1, 1_024);
+    let mut sim = CityRun::new(&scenario);
+    while sim.now_millis() < 2_000 {
+        sim.tick();
+    }
+    assert_eq!(sim.now_millis() % 1_000, 0, "warmup must end on a second");
+    let allocs = count_allocs(|| {
+        for _ in 0..99 {
+            sim.tick();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "single-thread city tick allocated {allocs} times in 99 ticks"
+    );
+
+    let sink = Telemetry::default();
+    let mut sim = CityRun::with_telemetry(&scenario, &sink);
+    while sim.now_millis() < 2_000 {
+        sim.tick();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..99 {
+            sim.tick();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "mounted single-thread city tick allocated {allocs} times in 99 ticks"
+    );
+    let _ = sim.finish();
+    assert!(
+        sink.snapshot().stage_calls_of(Stage::Surrogate) > 0,
+        "profiler saw no surrogate stages"
+    );
+}
+
+/// The *parallel* city engine holds the same pin: per-worker state (pool
+/// shards, telemetry scratches, chunk fold slots) is sized during warmup
+/// and the steady-state tick — chunked surrogate passes, cluster
+/// dispatch, scratch absorption — stays off the heap on every thread
+/// (the counting allocator is process-global, so worker allocations
+/// would be caught here too).
+#[test]
+fn parallel_city_tick_path_is_allocation_free() {
+    let _g = gate();
+    // Chunk 16 over 42 lanes gives three chunks, so the chunked passes
+    // genuinely engage; 2 focal vehicles give two clusters.
+    let scenario = city_scenario(2, 16);
+    let sink = Telemetry::default();
+    let mut sim = CityRun::with_telemetry(&scenario, &sink);
+    while sim.now_millis() < 2_000 {
+        sim.tick();
+    }
+    let allocs = count_allocs(|| {
+        for _ in 0..99 {
+            sim.tick();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "parallel city tick allocated {allocs} times in 99 ticks"
+    );
+    let _ = sim.finish();
 }
 
 /// The surrogate-tier batch update is allocation-free from the very
