@@ -432,7 +432,8 @@ impl CityEngine {
         );
         self.focal_sorted.sort_unstable_by(f64::total_cmp);
         let radius = self.spec.promotion_radius_m;
-        let before = self.full.len();
+        let promotions_before = self.promotions;
+        let demotions_before = self.demotions;
         {
             let store = &mut self.store;
             let demotions = &mut self.demotions;
@@ -503,7 +504,11 @@ impl CityEngine {
             );
         }
         self.max_full_tier = self.max_full_tier.max(self.full.len());
-        if self.full.len() != before {
+        // Membership can churn without the count changing (a balanced
+        // promote+demote pass as the focal neighborhood drifts along the
+        // chain); stale (start,end) ranges would then mis-couple leaders
+        // in the parallel cluster phase, so recompute on any churn.
+        if self.promotions != promotions_before || self.demotions != demotions_before {
             self.recompute_clusters();
         }
     }
@@ -851,6 +856,73 @@ mod tests {
         let out = stepped.finish();
         assert_eq!(out.distance_m.to_bits(), direct.distance_m.to_bits());
         assert_eq!(out.city.as_ref().unwrap(), direct.city.as_ref().unwrap());
+    }
+
+    /// The maximal adjacent-slot runs of `full`, recomputed from scratch
+    /// — the oracle the engine's incremental `clusters` must match.
+    fn fresh_clusters(full: &[FullVehicle]) -> Vec<(usize, usize)> {
+        let mut expected = Vec::new();
+        let mut i = 0;
+        while i < full.len() {
+            let start = i;
+            while i + 1 < full.len() && full[i + 1].slot == full[i].slot + 1 {
+                i += 1;
+            }
+            i += 1;
+            expected.push((start, i));
+        }
+        expected
+    }
+
+    #[test]
+    fn clusters_stay_fresh_under_balanced_promotion_churn() {
+        // Regression: clusters used to be recomputed only when the
+        // full-tier *count* changed, so a 1 Hz pass demoting and
+        // promoting an equal number of vehicles left stale (start,end)
+        // ranges behind, and the parallel cluster phase coupled followers
+        // to the wrong leader. Engineer exactly that: nudge one focal's
+        // mirrored position so its window swallows one more background
+        // vehicle, and teleport a promoted vehicle out of the other
+        // focal's neighborhood — a balanced pass that changes the
+        // cluster structure from (3,3) to (4,2).
+        let mut engine = CityEngine::new(short_city(20, 2, 17), None);
+        let f0 = engine.spec.focal_slot(0);
+        let f1 = engine.spec.focal_slot(1);
+        engine.reevaluate(None);
+        let before: Vec<usize> = engine.full.iter().map(|fv| fv.slot).collect();
+        assert_eq!(
+            before,
+            vec![f0 - 1, f0, f0 + 1, f1 - 1, f1, f1 + 1],
+            "each focal promotes its 30 m neighbors inside the 45 m radius"
+        );
+        assert_eq!(engine.clusters, vec![(0, 3), (3, 6)]);
+
+        // +15 m keeps f0±1 (45 m, boundary-inclusive) and reaches f0-2
+        // (45 m): one promotion.
+        let speed = engine.store.speed_mps(f0);
+        let pos = engine.store.position_m(f0);
+        engine.store.push_state(f0, pos + 15.0, speed);
+        // 60 m back puts f1+1 90 m behind f1: one demotion.
+        let speed = engine.store.speed_mps(f1 + 1);
+        let pos = engine.store.position_m(f1 + 1);
+        engine.store.push_state(f1 + 1, pos - 60.0, speed);
+
+        let (promos, demos) = (engine.promotions, engine.demotions);
+        engine.reevaluate(None);
+        assert_eq!(
+            (engine.promotions - promos, engine.demotions - demos),
+            (1, 1),
+            "the pass must be exactly balanced to regress the count check"
+        );
+        let after: Vec<usize> = engine.full.iter().map(|fv| fv.slot).collect();
+        assert_eq!(after, vec![f0 - 2, f0 - 1, f0, f0 + 1, f1 - 1, f1]);
+        assert_eq!(after.len(), before.len(), "count unchanged");
+        assert_eq!(
+            engine.clusters,
+            fresh_clusters(&engine.full),
+            "stale clusters after a balanced promote+demote pass"
+        );
+        assert_eq!(engine.clusters, vec![(0, 4), (4, 6)]);
     }
 
     #[test]

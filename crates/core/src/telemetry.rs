@@ -237,6 +237,14 @@ impl TraceRing {
         self.next_seq - self.buf.len() as u64
     }
 
+    /// Advances sequence numbering by `n` without recording anything —
+    /// stands in for records a forked scratch ring already evicted, so
+    /// survivors re-pushed afterwards land on the same sequence numbers
+    /// the sequential engine's single ring would have assigned them.
+    pub fn skip(&mut self, n: u64) {
+        self.next_seq += n;
+    }
+
     /// Empties the ring and restarts sequence numbering, keeping the
     /// allocated buffer — how the parallel city engine reuses its
     /// per-cluster scratch rings tick after tick without reallocating.
@@ -602,11 +610,16 @@ impl RunTelemetry {
     /// Counters, histograms and stage profiles are summed once (the
     /// scratch's `record` calls already bumped its own counters).
     pub fn absorb_ordered(&mut self, part: &mut RunTelemetry) {
-        debug_assert_eq!(
-            part.ring.evicted(),
-            0,
-            "a scratch ring must never evict within one tick"
-        );
+        // A scratch that overflowed within one tick has already evicted
+        // its oldest records — exactly the ones the sequential single
+        // ring would also have evicted by the end of the tick (scratch
+        // and parent share a capacity, and each evictee was followed by
+        // ≥ capacity same-tick pushes). Skip their sequence numbers so
+        // the survivors land bit-identically in release builds too.
+        let evicted = part.ring.evicted();
+        if evicted > 0 {
+            self.ring.skip(evicted);
+        }
         for rec in part.ring.iter() {
             self.ring.push(rec.at, self.job_slot, rec.event);
         }
@@ -1074,6 +1087,37 @@ mod tests {
         assert_eq!(snap.counter(Counter::TickBarriers), 3);
         assert_eq!(tel.tick_barriers(), 3);
         assert_eq!(snap.events_recorded, 3);
+    }
+
+    #[test]
+    fn absorb_ordered_stays_identical_when_a_scratch_evicts() {
+        // Regression: a scratch ring overflowing within one tick used to
+        // drop its evicted records silently on absorption (release
+        // builds), shifting the merged sequence numbers away from the
+        // sequential engine's. The parent must skip the evicted seqs so
+        // survivors, recorded() and evicted() all match the oracle.
+        let tel = Telemetry::new(TelemetryConfig::default().with_ring_capacity(4));
+        let mut oracle = tel.begin_run(5);
+        let mut parent = tel.begin_run(5);
+        oracle.record(Time::from_secs(1), ev(100));
+        parent.record(Time::from_secs(1), ev(100));
+        let mut scratch = parent.fork();
+        for i in 0..7u32 {
+            oracle.record(Time::from_secs(2), ev(i));
+            scratch.record(Time::from_secs(2), ev(i));
+        }
+        assert_eq!(scratch.ring().evicted(), 3, "the tick must overflow");
+        parent.absorb_ordered(&mut scratch);
+        let a: Vec<TraceRecord> = oracle.ring().iter().copied().collect();
+        let b: Vec<TraceRecord> = parent.ring().iter().copied().collect();
+        assert_eq!(a, b, "surviving records and seqs must match the oracle");
+        assert_eq!(oracle.ring().recorded(), parent.ring().recorded());
+        assert_eq!(oracle.ring().evicted(), parent.ring().evicted());
+        // Counters are unaffected by the ring overflow.
+        assert_eq!(
+            oracle.counters[Counter::TierPromotions as usize],
+            parent.counters[Counter::TierPromotions as usize]
+        );
     }
 
     #[test]
