@@ -1,6 +1,6 @@
 //! Prints the reproduced tables for every experiment in DESIGN.md.
 //!
-//! Usage: `repro [--threads N] [e1 … e16 a1 a2 a3 | all]`
+//! Usage: `repro [--threads N] [e1 … e17 a1 a2 a3 | all]`
 //!
 //! `e16` additionally writes the combined chrome-tracing export to
 //! `./trace.json` (openable in Perfetto).
@@ -17,7 +17,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "a1", "a2", "a3",
+            "e14", "e15", "e16", "e17", "a1", "a2", "a3",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -71,6 +71,10 @@ fn main() {
                     Ok(()) => println!("wrote trace.json (open at ui.perfetto.dev)"),
                     Err(e) => eprintln!("could not write trace.json: {e}"),
                 }
+            }
+            "e17" => {
+                println!("{}", exp_dynamic::e17_table().render());
+                println!("{}", exp_dynamic::e17b_table().render());
             }
             "a1" => println!("{}", exp_skills::a1_table().render()),
             "a2" => println!("{}", exp_propagation::a2_table().render()),

@@ -187,7 +187,7 @@ fn event_detail(event: &TelemetryEvent) -> String {
             Some(l) => format!("{kind:?}: {origin} -> {l} ({hops} hops)"),
             None => format!("{kind:?}: {origin} -> unresolved ({hops} hops)"),
         },
-        TelemetryEvent::ContractSwitch { layer } => format!("by {layer}"),
+        TelemetryEvent::ContractSwitch { layer, outcome } => format!("{outcome} by {layer}"),
         TelemetryEvent::PlatoonEjection { member } => format!("member {member}"),
         TelemetryEvent::TierPromotion { slot } | TelemetryEvent::TierDemotion { slot } => {
             format!("slot {slot}")

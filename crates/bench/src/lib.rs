@@ -19,6 +19,7 @@
 //! | E13 | [`exp_cosim`] | platoon co-simulation: V2V negotiation, trust-based ejection, cooperative containment |
 //! | E14 | [`exp_city`] | city-scale tiered fidelity: focal detection latency invariant as background density grows 0 → 1,000 |
 //! | E16 | [`exp_obs`] | engine telemetry: virtual-time escalation traces per subsystem, bit-identical across reruns and thread counts |
+//! | E17 | [`exp_dynamic`] | live contract renegotiation: MCC-admitted switch, viewpoint rejection with fallback, rollback; fleet-level budget renegotiation |
 //! | A1–A3 | various | ablations (aggregation op, policy, sampling period) |
 //!
 //! Run `cargo run -p saav-bench --bin repro -- all` to print everything.
@@ -30,6 +31,7 @@
 pub mod exp_can;
 pub mod exp_city;
 pub mod exp_cosim;
+pub mod exp_dynamic;
 pub mod exp_fleet;
 pub mod exp_learn;
 pub mod exp_mcc;

@@ -3,9 +3,9 @@
 //!
 //! A fleet job's identity is a deterministic structural hash over
 //! everything that can influence its outcome: the full [`Scenario`]
-//! (label, events, duration, strategy, ego state, lead-vehicle profile),
-//! the optional [`PlatoonSpec`] / [`CitySpec`] payloads, the *derived*
-//! per-job seed, and the [`ENGINE_VERSION`] salt. Two jobs with the same
+//! (label, events, duration, strategy, ego state, lead-vehicle profile,
+//! reconfiguration policy), the optional [`PlatoonSpec`] / [`CitySpec`]
+//! payloads, the *derived* per-job seed, and the [`ENGINE_VERSION`] salt. Two jobs with the same
 //! key are bit-identical re-runs, so a warm [`ResultCache`] serves their
 //! [`Summary`] without simulating anything; any field change — a nudged
 //! fog density, one extra platoon member, a different seed — produces a
@@ -37,7 +37,7 @@ use crate::scenario::{CitySpec, PlatoonSpec, ResponseStrategy, Scenario, Scenari
 /// code change alters simulated trajectories (physics, monitors,
 /// negotiation, seeding): every previously cached result then misses and
 /// is recomputed, which is the cache's only invalidation mechanism.
-pub const ENGINE_VERSION: u64 = 1;
+pub const ENGINE_VERSION: u64 = 2;
 
 /// Version byte of the on-disk [`Summary`] codec. Bumping it (on a codec
 /// layout change) turns old files into decode failures, i.e. misses.
@@ -169,6 +169,17 @@ pub fn job_key(scenario: &Scenario) -> JobKey {
         Some(c) => {
             h.write_u8(2);
             hash_city(&mut h, c);
+        }
+    }
+    // Runtime reconfiguration policy: every field steers which contract
+    // switches happen, so each is part of the job identity.
+    h.write_bool(scenario.reconfig.live);
+    h.write_bool(scenario.reconfig.prefer_fast);
+    match scenario.reconfig.rollback_below_c {
+        None => h.write_u8(0),
+        Some(c) => {
+            h.write_u8(3);
+            h.write_f64(c);
         }
     }
     JobKey(h.finish())
@@ -695,6 +706,9 @@ mod tests {
             Box::new(|s| s.city.as_mut().unwrap().promotion_radius_m += 1.0),
             Box::new(|s| s.city.as_mut().unwrap().idm.headway_s += 0.1),
             Box::new(|s| s.lead = Participant::cruising(80.0, 20.0)),
+            Box::new(|s| s.reconfig.live = false),
+            Box::new(|s| s.reconfig.prefer_fast = true),
+            Box::new(|s| s.reconfig.rollback_below_c = Some(70.0)),
         ];
         for (i, mutate) in mutations.iter().enumerate() {
             let mut s = base_scenario();

@@ -1,0 +1,374 @@
+//! The canonical contract configurations of the reference vehicle — the
+//! single source of truth the assembly, the execution monitor and the
+//! live renegotiation path all derive their timing parameters from.
+//!
+//! Before this module existed the same `Duration`s were restated by hand
+//! in the vehicle assembly (`exec_mon.set_contract(...)`) and again in
+//! the thermal lowrate switch, so the two tables could drift. Now every
+//! consumer reads one [`CandidateConfig`]:
+//!
+//! * [`nominal_config`] — the assembly-time configuration, installed as
+//!   the MCC baseline ([`saav_mcc::Mcc::install_baseline`]) so later
+//!   rollbacks bottom out at the certified assembly, never at an empty
+//!   system. A test here proves it passes the full viewpoint battery.
+//! * [`lowrate_request`] — the thermal degradation update: the ACC
+//!   controller is replaced by a half-rate variant whose relaxed periods
+//!   let a DVFS-throttled PE hold its deadlines again.
+//! * [`fast_request`] — the ambitious alternative tried first when a
+//!   scenario prefers preserving the full control rate: an add-on
+//!   filtering task with a deadline the timing viewpoint provably cannot
+//!   admit next to the nominal load — the deterministic viewpoint
+//!   rejection E17 demonstrates.
+
+use saav_mcc::contract::{Contract, ProvidedService, RequiredService, TaskContract};
+use saav_mcc::model::{CandidateConfig, PlatformModel};
+use saav_mcc::renegotiator::{PressureKind, ReconfigPlan, Renegotiator};
+use saav_mcc::{Mcc, UpdateRequest};
+use saav_sim::time::Duration;
+
+/// Full control rate of the nominal configuration (periods of the
+/// perception and ACC tasks).
+pub const FULL_CONTROL_PERIOD: Duration = Duration::from_millis(10);
+
+/// Halved control rate of the thermal-degradation configuration.
+pub const LOWRATE_CONTROL_PERIOD: Duration = Duration::from_millis(20);
+
+/// WCET of the radar driver task.
+pub const RADAR_WCET: Duration = Duration::from_millis(1);
+
+/// WCET of the perception task (both rates).
+pub const PERCEPTION_WCET: Duration = Duration::from_micros(2_500);
+
+/// WCET of the ACC control task (both rates).
+pub const ACC_WCET: Duration = Duration::from_millis(3);
+
+/// WCET of each brake controller task.
+pub const BRAKE_WCET: Duration = Duration::from_micros(500);
+
+fn provides(name: &str) -> ProvidedService {
+    ProvidedService {
+        name: name.into(),
+        critical: false,
+    }
+}
+
+fn requires(name: &str) -> RequiredService {
+    RequiredService {
+        name: name.into(),
+        rate_per_sec: None,
+    }
+}
+
+fn task(name: &str, period: Duration, wcet: Duration, priority: u32) -> TaskContract {
+    TaskContract {
+        name: name.into(),
+        period,
+        wcet,
+        deadline: period,
+        priority,
+    }
+}
+
+/// The services the ACC controller consumes — shared by the nominal and
+/// lowrate variants so a swap never drops a dependency.
+fn acc_requirements() -> Vec<RequiredService> {
+    vec![
+        requires("sensor.radar"),
+        requires("actuator.powertrain"),
+        requires("actuator.brake.front"),
+        requires("actuator.brake.rear"),
+    ]
+}
+
+/// The assembly-time configuration of the reference vehicle, every
+/// component mapped onto `ecu0` (PE 0) like the RTE assembly does.
+pub fn nominal_config() -> CandidateConfig {
+    let components = vec![
+        Contract {
+            name: "radar_driver".into(),
+            provides: vec![provides("sensor.radar")],
+            tasks: vec![task("radar_drv", FULL_CONTROL_PERIOD, RADAR_WCET, 1)],
+            ..Contract::default()
+        },
+        Contract {
+            name: "acc_controller".into(),
+            provides: vec![provides("control.acc")],
+            requires: acc_requirements(),
+            tasks: vec![
+                task("perception", FULL_CONTROL_PERIOD, PERCEPTION_WCET, 2),
+                task("acc_ctl", FULL_CONTROL_PERIOD, ACC_WCET, 3),
+            ],
+            ..Contract::default()
+        },
+        Contract {
+            name: "brake_front".into(),
+            provides: vec![provides("actuator.brake.front")],
+            tasks: vec![task("brake_front_ctl", FULL_CONTROL_PERIOD, BRAKE_WCET, 0)],
+            ..Contract::default()
+        },
+        Contract {
+            name: "brake_rear".into(),
+            provides: vec![provides("actuator.brake.rear")],
+            tasks: vec![task("brake_rear_ctl", FULL_CONTROL_PERIOD, BRAKE_WCET, 0)],
+            ..Contract::default()
+        },
+        Contract {
+            name: "powertrain_ctl".into(),
+            provides: vec![provides("actuator.powertrain")],
+            ..Contract::default()
+        },
+    ];
+    let mapping = components.iter().map(|c| (c.name.clone(), 0)).collect();
+    CandidateConfig {
+        components,
+        mapping,
+        frame_mapping: Default::default(),
+    }
+}
+
+/// The thermal-degradation update: replace the full-rate ACC controller
+/// with a half-rate variant (same WCETs, doubled periods). The viewpoint
+/// battery provably admits it next to the rest of the nominal load.
+pub fn lowrate_request() -> UpdateRequest {
+    UpdateRequest {
+        label: "acc control rate halved".into(),
+        add: vec![Contract {
+            name: "acc_controller_lowrate".into(),
+            provides: vec![provides("control.acc")],
+            requires: acc_requirements(),
+            tasks: vec![
+                task(
+                    "perception_lowrate",
+                    LOWRATE_CONTROL_PERIOD,
+                    PERCEPTION_WCET,
+                    2,
+                ),
+                task("acc_ctl_lowrate", LOWRATE_CONTROL_PERIOD, ACC_WCET, 3),
+            ],
+            ..Contract::default()
+        }],
+        remove: vec!["acc_controller".into()],
+    }
+}
+
+/// The full-rate preservation attempt: an add-on filtering task with a
+/// 2 ms deadline at the lowest priority. Next to the nominal load its
+/// worst-case response time is 8.5 ms, so the timing viewpoint rejects it
+/// deterministically — the negotiation then falls back to
+/// [`lowrate_request`].
+pub fn fast_request() -> UpdateRequest {
+    UpdateRequest {
+        label: "acc fast path".into(),
+        add: vec![Contract {
+            name: "acc_boost".into(),
+            requires: vec![requires("sensor.radar")],
+            tasks: vec![TaskContract {
+                name: "acc_boost_filter".into(),
+                period: FULL_CONTROL_PERIOD,
+                wcet: RADAR_WCET,
+                deadline: Duration::from_millis(2),
+                priority: 9,
+            }],
+            ..Contract::default()
+        }],
+        remove: vec![],
+    }
+}
+
+/// Looks up one task contract of `component` in a configuration. Panics
+/// when absent — callers pass names this module itself defines, so a miss
+/// is a programming error, not a runtime condition.
+pub fn task_contract<'a>(
+    config: &'a CandidateConfig,
+    component: &str,
+    task: &str,
+) -> &'a TaskContract {
+    config
+        .components
+        .iter()
+        .find(|c| c.name == component)
+        .and_then(|c| c.tasks.iter().find(|t| t.name == task))
+        .unwrap_or_else(|| panic!("no task contract {component}/{task}"))
+}
+
+/// The monitored execution contracts of a configuration: every task of
+/// the perception/control components (the radar driver and whichever
+/// component currently provides `control.acc`), as `(task name, WCET)`
+/// pairs in component order. The assembly seeds the execution monitor
+/// from the nominal configuration's table; a committed renegotiation
+/// re-derives it from the admitted candidate — one source of truth.
+pub fn monitored_contracts(config: &CandidateConfig) -> Vec<(String, Duration)> {
+    config
+        .components
+        .iter()
+        .filter(|c| {
+            c.provides
+                .iter()
+                .any(|p| p.name == "sensor.radar" || p.name == "control.acc")
+        })
+        .flat_map(|c| &c.tasks)
+        .map(|t| (t.name.clone(), t.wcet))
+        .collect()
+}
+
+/// Assembles the vehicle's live renegotiation controller: an [`Mcc`] over
+/// the reference platform with the nominal baseline installed, and the
+/// thermal plan registered — preferred [`fast_request`] when
+/// `prefer_fast`, with [`lowrate_request`] as the fallback; plain
+/// [`lowrate_request`] otherwise.
+pub fn vehicle_renegotiator(prefer_fast: bool) -> Renegotiator {
+    let mut mcc = Mcc::new(PlatformModel::reference());
+    mcc.install_baseline(nominal_config());
+    let mut renegotiator = Renegotiator::new(mcc);
+    let plan = if prefer_fast {
+        ReconfigPlan {
+            kind: PressureKind::Thermal,
+            preferred: fast_request(),
+            fallback: Some(lowrate_request()),
+        }
+    } else {
+        ReconfigPlan {
+            kind: PressureKind::Thermal,
+            preferred: lowrate_request(),
+            fallback: None,
+        }
+    };
+    renegotiator.register(plan);
+    renegotiator
+}
+
+/// The fleet-level nominal batch budget: one dispatch task at the full
+/// batch rate. The [`crate::fleet::FleetCoordinator`] installs this as
+/// its baseline and renegotiates it fleet-wide under aggregate pressure.
+pub fn fleet_budget_config() -> CandidateConfig {
+    let components = vec![Contract {
+        name: "fleet_batch_budget".into(),
+        tasks: vec![task("dispatch", FULL_CONTROL_PERIOD, ACC_WCET, 1)],
+        ..Contract::default()
+    }];
+    let mapping = components.iter().map(|c| (c.name.clone(), 0)).collect();
+    CandidateConfig {
+        components,
+        mapping,
+        frame_mapping: Default::default(),
+    }
+}
+
+/// The fleet-level degraded batch budget: dispatch at half rate, freeing
+/// headroom for the degrading families' extra seeds.
+pub fn fleet_degraded_request() -> UpdateRequest {
+    UpdateRequest {
+        label: "fleet batch budget halved".into(),
+        add: vec![Contract {
+            name: "fleet_batch_budget_degraded".into(),
+            tasks: vec![task("dispatch", LOWRATE_CONTROL_PERIOD, ACC_WCET, 1)],
+            ..Contract::default()
+        }],
+        remove: vec!["fleet_batch_budget".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saav_mcc::default_viewpoints;
+    use saav_mcc::renegotiator::{NegotiationOutcome, Pressure};
+
+    fn thermal_pressure() -> Pressure {
+        Pressure {
+            kind: PressureKind::Thermal,
+            temperature_c: 85.0,
+            deadline_miss_ratio: 0.25,
+            throttle_events: 3,
+        }
+    }
+
+    #[test]
+    fn nominal_baseline_passes_the_full_viewpoint_battery() {
+        // `install_baseline` skips the acceptance tests; this is the
+        // honesty check that the assembly configuration would pass them.
+        let config = nominal_config();
+        let platform = PlatformModel::reference();
+        for viewpoint in default_viewpoints() {
+            let verdict = viewpoint.check(&config, &platform);
+            assert!(
+                verdict.passed,
+                "{}: {:?}",
+                verdict.viewpoint, verdict.findings
+            );
+        }
+    }
+
+    #[test]
+    fn monitored_table_matches_the_legacy_assembly() {
+        let table = monitored_contracts(&nominal_config());
+        assert_eq!(
+            table,
+            vec![
+                ("radar_drv".into(), RADAR_WCET),
+                ("perception".into(), PERCEPTION_WCET),
+                ("acc_ctl".into(), ACC_WCET),
+            ]
+        );
+    }
+
+    #[test]
+    fn lowrate_swap_is_admitted_and_rederives_the_monitor_table() {
+        let mut r = vehicle_renegotiator(false);
+        let outcome = r.respond(&thermal_pressure()).unwrap();
+        assert_eq!(
+            outcome,
+            NegotiationOutcome::Accepted {
+                label: "acc control rate halved".into()
+            }
+        );
+        let table = monitored_contracts(r.mcc().current());
+        assert_eq!(
+            table,
+            vec![
+                ("radar_drv".into(), RADAR_WCET),
+                ("perception_lowrate".into(), PERCEPTION_WCET),
+                ("acc_ctl_lowrate".into(), ACC_WCET),
+            ]
+        );
+        // The pressure clears: rollback restores the assembly table.
+        r.rollback().unwrap();
+        assert_eq!(
+            monitored_contracts(r.mcc().current()),
+            monitored_contracts(&nominal_config())
+        );
+    }
+
+    #[test]
+    fn fast_path_is_rejected_by_timing_and_falls_back() {
+        let mut r = vehicle_renegotiator(true);
+        let outcome = r.respond(&thermal_pressure()).unwrap();
+        assert_eq!(
+            outcome,
+            NegotiationOutcome::FallbackAccepted {
+                label: "acc control rate halved".into(),
+                rejected_by: vec!["timing"],
+            }
+        );
+        assert!(r.mcc().current().component("acc_boost").is_none());
+        assert!(r
+            .mcc()
+            .current()
+            .component("acc_controller_lowrate")
+            .is_some());
+    }
+
+    #[test]
+    fn fleet_budget_renegotiates_and_rolls_back() {
+        let mut mcc = Mcc::new(PlatformModel::reference());
+        mcc.install_baseline(fleet_budget_config());
+        let report = mcc.propose_update(fleet_degraded_request()).unwrap();
+        assert!(report.accepted, "{report}");
+        assert!(mcc
+            .current()
+            .component("fleet_batch_budget_degraded")
+            .is_some());
+        mcc.rollback().unwrap();
+        assert!(mcc.current().component("fleet_batch_budget").is_some());
+    }
+}

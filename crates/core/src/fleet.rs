@@ -592,6 +592,194 @@ impl FleetRunner {
     }
 }
 
+/// What the fleet coordinator decided after observing one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetDirective {
+    /// Pressure within budget: dispatch unchanged.
+    Nominal,
+    /// The degraded batch budget was admitted through the fleet MCC:
+    /// reallocate scenario budget toward the degrading families.
+    Degraded,
+    /// The pressure cleared and the nominal budget was rolled back in.
+    RolledBack,
+}
+
+/// Fleet-level self-management (the paper's self-* loop one level up):
+/// an observer/controller that watches each batch's engine-telemetry
+/// snapshot ([`FleetStats::telemetry`]) between batches and renegotiates
+/// the fleet-wide batch-budget contract through its own MCC — the same
+/// admission machinery the vehicles use, mounted on the fleet.
+///
+/// Everything is deterministic: decisions depend only on the observed
+/// snapshot deltas and the configured threshold, so a sweep steered by a
+/// coordinator is bit-identical across thread counts and reruns.
+#[derive(Debug)]
+pub struct FleetCoordinator {
+    mcc: saav_mcc::Mcc,
+    degraded: bool,
+    threshold_misses_per_run: f64,
+    batches: u64,
+    renegotiations: u64,
+    rollbacks: u64,
+}
+
+impl Default for FleetCoordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetCoordinator {
+    /// A coordinator with the nominal fleet budget installed and the
+    /// default pressure threshold (100 deadline misses per run).
+    pub fn new() -> Self {
+        let mut mcc = saav_mcc::Mcc::new(saav_mcc::PlatformModel::reference());
+        mcc.install_baseline(crate::contracts::fleet_budget_config());
+        FleetCoordinator {
+            mcc,
+            degraded: false,
+            threshold_misses_per_run: 100.0,
+            batches: 0,
+            renegotiations: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Overrides the degradation threshold (deadline misses per run above
+    /// which the degraded budget is proposed).
+    pub fn with_threshold(mut self, misses_per_run: f64) -> Self {
+        self.threshold_misses_per_run = misses_per_run;
+        self
+    }
+
+    /// Whether the degraded batch budget is currently in force.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Batches observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Admitted budget renegotiations so far.
+    pub fn renegotiations(&self) -> u64 {
+        self.renegotiations
+    }
+
+    /// Budget rollbacks so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// The fleet's own multi-change controller (read access for reports).
+    pub fn mcc(&self) -> &saav_mcc::Mcc {
+        &self.mcc
+    }
+
+    /// Observes one completed batch. Requires the batch to have run with a
+    /// mounted [`Telemetry`] sink — without a snapshot the coordinator is
+    /// blind and stays [`FleetDirective::Nominal`].
+    ///
+    /// Above the threshold the degraded batch budget is proposed to the
+    /// fleet MCC and applied only when admitted; once the pressure drops
+    /// below half the threshold (hysteresis), the nominal budget is rolled
+    /// back in.
+    pub fn observe(&mut self, stats: &FleetStats) -> FleetDirective {
+        self.batches += 1;
+        let Some(snapshot) = &stats.telemetry else {
+            return FleetDirective::Nominal;
+        };
+        let misses = snapshot.counter(crate::telemetry::Counter::DeadlineMisses) as f64;
+        let pressure = misses / (stats.runs.max(1)) as f64;
+        if !self.degraded && pressure > self.threshold_misses_per_run {
+            let report = self
+                .mcc
+                .propose_update(crate::contracts::fleet_degraded_request())
+                .expect("fleet budget plan is well-formed");
+            if report.accepted {
+                self.degraded = true;
+                self.renegotiations += 1;
+                return FleetDirective::Degraded;
+            }
+        } else if self.degraded && pressure < self.threshold_misses_per_run * 0.5 {
+            self.mcc.rollback().expect("degraded budget was committed");
+            self.degraded = false;
+            self.rollbacks += 1;
+            return FleetDirective::RolledBack;
+        }
+        FleetDirective::Nominal
+    }
+
+    /// Reallocates a fixed seed budget across `families` for the next
+    /// batch, shifting seeds toward the families whose runs degraded in
+    /// `outcome` (detected a problem or left Normal mode). Every family
+    /// keeps at least one seed and the total always equals
+    /// `families.len() * seeds_per_cell`; with no degradation (or no
+    /// admitted budget degradation) the split stays uniform.
+    pub fn reallocate(
+        &self,
+        families: &[ScenarioFamily],
+        outcome: &FleetOutcome,
+        seeds_per_cell: usize,
+    ) -> Vec<(ScenarioFamily, usize)> {
+        let total = families.len() * seeds_per_cell;
+        if families.is_empty() {
+            return Vec::new();
+        }
+        if !self.degraded {
+            return families.iter().map(|&f| (f, seeds_per_cell)).collect();
+        }
+        let degradation: Vec<usize> = families
+            .iter()
+            .map(|f| {
+                outcome
+                    .records
+                    .iter()
+                    .filter(|r| r.summary.label.starts_with(f.name()))
+                    .filter(|r| {
+                        r.summary.first_detection.is_some()
+                            || !matches!(
+                                r.summary.final_mode,
+                                saav_skills::decision::DrivingMode::Normal
+                            )
+                    })
+                    .count()
+            })
+            .collect();
+        let weight_sum: usize = degradation.iter().sum();
+        if weight_sum == 0 {
+            return families.iter().map(|&f| (f, seeds_per_cell)).collect();
+        }
+        // Everyone keeps one seed; the remainder goes out proportionally
+        // by largest-remainder, ties broken by family order — fully
+        // deterministic.
+        let spare = total - families.len();
+        let mut alloc: Vec<usize> = degradation
+            .iter()
+            .map(|&d| spare * d / weight_sum)
+            .collect();
+        let mut assigned: usize = alloc.iter().sum();
+        let mut remainders: Vec<(usize, usize)> = degradation
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i, (spare * d) % weight_sum))
+            .collect();
+        remainders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut k = 0;
+        while assigned < spare {
+            alloc[remainders[k % remainders.len()].0] += 1;
+            assigned += 1;
+            k += 1;
+        }
+        families
+            .iter()
+            .zip(alloc)
+            .map(|(&f, extra)| (f, 1 + extra))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -767,5 +955,142 @@ mod tests {
         assert_eq!(out.stats.runs, 0);
         assert_eq!(out.stats.collision_rate, 0.0);
         assert!(out.stats.per_strategy.is_empty());
+    }
+
+    /// A batch-stats value with `runs` runs and a telemetry snapshot
+    /// carrying `misses` deadline misses — the minimum the coordinator
+    /// reads.
+    fn stats_with_misses(runs: usize, misses: u64) -> FleetStats {
+        use crate::telemetry::{Counter, Histogram, Stage};
+        let mut counters = [0u64; Counter::COUNT];
+        counters[Counter::DeadlineMisses as usize] = misses;
+        let mut stats = FleetStats::from_records(&[]);
+        stats.runs = runs;
+        stats.telemetry = Some(TelemetrySnapshot {
+            counters,
+            detection_latency: Histogram::default(),
+            escalation_hops: Histogram::default(),
+            stage_nanos: [0; Stage::COUNT],
+            stage_calls: [0; Stage::COUNT],
+            events_recorded: 0,
+            events_evicted: 0,
+        });
+        stats
+    }
+
+    #[test]
+    fn coordinator_degrades_under_pressure_and_rolls_back() {
+        let mut c = FleetCoordinator::new().with_threshold(100.0);
+        assert!(!c.degraded());
+        // 200 misses/run: the degraded budget is proposed and admitted.
+        assert_eq!(
+            c.observe(&stats_with_misses(10, 2000)),
+            FleetDirective::Degraded
+        );
+        assert!(c.degraded());
+        assert_eq!(c.renegotiations(), 1);
+        // Sustained pressure while already degraded changes nothing.
+        assert_eq!(
+            c.observe(&stats_with_misses(10, 2000)),
+            FleetDirective::Nominal
+        );
+        assert_eq!(c.renegotiations(), 1);
+        // Pressure inside the hysteresis band holds the degraded budget.
+        assert_eq!(
+            c.observe(&stats_with_misses(10, 700)),
+            FleetDirective::Nominal
+        );
+        assert!(c.degraded());
+        // Pressure cleared: the nominal budget rolls back in.
+        assert_eq!(
+            c.observe(&stats_with_misses(10, 100)),
+            FleetDirective::RolledBack
+        );
+        assert!(!c.degraded());
+        assert_eq!(c.rollbacks(), 1);
+        assert_eq!(c.batches(), 4);
+        // The fleet MCC is back on the nominal budget.
+        assert!(c
+            .mcc()
+            .current()
+            .components
+            .iter()
+            .any(|comp| comp.name == "fleet_batch_budget"));
+    }
+
+    #[test]
+    fn coordinator_is_blind_without_a_telemetry_snapshot() {
+        let mut c = FleetCoordinator::new().with_threshold(0.5);
+        let mut stats = FleetStats::from_records(&[]);
+        stats.runs = 10;
+        assert_eq!(c.observe(&stats), FleetDirective::Nominal);
+        assert!(!c.degraded());
+        assert_eq!(c.renegotiations(), 0);
+    }
+
+    #[test]
+    fn reallocation_conserves_total_and_favors_degrading_families() {
+        use crate::outcome::Summary;
+        use saav_skills::decision::DrivingMode;
+        let mk = |label: &str, detected: bool| FleetRecord {
+            strategy: ResponseStrategy::CrossLayer,
+            seed: 0,
+            injected_at: None,
+            summary: Arc::new(Summary {
+                label: label.into(),
+                collision: false,
+                distance_m: 1000.0,
+                min_ttc_s: 10.0,
+                first_detection: detected.then(|| Time::from_secs(5)),
+                first_model_deviation: None,
+                mitigated_at: None,
+                final_mode: if detected {
+                    DrivingMode::Reduced {
+                        speed_cap_mps: 15.0,
+                    }
+                } else {
+                    DrivingMode::Normal
+                },
+                platoon: None,
+                city: None,
+            }),
+        };
+        let families = [
+            ScenarioFamily::Baseline,
+            ScenarioFamily::Thermal,
+            ScenarioFamily::StopAndGo,
+        ];
+        let records = vec![
+            mk("baseline/CrossLayer", false),
+            mk("thermal/CrossLayer", true),
+            mk("thermal/SingleLayer", true),
+            mk("stop-and-go/CrossLayer", true),
+        ];
+        let outcome = FleetOutcome {
+            stats: FleetStats::from_records(&records),
+            records,
+        };
+
+        // Before any degradation the split stays uniform.
+        let mut c = FleetCoordinator::new().with_threshold(100.0);
+        let uniform = c.reallocate(&families, &outcome, 4);
+        assert!(uniform.iter().all(|&(_, n)| n == 4));
+
+        // Once degraded, budget shifts toward the detecting families.
+        assert_eq!(
+            c.observe(&stats_with_misses(10, 2000)),
+            FleetDirective::Degraded
+        );
+        let shifted = c.reallocate(&families, &outcome, 4);
+        let total: usize = shifted.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, families.len() * 4, "budget is conserved");
+        assert!(shifted.iter().all(|&(_, n)| n >= 1), "no family starves");
+        let get = |f: ScenarioFamily| shifted.iter().find(|&&(g, _)| g == f).unwrap().1;
+        assert!(
+            get(ScenarioFamily::Thermal) > get(ScenarioFamily::Baseline),
+            "thermal degraded twice, baseline never: {shifted:?}"
+        );
+        // Deterministic: the same inputs yield the same allocation.
+        assert_eq!(shifted, c.reallocate(&families, &outcome, 4));
     }
 }

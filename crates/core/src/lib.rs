@@ -48,6 +48,11 @@
 //!   group-by latency queries.
 //! * [`csv`] — machine-consumable CSV export of fleet records and
 //!   aggregates.
+//! * [`contracts`] — the canonical contract configurations: the nominal
+//!   vehicle [`saav_mcc::CandidateConfig`], the prepared lowrate/fast
+//!   update requests and the fleet budget contracts — one source of truth
+//!   for every timing table the assembly and the live renegotiation path
+//!   consume.
 //! * [`telemetry`] — the engine's own observability: a deterministic,
 //!   virtual-time-stamped trace ring ([`telemetry::TraceRing`]),
 //!   allocation-free counters/histograms ([`telemetry::Counter`]) and a
@@ -76,6 +81,7 @@ mod binenc;
 pub mod cache;
 pub mod city;
 pub mod colstore;
+pub mod contracts;
 pub mod coordinator;
 pub mod cosim;
 pub mod csv;
@@ -103,7 +109,9 @@ pub use city::{run_city, CityRun};
 pub use colstore::{FleetColumns, GroupBy};
 pub use coordinator::{Attempt, Coordinator, EscalationPolicy, ResolutionTrace};
 pub use executor::Scheduler;
-pub use fleet::{FleetOutcome, FleetRecord, FleetRunner, FleetStats};
+pub use fleet::{
+    FleetCoordinator, FleetDirective, FleetOutcome, FleetRecord, FleetRunner, FleetStats,
+};
 pub use layer::{Containment, Directive, DirectiveBoard, Layer, Posting, Problem, ProblemKind};
 pub use outcome::{
     CityOutcome, CitySummary, Outcome, PlatoonOutcome, PlatoonSummary, Summary, LEARNED_SIGNALS,
@@ -113,7 +121,7 @@ pub use scenario::{
     ScenarioFamily, ScenarioState,
 };
 pub use telemetry::{
-    Counter, ProfilerMode, Stage, Telemetry, TelemetryConfig, TelemetryEvent, TelemetrySnapshot,
-    TraceRecord, TraceRing,
+    Counter, ProfilerMode, Stage, SwitchOutcome, Telemetry, TelemetryConfig, TelemetryEvent,
+    TelemetrySnapshot, TraceRecord, TraceRing,
 };
 pub use vehicle::SelfAwareVehicle;

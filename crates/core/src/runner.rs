@@ -83,14 +83,23 @@ fn handle_anomaly(
     // outcome buffer is reused across anomalies.
     let outcomes = &mut log.outcomes_buf;
     outcomes.clear();
-    let mut contracts_seen = state.acc_reconfigured;
     for &layer in v.coordinator.route_slice(origin) {
         let outcome = v.contain(state, layer, kind, &subject);
         let resolved = matches!(outcome, Containment::Resolved { .. });
-        if !contracts_seen && state.acc_reconfigured {
-            contracts_seen = true;
-            if let Some(t) = tel.as_deref_mut() {
-                t.record(v.now, TelemetryEvent::ContractSwitch { layer });
+        // Containment may have renegotiated contracts through the MCC:
+        // drain every switch outcome (admitted, viewpoint-rejected) into
+        // the trace at the layer that triggered it.
+        if !v.switch_events.is_empty() {
+            for switch in v.switch_events.drain(..) {
+                if let Some(t) = tel.as_deref_mut() {
+                    t.record(
+                        v.now,
+                        TelemetryEvent::ContractSwitch {
+                            layer,
+                            outcome: switch,
+                        },
+                    );
+                }
             }
         }
         outcomes.push((layer, outcome));
@@ -300,6 +309,23 @@ impl RunContext {
                     .publish(v.now, "monitor.learned", "model_score", report.score);
                 if let Some(anomaly) = report.anomaly {
                     handle_anomaly(v, state, &mut self.log, tel.as_deref_mut(), anomaly);
+                }
+            }
+            // Live renegotiation rollback: when the scenario declares a
+            // rollback threshold and the pressure has cleared, the MCC
+            // restores the nominal contracts here, at the deterministic
+            // 1 Hz instant.
+            if v.maybe_rollback(state) {
+                for switch in v.switch_events.drain(..) {
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.record(
+                            v.now,
+                            TelemetryEvent::ContractSwitch {
+                                layer: Layer::Ability,
+                                outcome: switch,
+                            },
+                        );
+                    }
                 }
             }
         }

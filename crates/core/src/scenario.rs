@@ -67,6 +67,41 @@ pub enum ScenarioEvent {
     RadarFault(SensorFault),
 }
 
+/// How the vehicle's contract configuration may change at run time.
+///
+/// The default reproduces the engine's established behavior: live
+/// renegotiation through the multi-change controller with the
+/// conservative lowrate plan preferred and no automatic rollback — the
+/// exact task set and timing the legacy hardcoded swap produced, now
+/// admitted through the viewpoint battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigSpec {
+    /// Route degradation problems through live MCC renegotiation. When
+    /// `false` the ability layer only mitigates (speed cap, regen) and
+    /// leaves the contract table untouched — the static-contract
+    /// comparison arm of E17.
+    pub live: bool,
+    /// Try the full-rate preservation update
+    /// ([`crate::contracts::fast_request`]) first; the timing viewpoint
+    /// provably rejects it next to the nominal load, exercising the
+    /// rejected-update fallback path.
+    pub prefer_fast: bool,
+    /// Roll the admitted switch back once the die cools below this
+    /// temperature (°C). `None` keeps the degraded configuration for the
+    /// rest of the run (the legacy behavior).
+    pub rollback_below_c: Option<f64>,
+}
+
+impl Default for ReconfigSpec {
+    fn default() -> Self {
+        ReconfigSpec {
+            live: true,
+            prefer_fast: false,
+            rollback_below_c: None,
+        }
+    }
+}
+
 /// A compromised platoon member and the safe-speed claim it broadcasts
 /// instead of its honest value (lying low stalls the platoon; lying high
 /// tries to push it beyond the members' abilities).
@@ -297,6 +332,8 @@ pub struct Scenario {
     /// City-scale tiered-fidelity configuration; takes precedence over
     /// `platoon` when both are set.
     pub city: Option<CitySpec>,
+    /// Runtime contract-reconfiguration policy.
+    pub reconfig: ReconfigSpec,
 }
 
 impl Scenario {
@@ -386,6 +423,7 @@ pub struct ScenarioBuilder {
     lead: LeadVehicle,
     platoon: Option<PlatoonSpec>,
     city: Option<CitySpec>,
+    reconfig: ReconfigSpec,
 }
 
 impl ScenarioBuilder {
@@ -401,6 +439,7 @@ impl ScenarioBuilder {
             lead: LeadVehicle::cruising(60.0, 22.0),
             platoon: None,
             city: None,
+            reconfig: ReconfigSpec::default(),
         }
     }
 
@@ -452,6 +491,32 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the runtime contract-reconfiguration policy wholesale.
+    pub fn reconfig(mut self, spec: ReconfigSpec) -> Self {
+        self.reconfig = spec;
+        self
+    }
+
+    /// Disables live renegotiation: contracts stay as assembled and
+    /// degradation problems are only mitigated (E17's static arm).
+    pub fn static_contracts(mut self) -> Self {
+        self.reconfig.live = false;
+        self
+    }
+
+    /// Prefers the full-rate preservation update, exercising the
+    /// viewpoint-rejection fallback path.
+    pub fn prefer_fast(mut self) -> Self {
+        self.reconfig.prefer_fast = true;
+        self
+    }
+
+    /// Rolls an admitted switch back once the die cools below `c` °C.
+    pub fn rollback_below(mut self, c: f64) -> Self {
+        self.reconfig.rollback_below_c = Some(c);
+        self
+    }
+
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         Scenario {
@@ -464,6 +529,7 @@ impl ScenarioBuilder {
             lead: self.lead,
             platoon: self.platoon,
             city: self.city,
+            reconfig: self.reconfig,
         }
     }
 }
@@ -492,6 +558,20 @@ fn lead_brake_and_recover() -> LeadVehicle {
                 end_speed_mps: 22.0,
             },
         ],
+    )
+}
+
+/// The shared spine of the E17 dynamic-reconfiguration families: a 240 s
+/// run whose ambient ramps from 25 °C to 75 °C over 60 s starting at
+/// t = 10 s — hot enough to classify the induced deadline misses as
+/// thermal stress and trigger renegotiation.
+fn dynamic_thermal_base() -> ScenarioBuilder {
+    Scenario::builder("").duration(Duration::from_secs(240)).at(
+        Time::from_secs(10),
+        ScenarioEvent::AmbientRamp {
+            to_c: 75.0,
+            over: Duration::from_secs(60),
+        },
     )
 }
 
@@ -535,7 +615,9 @@ fn lead_stop_and_go() -> LeadVehicle {
 /// Every family composes stock events through the [`ScenarioBuilder`] DSL
 /// and is parameterized by strategy and seed. The single-vehicle families
 /// ([`ScenarioFamily::ALL`]) span the E11 evaluation grid; the platoon
-/// co-simulation families ([`ScenarioFamily::PLATOON`]) span E13.
+/// co-simulation families ([`ScenarioFamily::PLATOON`]) span E13; the
+/// dynamic-reconfiguration families ([`ScenarioFamily::DYNAMIC`]) span
+/// E17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioFamily {
     /// Undisturbed highway following.
@@ -570,6 +652,16 @@ pub enum ScenarioFamily {
     /// Honest platoon driving into fog: the agreed speed sinks with the
     /// members' ability levels.
     PlatoonFog,
+    /// Thermal pressure resolved by live contract renegotiation: the
+    /// lowrate swap is admitted through the full viewpoint battery.
+    ThermalPressure,
+    /// Thermal pressure with the full-rate preservation update preferred:
+    /// the timing viewpoint rejects it and the negotiation falls back to
+    /// the lowrate plan.
+    RejectedFallback,
+    /// Thermal pressure that later clears: the ambient ramps back down and
+    /// the admitted switch is rolled back mid-run.
+    ReconfigRollback,
 }
 
 impl ScenarioFamily {
@@ -584,6 +676,15 @@ impl ScenarioFamily {
         ScenarioFamily::RadarDropout,
         ScenarioFamily::RadarNoise,
         ScenarioFamily::StopAndGo,
+    ];
+
+    /// The dynamic-reconfiguration families, in report order — the E17
+    /// grid. Kept out of [`ScenarioFamily::ALL`] so the legacy E11/E12
+    /// sweeps stay bit-identical.
+    pub const DYNAMIC: [ScenarioFamily; 3] = [
+        ScenarioFamily::ThermalPressure,
+        ScenarioFamily::RejectedFallback,
+        ScenarioFamily::ReconfigRollback,
     ];
 
     /// The multi-vehicle platoon families, in report order — the E13 grid.
@@ -612,6 +713,9 @@ impl ScenarioFamily {
             ScenarioFamily::PlatoonLossyV2v => "platoon-lossy-v2v",
             ScenarioFamily::PlatoonLeadBrake => "platoon-lead-brake",
             ScenarioFamily::PlatoonFog => "platoon-fog",
+            ScenarioFamily::ThermalPressure => "thermal-pressure",
+            ScenarioFamily::RejectedFallback => "rejected-fallback",
+            ScenarioFamily::ReconfigRollback => "reconfig-rollback",
         }
     }
 
@@ -721,6 +825,25 @@ impl ScenarioFamily {
                     },
                 )
                 .platoon(platoon_base())
+                .build(),
+            ScenarioFamily::ThermalPressure => dynamic_thermal_base().build(),
+            ScenarioFamily::RejectedFallback => dynamic_thermal_base().prefer_fast().build(),
+            ScenarioFamily::ReconfigRollback => dynamic_thermal_base()
+                // The down-ramp starts only after the thermal misses have
+                // forced the switch (first miss ≈ t=133 s), so there is an
+                // admitted reconfiguration to roll back; the run is long
+                // enough for the throttle governor to settle back to the
+                // nominal OPP (one step-up per 60 s) before the rollback
+                // fires.
+                .duration(Duration::from_secs(300))
+                .at(
+                    Time::from_secs(150),
+                    ScenarioEvent::AmbientRamp {
+                        to_c: 25.0,
+                        over: Duration::from_secs(40),
+                    },
+                )
+                .rollback_below(70.0)
                 .build(),
         };
         s.label = format!("{}/{strategy:?}", self.name());
@@ -939,6 +1062,7 @@ mod tests {
         for family in ScenarioFamily::ALL
             .into_iter()
             .chain(ScenarioFamily::PLATOON)
+            .chain(ScenarioFamily::DYNAMIC)
         {
             for strategy in ResponseStrategy::ALL {
                 let s = family.build(strategy, 1);
@@ -995,6 +1119,35 @@ mod tests {
             .unwrap();
         assert_eq!(lossy.links.len(), lossy.members);
         assert!(lossy.links.iter().all(|(_, f)| f.loss_p > 0.0));
+    }
+
+    #[test]
+    fn dynamic_families_script_the_three_reconfiguration_paths() {
+        // Legacy families keep the default policy: live, conservative,
+        // no rollback — so their traces cannot change.
+        let thermal = ScenarioFamily::Thermal.build(ResponseStrategy::CrossLayer, 1);
+        assert_eq!(thermal.reconfig, ReconfigSpec::default());
+
+        let pressure = ScenarioFamily::ThermalPressure.build(ResponseStrategy::CrossLayer, 1);
+        assert_eq!(pressure.reconfig, ReconfigSpec::default());
+        assert!(pressure.platoon.is_none() && pressure.city.is_none());
+
+        let rejected = ScenarioFamily::RejectedFallback.build(ResponseStrategy::CrossLayer, 1);
+        assert!(rejected.reconfig.prefer_fast);
+        assert!(rejected.reconfig.live);
+
+        let rollback = ScenarioFamily::ReconfigRollback.build(ResponseStrategy::CrossLayer, 1);
+        assert_eq!(rollback.reconfig.rollback_below_c, Some(70.0));
+        // The pressure really clears: a second ambient ramp back down.
+        let down_ramps = rollback
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, ScenarioEvent::AmbientRamp { to_c, .. } if *to_c < 30.0))
+            .count();
+        assert_eq!(down_ramps, 1);
+
+        let s = Scenario::builder("static").static_contracts().build();
+        assert!(!s.reconfig.live);
     }
 
     #[test]

@@ -63,6 +63,32 @@ use crate::layer::{Layer, ProblemKind};
 /// Default trace-ring capacity per run (events; oldest evicted first).
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
+/// How a contract renegotiation attempt ended — the payload distinguishing
+/// the full negotiation in a [`TelemetryEvent::ContractSwitch`] trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// The MCC admitted the new configuration and it was applied (counts
+    /// under [`Counter::ContractSwitches`], like the pre-renegotiation
+    /// switches).
+    Accepted,
+    /// Every candidate update was rejected by the viewpoint battery; the
+    /// running configuration is unchanged.
+    Rejected,
+    /// A previously admitted switch was rolled back (pressure cleared).
+    RolledBack,
+}
+
+impl std::fmt::Display for SwitchOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SwitchOutcome::Accepted => "accepted",
+            SwitchOutcome::Rejected => "rejected",
+            SwitchOutcome::RolledBack => "rolled_back",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One typed engine event. All payloads are `Copy` — recording an event
 /// never allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,11 +111,14 @@ pub enum TelemetryEvent {
         /// Containment attempts made (layer hops).
         hops: u8,
     },
-    /// A containment action reconfigured the execution contracts (the
-    /// ACC control-rate switch under thermal pressure).
+    /// A contract renegotiation attempt concluded (the ACC control-rate
+    /// switch under thermal pressure, a viewpoint rejection, or a
+    /// rollback once the pressure cleared).
     ContractSwitch {
-        /// The layer whose containment switched the contract.
+        /// The layer whose containment renegotiated the contract.
         layer: Layer,
+        /// How the negotiation ended.
+        outcome: SwitchOutcome,
     },
     /// A member left the cooperative platoon.
     PlatoonEjection {
@@ -133,7 +162,11 @@ impl TelemetryEvent {
         match self {
             TelemetryEvent::AnomalyRaised { .. } => Counter::AnomaliesRaised,
             TelemetryEvent::EscalationRouted { .. } => Counter::EscalationsRouted,
-            TelemetryEvent::ContractSwitch { .. } => Counter::ContractSwitches,
+            TelemetryEvent::ContractSwitch { outcome, .. } => match outcome {
+                SwitchOutcome::Accepted => Counter::ContractSwitches,
+                SwitchOutcome::Rejected => Counter::ContractSwitchesRejected,
+                SwitchOutcome::RolledBack => Counter::ContractSwitchesRolledBack,
+            },
             TelemetryEvent::PlatoonEjection { .. } => Counter::PlatoonEjections,
             TelemetryEvent::TierPromotion { .. } => Counter::TierPromotions,
             TelemetryEvent::TierDemotion { .. } => Counter::TierDemotions,
@@ -295,11 +328,17 @@ pub enum Counter {
     V2vDropped,
     /// V2V deliveries that arrived late (per-link delay fault).
     V2vDelayed,
+    /// Renegotiation attempts whose every candidate update the viewpoint
+    /// battery rejected (appended after the legacy slots so existing
+    /// column pins keep their positions).
+    ContractSwitchesRejected,
+    /// Admitted contract switches rolled back after the pressure cleared.
+    ContractSwitchesRolledBack,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 17] = [
         Counter::AnomaliesRaised,
         Counter::EscalationsRouted,
         Counter::EscalationsResolved,
@@ -315,6 +354,8 @@ impl Counter {
         Counter::V2vSent,
         Counter::V2vDropped,
         Counter::V2vDelayed,
+        Counter::ContractSwitchesRejected,
+        Counter::ContractSwitchesRolledBack,
     ];
 
     /// Number of counter slots.
@@ -338,6 +379,8 @@ impl Counter {
             Counter::V2vSent => "v2v_sent",
             Counter::V2vDropped => "v2v_dropped",
             Counter::V2vDelayed => "v2v_delayed",
+            Counter::ContractSwitchesRejected => "contract_switches_rejected",
+            Counter::ContractSwitchesRolledBack => "contract_switches_rolled_back",
         }
     }
 }
@@ -923,8 +966,8 @@ pub fn chrome_trace_json(events: &[TraceRecord]) -> String {
                     None => out.push_str(",\"resolved_by\":null"),
                 }
             }
-            TelemetryEvent::ContractSwitch { layer } => {
-                let _ = write!(out, ",\"layer\":\"{layer}\"");
+            TelemetryEvent::ContractSwitch { layer, outcome } => {
+                let _ = write!(out, ",\"layer\":\"{layer}\",\"outcome\":\"{outcome}\"");
             }
             TelemetryEvent::PlatoonEjection { member } => {
                 let _ = write!(out, ",\"member\":{member}");
@@ -1162,6 +1205,7 @@ mod tests {
             Time::from_millis(20),
             TelemetryEvent::ContractSwitch {
                 layer: Layer::Ability,
+                outcome: SwitchOutcome::RolledBack,
             },
         );
         run.record(
@@ -1189,5 +1233,32 @@ mod tests {
         }
         assert!(json.contains("\"pid\":2"));
         assert!(json.contains("\"resolved_by\":null"));
+        assert!(json.contains("\"outcome\":\"rolled_back\""));
+    }
+
+    #[test]
+    fn contract_switch_outcomes_count_into_their_own_slots() {
+        let tel = Telemetry::default();
+        let mut run = tel.begin_run(0);
+        for (outcome, n) in [
+            (SwitchOutcome::Accepted, 2),
+            (SwitchOutcome::Rejected, 3),
+            (SwitchOutcome::RolledBack, 1),
+        ] {
+            for _ in 0..n {
+                run.record(
+                    Time::from_secs(1),
+                    TelemetryEvent::ContractSwitch {
+                        layer: Layer::Ability,
+                        outcome,
+                    },
+                );
+            }
+        }
+        tel.absorb(run);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(Counter::ContractSwitches), 2);
+        assert_eq!(snap.counter(Counter::ContractSwitchesRejected), 3);
+        assert_eq!(snap.counter(Counter::ContractSwitchesRolledBack), 1);
     }
 }

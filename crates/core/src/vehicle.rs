@@ -19,6 +19,8 @@ use saav_can::virt::{PfToken, VfId, VirtCanConfig};
 use saav_hw::pe::PeId;
 use saav_hw::platform::Platform;
 use saav_learn::{OnlineScorer, SelfAwarenessModel};
+use saav_mcc::renegotiator::{NegotiationOutcome, Pressure, PressureKind};
+use saav_mcc::Renegotiator;
 use saav_monitor::access_mon::{AccessMonitor, AccessObservation};
 use saav_monitor::anomaly::{Anomaly, AnomalyKind};
 use saav_monitor::exec::{ExecutionMonitor, JobObservation};
@@ -36,10 +38,12 @@ use saav_skills::decision::ModePolicy;
 use saav_vehicle::sensors::{SensorFault, Weather};
 use saav_vehicle::world::VehicleWorld;
 
+use crate::contracts;
 use crate::coordinator::{Coordinator, EscalationPolicy};
 use crate::layer::{Containment, Directive, DirectiveBoard, Layer, ProblemKind};
 use crate::outcome::Outcome;
-use crate::scenario::{ResponseStrategy, Scenario, ScenarioEvent, ScenarioState};
+use crate::scenario::{ReconfigSpec, ResponseStrategy, Scenario, ScenarioEvent, ScenarioState};
+use crate::telemetry::SwitchOutcome;
 
 /// The control/simulation step of the assembled vehicle.
 pub const CONTROL_PERIOD: Duration = Duration::from_millis(10);
@@ -66,6 +70,13 @@ pub struct SelfAwareVehicle {
     pub(crate) board: DirectiveBoard,
     pub(crate) tracer: Tracer,
     strategy: ResponseStrategy,
+    // live contract renegotiation (the MCC mounted per vehicle)
+    reconfig: ReconfigSpec,
+    renegotiator: Renegotiator,
+    lowrate_tasks: Option<(TaskRef, TaskRef)>,
+    // switch outcomes since the runner last drained them; empty on the
+    // nominal tick, so the hot path never allocates
+    pub(crate) switch_events: Vec<SwitchOutcome>,
     // component/task handles
     acc_task: TaskRef,
     perception_task: TaskRef,
@@ -134,56 +145,59 @@ impl SelfAwareVehicle {
         rte.grant(acc_comp, "actuator.brake.front");
         rte.grant(acc_comp, "actuator.brake.rear");
 
+        // Timing parameters come from the canonical nominal configuration
+        // ([`crate::contracts::nominal_config`]) — the same CandidateConfig
+        // the MCC admits updates against, so the executed task set and the
+        // contract model can never drift apart.
+        let nominal = contracts::nominal_config();
+        let radar_ct = contracts::task_contract(&nominal, "radar_driver", "radar_drv");
         let _radar_task = rte
             .add_task(
                 TaskSpec::periodic(
                     "radar_drv",
                     radar_comp,
-                    Duration::from_millis(10),
-                    Duration::from_millis(1),
-                    Priority(1),
+                    radar_ct.period,
+                    radar_ct.wcet,
+                    Priority(radar_ct.priority),
                 )
                 .with_exec_fraction(0.7, 0.95),
             )
             .expect("valid task");
+        let perception_ct = contracts::task_contract(&nominal, "acc_controller", "perception");
         let perception_task = rte
             .add_task(
                 TaskSpec::periodic(
                     "perception",
                     acc_comp,
-                    Duration::from_millis(10),
-                    Duration::from_micros(2_500),
-                    Priority(2),
+                    perception_ct.period,
+                    perception_ct.wcet,
+                    Priority(perception_ct.priority),
                 )
                 .with_exec_fraction(0.75, 0.95),
             )
             .expect("valid task");
+        let acc_ct = contracts::task_contract(&nominal, "acc_controller", "acc_ctl");
         let acc_task = rte
             .add_task(
                 TaskSpec::periodic(
                     "acc_ctl",
                     acc_comp,
-                    Duration::from_millis(10),
-                    Duration::from_millis(3),
-                    Priority(3),
+                    acc_ct.period,
+                    acc_ct.wcet,
+                    Priority(acc_ct.priority),
                 )
                 .with_exec_fraction(0.7, 0.95)
                 .with_budget(Duration::from_millis(4)),
             )
             .expect("valid task");
-        for (name, comp) in [
-            ("brake_front_ctl", brake_front_comp),
-            ("brake_rear_ctl", brake_rear_comp),
+        for (name, contract_comp, comp) in [
+            ("brake_front_ctl", "brake_front", brake_front_comp),
+            ("brake_rear_ctl", "brake_rear", brake_rear_comp),
         ] {
+            let ct = contracts::task_contract(&nominal, contract_comp, name);
             rte.add_task(
-                TaskSpec::periodic(
-                    name,
-                    comp,
-                    Duration::from_millis(10),
-                    Duration::from_micros(500),
-                    Priority(0),
-                )
-                .with_exec_fraction(0.8, 0.9),
+                TaskSpec::periodic(name, comp, ct.period, ct.wcet, Priority(ct.priority))
+                    .with_exec_fraction(0.8, 0.9),
             )
             .expect("valid task");
         }
@@ -200,10 +214,12 @@ impl SelfAwareVehicle {
             .expect("valid ability graph");
 
         // --- monitors -------------------------------------------------------
+        // The monitored-contract table is derived from the same nominal
+        // configuration instead of a second hand-written duration list.
         let mut exec_mon = ExecutionMonitor::new();
-        exec_mon.set_contract("acc_ctl", Duration::from_millis(3));
-        exec_mon.set_contract("perception", Duration::from_micros(2_500));
-        exec_mon.set_contract("radar_drv", Duration::from_millis(1));
+        for (task, wcet) in contracts::monitored_contracts(&nominal) {
+            exec_mon.set_contract(task, wcet);
+        }
         let mut access_mon = AccessMonitor::with_defaults();
         access_mon.set_nominal_rate("brake_rear", "can.tx", 100.0);
         access_mon.set_nominal_rate("brake_front", "can.tx", 100.0);
@@ -229,6 +245,10 @@ impl SelfAwareVehicle {
             board: DirectiveBoard::new(),
             tracer: Tracer::new(),
             strategy: scenario.strategy,
+            reconfig: scenario.reconfig,
+            renegotiator: contracts::vehicle_renegotiator(scenario.reconfig.prefer_fast),
+            lowrate_tasks: None,
+            switch_events: Vec::new(),
             acc_task,
             perception_task,
             brake_rear_comp,
@@ -596,48 +616,19 @@ impl SelfAwareVehicle {
                     self.world.allocator.set_speed_cap(Some(15.0));
                     self.world.allocator.prefer_regen = true;
                     let mut action = String::from("speed cap 15 m/s + regen braking");
-                    if kind == ProblemKind::ThermalStress && !state.acc_reconfigured {
+                    if kind == ProblemKind::ThermalStress
+                        && !state.acc_reconfigured
+                        && self.reconfig.live
+                    {
                         // Relax the perception and control rates so the
                         // throttled PE can hold its deadlines again — at the
                         // capped speed the halved control rate is sufficient.
-                        self.rte.scheduler_mut().set_active(self.acc_task, false);
-                        self.rte
-                            .scheduler_mut()
-                            .set_active(self.perception_task, false);
-                        let comp = self
-                            .rte
-                            .component_by_name("acc_controller")
-                            .expect("installed");
-                        self.rte
-                            .add_task(
-                                TaskSpec::periodic(
-                                    "perception_lowrate",
-                                    comp,
-                                    Duration::from_millis(20),
-                                    Duration::from_micros(2_500),
-                                    saav_rte::sched::Priority(2),
-                                )
-                                .with_exec_fraction(0.75, 0.95),
-                            )
-                            .expect("valid task");
-                        self.rte
-                            .add_task(
-                                TaskSpec::periodic(
-                                    "acc_ctl_lowrate",
-                                    comp,
-                                    Duration::from_millis(20),
-                                    Duration::from_millis(3),
-                                    saav_rte::sched::Priority(3),
-                                )
-                                .with_exec_fraction(0.7, 0.95),
-                            )
-                            .expect("valid task");
-                        self.exec_mon
-                            .set_contract("acc_ctl_lowrate", Duration::from_millis(3));
-                        self.exec_mon
-                            .set_contract("perception_lowrate", Duration::from_micros(2_500));
-                        state.acc_reconfigured = true;
-                        action.push_str(" + control rate halved");
+                        // The swap is no longer hardcoded: it is proposed to
+                        // the mounted MCC and applied only when the full
+                        // viewpoint battery admits it.
+                        if self.renegotiate_thermal(state) {
+                            action.push_str(" + control rate halved");
+                        }
                     }
                     self.tracer.action(self.now, "ability", action.clone());
                     Containment::Resolved { action }
@@ -658,6 +649,164 @@ impl SelfAwareVehicle {
             }
             _ => Containment::CannotHandle,
         }
+    }
+
+    /// One thermal renegotiation attempt through the mounted MCC. Returns
+    /// whether a lowrate configuration was admitted and applied; switch
+    /// outcomes (including viewpoint rejections) accumulate in
+    /// `switch_events` for the runner to record as telemetry.
+    fn renegotiate_thermal(&mut self, state: &mut ScenarioState) -> bool {
+        let pe0 = self.platform.pe(PeId(0));
+        let pressure = Pressure {
+            kind: PressureKind::Thermal,
+            temperature_c: pe0.temperature_c(),
+            deadline_miss_ratio: self.exec_mon.miss_ratio("acc_ctl"),
+            throttle_events: pe0.throttle_events(),
+        };
+        let outcome = self
+            .renegotiator
+            .respond(&pressure)
+            .expect("registered plans are well-formed against the baseline");
+        match outcome {
+            NegotiationOutcome::Accepted { .. } => {
+                self.apply_admitted_swap(state);
+                true
+            }
+            NegotiationOutcome::FallbackAccepted { rejected_by, .. } => {
+                self.switch_events.push(SwitchOutcome::Rejected);
+                self.tracer.info(
+                    self.now,
+                    "mcc",
+                    format!("fast path rejected by {rejected_by:?}; lowrate fallback admitted"),
+                );
+                self.apply_admitted_swap(state);
+                true
+            }
+            NegotiationOutcome::Rejected { rejected_by } => {
+                self.switch_events.push(SwitchOutcome::Rejected);
+                self.tracer.info(
+                    self.now,
+                    "mcc",
+                    format!("renegotiation rejected by {rejected_by:?}: mitigation only"),
+                );
+                false
+            }
+            NegotiationOutcome::NoPlan => false,
+        }
+    }
+
+    /// Applies the admitted lowrate candidate to the execution domain: the
+    /// full-rate tasks park, the half-rate tasks run (re-activated when a
+    /// previous switch already installed them), and the exec-monitor
+    /// contract table is re-derived from the MCC's current configuration —
+    /// the one source of truth for every duration.
+    fn apply_admitted_swap(&mut self, state: &mut ScenarioState) {
+        self.rte.scheduler_mut().set_active(self.acc_task, false);
+        self.rte
+            .scheduler_mut()
+            .set_active(self.perception_task, false);
+        if let Some((perception, acc)) = self.lowrate_tasks {
+            self.rte.scheduler_mut().set_active(perception, true);
+            self.rte.scheduler_mut().set_active(acc, true);
+        } else {
+            let current = self.renegotiator.mcc().current();
+            let perception_ct =
+                contracts::task_contract(current, "acc_controller_lowrate", "perception_lowrate")
+                    .clone();
+            let acc_ct =
+                contracts::task_contract(current, "acc_controller_lowrate", "acc_ctl_lowrate")
+                    .clone();
+            let comp = self
+                .rte
+                .component_by_name("acc_controller")
+                .expect("installed");
+            let perception = self
+                .rte
+                .add_task(
+                    TaskSpec::periodic(
+                        "perception_lowrate",
+                        comp,
+                        perception_ct.period,
+                        perception_ct.wcet,
+                        Priority(perception_ct.priority),
+                    )
+                    .with_exec_fraction(0.75, 0.95),
+                )
+                .expect("valid task");
+            let acc = self
+                .rte
+                .add_task(
+                    TaskSpec::periodic(
+                        "acc_ctl_lowrate",
+                        comp,
+                        acc_ct.period,
+                        acc_ct.wcet,
+                        Priority(acc_ct.priority),
+                    )
+                    .with_exec_fraction(0.7, 0.95),
+                )
+                .expect("valid task");
+            self.lowrate_tasks = Some((perception, acc));
+        }
+        for (task, wcet) in contracts::monitored_contracts(self.renegotiator.mcc().current()) {
+            self.exec_mon.set_contract(task, wcet);
+        }
+        state.acc_reconfigured = true;
+        self.switch_events.push(SwitchOutcome::Accepted);
+    }
+
+    /// The 1 Hz rollback hook: once the die has cooled below the
+    /// scenario's rollback threshold *and* the throttle governor has
+    /// stepped back to the nominal OPP, the admitted switch is revoked
+    /// through the MCC, the full-rate tasks resume, the monitor table is
+    /// re-derived from the restored configuration and the mitigation
+    /// (speed cap, regen preference) is lifted. Returns whether a rollback
+    /// happened.
+    ///
+    /// Waiting for the governor matters: the die cools below the threshold
+    /// well before the OPP ladder recovers, and full-rate contracts on a
+    /// still-throttled PE are exactly the infeasible configuration the
+    /// switch was admitted to escape.
+    pub(crate) fn maybe_rollback(&mut self, state: &mut ScenarioState) -> bool {
+        let Some(threshold_c) = self.reconfig.rollback_below_c else {
+            return false;
+        };
+        if !state.acc_reconfigured
+            || self.platform.pe(PeId(0)).temperature_c() >= threshold_c
+            || self.platform.pe(PeId(0)).speed_factor() > 1.0
+        {
+            return false;
+        }
+        self.renegotiator
+            .rollback()
+            .expect("a committed switch precedes acc_reconfigured");
+        if let Some((perception, acc)) = self.lowrate_tasks {
+            self.rte.scheduler_mut().set_active(perception, false);
+            self.rte.scheduler_mut().set_active(acc, false);
+        }
+        self.rte.scheduler_mut().set_active(self.acc_task, true);
+        self.rte
+            .scheduler_mut()
+            .set_active(self.perception_task, true);
+        for (task, wcet) in contracts::monitored_contracts(self.renegotiator.mcc().current()) {
+            self.exec_mon.set_contract(task, wcet);
+        }
+        self.world.allocator.set_speed_cap(None);
+        self.world.allocator.prefer_regen = false;
+        state.acc_reconfigured = false;
+        self.tracer.action(
+            self.now,
+            "ability",
+            "pressure cleared: nominal contracts rolled back in",
+        );
+        self.switch_events.push(SwitchOutcome::RolledBack);
+        true
+    }
+
+    /// The live contract-renegotiation controller mounted on this vehicle
+    /// (read access for reports and experiments).
+    pub fn renegotiator(&self) -> &Renegotiator {
+        &self.renegotiator
     }
 
     /// Runs a scenario to completion (delegates to [`crate::runner::run`]).

@@ -150,6 +150,22 @@ impl Mcc {
         &self.current
     }
 
+    /// Installs a pre-certified baseline configuration without running the
+    /// viewpoint battery and clears the version history — the live engine
+    /// mounts the assembly-time configuration this way, so every later
+    /// [`Mcc::rollback`] bottoms out at the baseline, never at an empty
+    /// system. The caller vouches for the baseline (the engine's is
+    /// battery-checked in its own tests).
+    pub fn install_baseline(&mut self, config: CandidateConfig) {
+        self.current = config;
+        self.history.clear();
+    }
+
+    /// Depth of the version history (rollbacks available).
+    pub fn history_depth(&self) -> usize {
+        self.history.len()
+    }
+
     /// The platform model.
     pub fn platform(&self) -> &PlatformModel {
         &self.platform
@@ -449,6 +465,97 @@ mod tests {
         m.rollback().unwrap();
         assert_eq!(m.current().components.len(), 0);
         assert_eq!(m.rollback(), Err(IntegrationError::NoHistory));
+    }
+
+    #[test]
+    fn rollback_on_empty_history_is_an_error_and_keeps_current() {
+        let mut m = mcc();
+        assert_eq!(m.rollback(), Err(IntegrationError::NoHistory));
+        assert!(m.current().components.is_empty());
+        // A baseline installation also offers nothing to roll back to.
+        let mut with_base = mcc();
+        with_base
+            .propose_update(UpdateRequest {
+                label: "v1".into(),
+                add: contracts("component a {\n}"),
+                remove: vec![],
+            })
+            .unwrap();
+        let base = with_base.current().clone();
+        let mut m = mcc();
+        m.install_baseline(base);
+        assert_eq!(m.history_depth(), 0);
+        assert_eq!(m.rollback(), Err(IntegrationError::NoHistory));
+        assert!(m.current().component("a").is_some(), "baseline survives");
+    }
+
+    #[test]
+    fn rejecting_viewpoints_order_is_battery_order() {
+        // First-fit mapping enforces the resource bounds itself, so a
+        // configuration violating *every* viewpoint can only arrive as an
+        // installed baseline (e.g. drifted hardware after an in-field
+        // change). It violates resources (memory), timing (overload),
+        // safety (ASIL-D requirement on an ASIL-A provider) and security
+        // (untrusted influence on a critical service) at once.
+        let broken = contracts(
+            "component big {\n memory 5000\n task t { period 10ms wcet 6ms priority 1 }\n}\n\
+             component late {\n asil A\n provides actuator.brake critical\n \
+             task t { period 10ms wcet 6ms deadline 1ms priority 5 }\n}\n\
+             component autopilot {\n asil D\n requires actuator.brake\n}\n\
+             component pilot {\n domain untrusted\n requires actuator.brake\n}",
+        );
+        let mut baseline = CandidateConfig::default();
+        for c in broken {
+            baseline.mapping.insert(c.name.clone(), 0);
+            baseline.components.push(c);
+        }
+        let mut m = mcc();
+        m.install_baseline(baseline);
+        let report = m
+            .propose_update(UpdateRequest {
+                label: "probe".into(),
+                add: contracts("component probe {\n}"),
+                remove: vec![],
+            })
+            .unwrap();
+        assert!(!report.accepted);
+        assert_eq!(
+            report.rejecting_viewpoints(),
+            vec!["resources", "timing", "safety", "security"],
+            "rejections surface in the fixed battery order"
+        );
+    }
+
+    #[test]
+    fn repeated_propose_rollback_cycles_stay_consistent() {
+        let mut m = mcc();
+        m.propose_update(UpdateRequest {
+            label: "base".into(),
+            add: contracts("component a {\n task t { period 10ms wcet 1ms priority 1 }\n}"),
+            remove: vec![],
+        })
+        .unwrap();
+        let base_placement = m.placement();
+        for round in 0..3 {
+            let report = m
+                .propose_update(UpdateRequest {
+                    label: format!("swap-{round}"),
+                    add: contracts(
+                        "component a2 {\n task t { period 20ms wcet 1ms priority 1 }\n}",
+                    ),
+                    remove: vec!["a".into()],
+                })
+                .unwrap();
+            assert!(report.accepted, "round {round}: {report}");
+            assert!(m.current().component("a2").is_some());
+            assert!(m.current().component("a").is_none());
+            assert_eq!(m.placement()["a2"], "ecu0");
+            m.rollback().unwrap();
+            assert!(m.current().component("a").is_some());
+            assert!(m.current().component("a2").is_none());
+            assert_eq!(m.placement(), base_placement, "round {round}");
+        }
+        assert_eq!(m.history_depth(), 1, "cycles net out to the base commit");
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   critical services), resources (memory/utilization headroom).
 //! * [`integration`] — the MCC itself: admission, first-fit mapping,
 //!   viewpoint battery, versioned commits and rollback.
+//! * [`renegotiator`] — the in-loop bridge: runtime pressure (deadline
+//!   misses, thermal/DVFS counters) mapped to prepared update requests,
+//!   admitted through the same viewpoints, with deterministic fallback
+//!   and rollback.
 //! * [`dependency`] — automated cross-layer FMEA: failure propagation over
 //!   typed dependency graphs with redundancy groups (Sec. V).
 //!
@@ -44,10 +48,12 @@ pub mod contract;
 pub mod dependency;
 pub mod integration;
 pub mod model;
+pub mod renegotiator;
 pub mod viewpoints;
 
 pub use contract::{parse_contracts, Asil, Contract, ParseError, TrustDomain};
 pub use dependency::{DependencyGraph, ElementId, LayerTag};
 pub use integration::{IntegrationError, IntegrationReport, Mcc, UpdateRequest};
 pub use model::{CandidateConfig, PlatformModel};
+pub use renegotiator::{NegotiationOutcome, Pressure, PressureKind, ReconfigPlan, Renegotiator};
 pub use viewpoints::{default_viewpoints, Verdict, Viewpoint};

@@ -44,7 +44,7 @@ impl Verdict {
 }
 
 /// A viewpoint analysis run by the MCC.
-pub trait Viewpoint {
+pub trait Viewpoint: Send + Sync {
     /// Short identifier used in reports.
     fn name(&self) -> &'static str;
     /// Checks a candidate configuration.
